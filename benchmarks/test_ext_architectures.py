@@ -1,0 +1,215 @@
+"""E11a — future-work extension: other network architectures.
+
+The paper's conclusion announces mechanisms for other architectures.
+This experiment exercises the DLT substrates those would build on —
+star (heterogeneous links), linear daisy chain, and tree — and verifies
+they reduce to the bus results in the appropriate limits.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.dlt.architectures import (
+    StarNetwork,
+    allocate_linear,
+    allocate_star,
+    allocate_tree,
+    collapse_tree,
+    linear_finish_times,
+    star_makespan,
+)
+from repro.dlt.closed_form import allocate_cp
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.timing import optimal_makespan
+
+W = (2.0, 3.0, 5.0, 4.0)
+Z = 0.5
+
+
+def test_star_reduces_to_bus(benchmark, report):
+    def compare():
+        star = StarNetwork(W, (Z,) * len(W))
+        a_star = allocate_star(star)
+        a_bus = allocate_cp(np.array(W), Z)
+        t_star = star_makespan(a_star, star)
+        t_bus = optimal_makespan(BusNetwork(W, Z, NetworkKind.CP))
+        return a_star, a_bus, t_star, t_bus
+
+    a_star, a_bus, t_star, t_bus = benchmark(compare)
+    assert np.allclose(a_star, a_bus)
+    assert t_star == pytest.approx(t_bus)
+    report(format_table(
+        ("i", "alpha (star, z_i=z)", "alpha (CP bus)"),
+        [(i + 1, float(a_star[i]), float(a_bus[i])) for i in range(len(W))],
+        title=f"Star with homogeneous links == CP bus (T = {t_bus:.6f})"))
+
+
+def test_star_heterogeneous_links(benchmark, report):
+    def solve():
+        star = StarNetwork(W, (0.2, 0.9, 0.4, 1.4))
+        a = allocate_star(star)
+        return star, a, star_makespan(a, star)
+
+    star, a, t = benchmark(solve)
+    from repro.dlt.architectures import star_finish_times
+
+    T = star_finish_times(a, star)
+    assert np.allclose(T, T[0])
+    report(format_table(
+        ("worker", "w_i", "z_i", "alpha_i"),
+        [(f"P{i+1}", star.w[i], star.z[i], float(a[i])) for i in range(star.m)],
+        title=f"Heterogeneous star optimal allocation (T = {t:.6f})"))
+
+
+def test_linear_chain(benchmark, report):
+    def solve():
+        a = allocate_linear(W, Z)
+        return a, linear_finish_times(a, W, Z)
+
+    a, T = benchmark(solve)
+    assert np.allclose(T, T[0])
+    bus_t = optimal_makespan(BusNetwork(W, Z, NetworkKind.NCP_FE))
+    report(format_table(
+        ("node", "w_i", "alpha_i", "T_i"),
+        [(f"P{i+1}", W[i], float(a[i]), float(T[i])) for i in range(len(W))],
+        title=f"Linear daisy chain (T = {T[0]:.6f}; NCP-FE bus on same "
+              f"processors: {bus_t:.6f} — chain pays store-and-forward)"))
+    assert T[0] >= bus_t - 1e-12
+
+
+def test_star_mechanism_strategyproof(benchmark, report):
+    """DLS-ST: the paper's future-work mechanism on stars, certified."""
+    from repro.core.dls_star import DLSStar
+
+    def sweep(instances=60):
+        rng = np.random.default_rng(9)
+        profitable = 0
+        min_truthful_u = np.inf
+        for _ in range(instances):
+            m = int(rng.integers(2, 8))
+            w = rng.uniform(1.0, 10.0, m)
+            z = rng.uniform(0.05, 2.0, m)
+            mech = DLSStar(z)
+            u_truth = np.array(mech.run(w, w).utilities)
+            min_truthful_u = min(min_truthful_u, float(u_truth.min()))
+            i = int(rng.integers(m))
+            bids = w.copy()
+            bids[i] *= float(rng.uniform(0.4, 2.5))
+            if mech.run(bids, w).utilities[i] > u_truth[i] + 1e-9:
+                profitable += 1
+        return instances, profitable, min_truthful_u
+
+    n, profitable, min_u = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert profitable == 0
+    assert min_u >= -1e-10
+    report(format_table(
+        ("metric", "value"),
+        [("random star instances", n),
+         ("profitable misreports", profitable),
+         ("min truthful utility", min_u)],
+        title="DLS-ST (star mechanism, canonical nondecreasing-z order): "
+              "strategyproof + voluntary participation"))
+
+
+def test_chain_mechanism_strategyproof(benchmark, report):
+    """DLS-LN: the chain mechanism, certified over random instances."""
+    from repro.core.dls_chain import DLSChain
+
+    def sweep(instances=60):
+        rng = np.random.default_rng(11)
+        profitable = 0
+        min_truthful_u = np.inf
+        for _ in range(instances):
+            m = int(rng.integers(2, 7))
+            w = rng.uniform(0.5, 10.0, m)
+            hops = rng.uniform(0.05, 5.0, m - 1)
+            mech = DLSChain(hops)
+            u_truth = np.array(mech.run(w, w).utilities)
+            min_truthful_u = min(min_truthful_u, float(u_truth.min()))
+            i = int(rng.integers(m))
+            bids = w.copy()
+            bids[i] *= float(rng.uniform(0.4, 2.5))
+            if mech.run(bids, w).utilities[i] > u_truth[i] + 1e-9:
+                profitable += 1
+        return instances, profitable, min_truthful_u
+
+    n, profitable, min_u = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert profitable == 0
+    assert min_u >= -1e-10
+    report(format_table(
+        ("metric", "value"),
+        [("random chain instances", n),
+         ("profitable misreports", profitable),
+         ("min truthful utility", min_u)],
+        title="DLS-LN (daisy-chain mechanism, relay-preserving exclusion): "
+              "strategyproof + voluntary participation at any link cost"))
+
+
+def test_tree_mechanism_strategyproof(benchmark, report):
+    """DLS-TR: the tree mechanism with canonical child ordering."""
+    from repro.core.dls_tree import DLSTree
+
+    def sweep(instances=50):
+        rng = np.random.default_rng(13)
+        profitable = 0
+        min_truthful_u = np.inf
+        for _ in range(instances):
+            n = int(rng.integers(2, 8))
+            g = nx.DiGraph()
+            names = [f"n{i}" for i in range(n)]
+            for i, nm in enumerate(names):
+                g.add_node(nm, w=float(rng.uniform(0.5, 10)))
+                if i > 0:
+                    parent = names[int(rng.integers(0, i))]
+                    g.add_edge(parent, nm, z=float(rng.uniform(0.1, 8.0)))
+            mech = DLSTree(g, "n0")
+            w_true = {nm: g.nodes[nm]["w"] for nm in names}
+            u_truth = np.array(mech.truthful_run(w_true).utilities)
+            min_truthful_u = min(min_truthful_u, float(u_truth.min()))
+            node = names[int(rng.integers(n))]
+            bids = dict(w_true)
+            bids[node] *= float(rng.uniform(0.4, 2.5))
+            idx = mech.nodes.index(node)
+            if mech.run(bids, w_true).utilities[idx] > u_truth[idx] + 1e-9:
+                profitable += 1
+        return instances, profitable, min_truthful_u
+
+    n, profitable, min_u = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert profitable == 0
+    assert min_u >= -1e-10
+    report(format_table(
+        ("metric", "value"),
+        [("random tree instances", n),
+         ("profitable misreports", profitable),
+         ("min truthful utility", min_u)],
+        title="DLS-TR (tree mechanism, canonical nondecreasing-z child "
+              "order, relay-preserving exclusion): strategyproof + "
+              "voluntary participation at any link cost"))
+
+
+def test_tree_collapse(benchmark, report):
+    def solve():
+        g = nx.DiGraph()
+        g.add_node("root", w=4.0)
+        g.add_node("a", w=3.0)
+        g.add_node("b", w=6.0)
+        g.add_node("a1", w=2.0)
+        g.add_node("a2", w=5.0)
+        g.add_edge("root", "a", z=0.4)
+        g.add_edge("root", "b", z=0.3)
+        g.add_edge("a", "a1", z=0.2)
+        g.add_edge("a", "a2", z=0.5)
+        eq = collapse_tree(g, "root")
+        shares = allocate_tree(g, "root")
+        return g, eq, shares
+
+    g, eq, shares = benchmark(solve)
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert eq.w_equivalent < min(nx.get_node_attributes(g, "w").values())
+    report(format_table(
+        ("node", "w", "load share"),
+        [(n, g.nodes[n]["w"], shares[n]) for n in sorted(shares)],
+        title=f"5-node tree: equivalent processor w_eq = "
+              f"{eq.w_equivalent:.6f} (faster than any single node)"))

@@ -1,0 +1,75 @@
+"""E17 (extension) — long-run deterrence in a repeated market.
+
+One engagement's fine (Section 4's F) translates into a lasting
+earnings gap in a repeated market: the deviant forfeits an engagement
+plus the fine while its peers pocket informer rewards.  This benchmark
+runs an 8-job market where P2 deviates in job 0 and plots the running
+cumulative utilities against the all-honest counterfactual.
+"""
+
+import pytest
+
+from repro.agents.behaviors import AgentBehavior, Deviation
+from repro.analysis.reporting import format_table
+from repro.core.fines import FinePolicy
+from repro.dlt.platform import NetworkKind
+from repro.protocol.sessions import MarketSession
+
+W = [2.0, 3.0, 5.0, 4.0]
+Z = 0.4
+JOBS = 8
+
+
+def run_market(deviate: bool):
+    s = MarketSession(W, NetworkKind.NCP_FE, Z, policy=FinePolicy(2.0))
+    schedule = ({0: {1: AgentBehavior(deviations={Deviation.MULTIPLE_BIDS})}}
+                if deviate else None)
+    s.run_schedule(JOBS, behavior_schedule=schedule)
+    return s
+
+
+def test_long_run_deterrence(benchmark, report):
+    cheat, honest = benchmark.pedantic(
+        lambda: (run_market(True), run_market(False)), rounds=1, iterations=1)
+
+    series_cheat = cheat.earnings_series("P2")
+    series_honest = honest.earnings_series("P2")
+    rows = [(j + 1, series_honest[j], series_cheat[j],
+             series_honest[j] - series_cheat[j]) for j in range(JOBS)]
+    report(format_table(
+        ("jobs played", "P2 cumulative (honest)", "P2 cumulative "
+         "(deviated job 1)", "gap"), rows,
+        title="Long-run cost of one deviation (NCP-FE market, F = 2x "
+              "compensation bill)"))
+
+    # The gap never closes: later jobs are identical for both worlds.
+    gaps = [r[3] for r in rows]
+    assert all(abs(g - gaps[0]) < 1e-9 for g in gaps)
+    assert gaps[0] > 0
+    # And the informers stay ahead forever.
+    for name in ("P1", "P3", "P4"):
+        assert (cheat.cumulative_utility(name)
+                > honest.cumulative_utility(name))
+
+
+def test_deviation_payback_horizon(benchmark, report):
+    """How many honest jobs would the deviant need to break even if the
+    market granted it extra work?  (It cannot — peers keep playing too —
+    but the horizon expresses the fine in 'jobs of profit' units.)"""
+
+    def compute():
+        honest = run_market(False)
+        cheat = run_market(True)
+        per_job = honest.records[0].outcome.utilities["P2"]
+        gap = (honest.cumulative_utility("P2")
+               - cheat.cumulative_utility("P2"))
+        return per_job, gap, gap / per_job
+
+    per_job, gap, horizon = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert horizon > 5
+    report(format_table(
+        ("metric", "value"),
+        [("per-job honest profit", per_job),
+         ("one-deviation earnings gap", gap),
+         ("payback horizon (jobs)", horizon)],
+        title="The fine expressed in jobs of honest profit"))

@@ -1,0 +1,60 @@
+"""E2 — Figure 2: bus network WITHOUT control processor, front-ended
+originator.
+
+The figure's distinguishing features: P1 computes from t = 0 with no
+communication row of its own, transmissions start with alpha_2, and all
+processors finish together (Eq. 2 + recursion 7).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.schedule import build_schedule, render_gantt
+from repro.dlt.timing import finish_times
+
+W = (2.0, 3.0, 5.0, 4.0)
+Z = 0.6
+
+
+def build_figure(w=W, z=Z):
+    net = BusNetwork(w, z, NetworkKind.NCP_FE)
+    alpha = allocate(net)
+    return net, alpha, build_schedule(alpha, net)
+
+
+def test_fig2_ncp_fe_timing(benchmark, report):
+    net, alpha, sched = benchmark(build_figure)
+    T = finish_times(alpha, net)
+
+    # Visual claims of Figure 2
+    p1 = [s for s in sched.compute_segments if s.processor == 0][0]
+    assert p1.start == 0.0                             # front end: no delay
+    assert len(sched.bus_segments) == net.m - 1        # alpha_1 never shipped
+    assert sched.bus_segments[0].processor == 1        # comm starts at alpha_2
+    assert np.allclose(T, T[0])
+
+    # Recursion (7): alpha_i w_i = alpha_{i+1} (z + w_{i+1})
+    w = np.asarray(net.w)
+    assert np.allclose(alpha[:-1] * w[:-1], alpha[1:] * (net.z + w[1:]))
+
+    rows = [(net.names[i], float(alpha[i]), float(T[i])) for i in range(net.m)]
+    report(f"Figure 2 (NCP-FE): m={net.m}, w={list(W)}, z={Z}")
+    report(format_table(("proc", "alpha_i", "T_i"), rows))
+    report(render_gantt(sched))
+
+
+def test_fig2_originator_never_idles(benchmark, report):
+    """P1's compute segment spans [0, T]: the front end fully overlaps."""
+
+    def check():
+        net, alpha, sched = build_figure()
+        p1 = [s for s in sched.compute_segments if s.processor == 0][0]
+        assert p1.start == 0.0
+        assert p1.end == pytest.approx(sched.makespan)
+        return sched.makespan
+
+    t = benchmark(check)
+    report(f"NCP-FE originator busy for the entire makespan T = {t:.6f}")

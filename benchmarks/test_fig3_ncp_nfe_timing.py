@@ -1,0 +1,71 @@
+"""E3 — Figure 3: bus network WITHOUT control processor, originator
+without front end.
+
+The figure's distinguishing features: the originator P_m transmits
+alpha_1 .. alpha_{m-1} first and only then computes its own fraction
+(Eq. 3 + recursions 8-9); everyone still finishes together.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.schedule import build_schedule, render_gantt
+from repro.dlt.timing import finish_times
+
+W = (2.0, 3.0, 5.0, 4.0)
+Z = 0.6
+
+
+def build_figure(w=W, z=Z):
+    net = BusNetwork(w, z, NetworkKind.NCP_NFE)
+    alpha = allocate(net)
+    return net, alpha, build_schedule(alpha, net)
+
+
+def test_fig3_ncp_nfe_timing(benchmark, report):
+    net, alpha, sched = benchmark(build_figure)
+    T = finish_times(alpha, net)
+    m = net.m
+
+    # Visual claims of Figure 3
+    assert len(sched.bus_segments) == m - 1          # P_m receives nothing
+    pm = [s for s in sched.compute_segments if s.processor == m - 1][0]
+    last_send_end = max(s.end for s in sched.bus_segments)
+    assert pm.start == pytest.approx(last_send_end)  # no front end
+    assert np.allclose(T, T[0])
+
+    # Recursions (8) and (9)
+    w = np.asarray(net.w)
+    assert np.allclose(alpha[: m - 2] * w[: m - 2],
+                       alpha[1 : m - 1] * (net.z + w[1 : m - 1]))
+    assert alpha[m - 2] * w[m - 2] == pytest.approx(alpha[m - 1] * w[m - 1])
+
+    rows = [(net.names[i], float(alpha[i]), float(T[i])) for i in range(m)]
+    report(f"Figure 3 (NCP-NFE): m={m}, w={list(W)}, z={Z}")
+    report(format_table(("proc", "alpha_i", "T_i"), rows))
+    report(render_gantt(sched))
+
+
+def test_fig3_front_end_value(benchmark, report):
+    """Quantify what the missing front end costs: NCP-NFE vs a
+    hypothetical front-ended originator at the same position."""
+
+    def spread():
+        net_nfe, a_nfe, s_nfe = build_figure()
+        # Same processors, originator first *with* front end:
+        w_fe = (W[-1],) + W[:-1]
+        net_fe = BusNetwork(w_fe, Z, NetworkKind.NCP_FE)
+        from repro.dlt.timing import optimal_makespan
+
+        return s_nfe.makespan, optimal_makespan(net_fe)
+
+    t_nfe, t_fe = benchmark(spread)
+    report(format_table(
+        ("system", "makespan"),
+        [("NCP-NFE (no front end)", t_nfe),
+         ("same originator with front end", t_fe)],
+        title="Cost of the missing front end"))
+    assert t_fe <= t_nfe + 1e-12

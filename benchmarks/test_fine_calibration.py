@@ -1,0 +1,81 @@
+"""E10 — fine calibration: the bound F >= sum of compensations matters.
+
+Section 4 requires the fine to exceed the projected compensation bill
+so that no deviation can net out positive.  This experiment sweeps the
+fine's safety factor through the threshold and reports the bidding-
+phase deviant's utility: below the bound the deterrence argument of
+Lemma 5.1 loses its teeth (the fine shrinks toward zero while the
+honest utility the deviant forgoes stays fixed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents.behaviors import AgentBehavior, Deviation
+from repro.analysis.reporting import format_table
+from repro.core.dls_bl_ncp import DLSBLNCP
+from repro.core.fines import FinePolicy
+from repro.dlt.platform import BusNetwork, NetworkKind
+
+W = [2.0, 3.0, 5.0, 4.0]
+Z = 0.4
+FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+def sweep():
+    rows = []
+    net = BusNetwork(tuple(W), Z, NetworkKind.NCP_FE)
+    for f in FACTORS:
+        policy = FinePolicy(f)
+        honest = DLSBLNCP(W, NetworkKind.NCP_FE, Z, policy=policy).run()
+        deviant = DLSBLNCP(W, NetworkKind.NCP_FE, Z, policy=policy,
+                           behaviors={1: AgentBehavior(
+                               deviations={Deviation.MULTIPLE_BIDS})}).run()
+        rows.append((
+            f,
+            policy.fine_amount(net),
+            policy.satisfies_paper_bound(net),
+            deviant.utilities["P2"],
+            honest.utilities["P2"],
+            deviant.utilities["P2"] - honest.utilities["P2"],
+        ))
+    return rows
+
+
+def test_fine_threshold_sweep(benchmark, report):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(format_table(
+        ("safety factor", "F", "F >= sum comp?", "U(deviate)", "U(comply)",
+         "deviation gain"),
+        rows,
+        title="Fine calibration (bidding-phase deviant, NCP-FE)"))
+    # At or above the paper's bound, deviation strictly loses.
+    for f, F, ok, u_dev, u_honest, gain in rows:
+        if ok:
+            assert gain < 0
+    # The deterrence margin is monotone in the fine.
+    gains = [r[5] for r in rows]
+    assert all(a >= b - 1e-12 for a, b in zip(gains, gains[1:]))
+
+
+def test_fine_always_covers_slow_execution_with_margin(benchmark, report):
+    """The factor-2 default covers execution up to 2x slower than bid."""
+
+    def check(instances=100):
+        rng = np.random.default_rng(5)
+        policy = FinePolicy(2.0)
+        violations = 0
+        for _ in range(instances):
+            m = int(rng.integers(2, 12))
+            w = rng.uniform(1.0, 10.0, m)
+            net = BusNetwork(tuple(w), float(rng.uniform(0.1, 1.0)),
+                             NetworkKind.NCP_FE)
+            w_exec = w * rng.uniform(1.0, 2.0, m)
+            if not policy.satisfies_paper_bound(net, w_exec=w_exec):
+                violations += 1
+        return instances, violations
+
+    n, violations = benchmark.pedantic(check, rounds=1, iterations=1)
+    assert violations == 0
+    report(f"F = 2x base covers observed compensations in {n}/{n} random "
+           "instances with up to 2x execution slowdown")

@@ -1,0 +1,100 @@
+"""E6 — Theorems 3.1 / 5.2: strategyproofness.
+
+Regenerates the utility-versus-bid curve for a representative agent in
+each system model (the series a strategyproofness figure would plot)
+and sweeps random instances to locate every empirical best response:
+all must sit at the truthful point (bid factor 1.0, full speed).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.analysis.strategyproofness import (
+    agent_utility,
+    best_response_bid_factor,
+    utility_curve,
+    utility_surface,
+)
+from repro.dlt.platform import BusNetwork, NetworkKind
+
+W = (2.0, 3.0, 5.0, 4.0)
+Z = 0.5
+GRID = np.round(np.linspace(0.5, 2.0, 31), 4)
+
+
+def curves_for_all_kinds(i=1):
+    return {kind: utility_curve(BusNetwork(W, Z, kind), i, GRID)
+            for kind in NetworkKind}
+
+
+def test_thm31_utility_curves(benchmark, report):
+    curves = benchmark.pedantic(curves_for_all_kinds, rounds=1, iterations=1)
+    sample_factors = [0.5, 0.75, 0.9, 1.0, 1.1, 1.5, 2.0]
+    rows = []
+    for f in sample_factors:
+        row = [f]
+        for kind in NetworkKind:
+            pts = {p.bid_factor: p.utility for p in curves[kind]}
+            nearest = min(pts, key=lambda x: abs(x - f))
+            row.append(pts[nearest])
+        rows.append(tuple(row))
+    report(format_table(
+        ("bid factor", "U (CP)", "U (NCP-FE)", "U (NCP-NFE)"), rows,
+        title=f"Utility of P2 vs bid factor (w={list(W)}, z={Z}); "
+              "peak at 1.0 = truth-telling"))
+    for kind, pts in curves.items():
+        best = max(pts, key=lambda p: p.utility)
+        assert best.bid_factor == pytest.approx(1.0), kind
+
+
+def test_thm31_best_response_sweep(benchmark, report):
+    def sweep(instances=120):
+        rng = np.random.default_rng(3)
+        off_truth = 0
+        worst_regret = 0.0
+        for _ in range(instances):
+            m = int(rng.integers(2, 9))
+            w = rng.uniform(1.0, 10.0, m)
+            z = float(rng.uniform(0.05, 0.8) * w.min())
+            kind = list(NetworkKind)[int(rng.integers(3))]
+            net = BusNetwork(tuple(w), z, kind)
+            i = int(rng.integers(m))
+            bf, u_best = best_response_bid_factor(net, i, GRID)
+            u_truth = agent_utility(net, i)
+            if abs(bf - 1.0) > 1e-9 and u_best > u_truth + 1e-9:
+                off_truth += 1
+            worst_regret = max(worst_regret, u_best - u_truth)
+        return instances, off_truth, worst_regret
+
+    n, off, regret = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert off == 0
+    assert regret <= 1e-9
+    report(format_table(
+        ("metric", "value"),
+        [("random instances", n),
+         ("agents with a profitable misreport", off),
+         ("max utility gain from any misreport", regret)],
+        title="Theorem 3.1/5.2: best responses over random instances"))
+
+
+def test_thm31_joint_deviation_surface(benchmark, report):
+    """Bid x execution deviation surface: the truthful corner dominates."""
+    bid_f = [0.7, 0.85, 1.0, 1.25, 1.6]
+    exec_f = [1.0, 1.25, 1.6, 2.0]
+
+    def surfaces():
+        return {kind: utility_surface(BusNetwork(W, Z, kind), 2, bid_f, exec_f)
+                for kind in NetworkKind}
+
+    result = benchmark.pedantic(surfaces, rounds=1, iterations=1)
+    for kind, s in result.items():
+        r, c = np.unravel_index(np.argmax(s), s.shape)
+        assert bid_f[r] == 1.0 and exec_f[c] == 1.0, kind
+    s = result[NetworkKind.NCP_FE]
+    rows = [(bid_f[r], *[s[r, c] for c in range(len(exec_f))])
+            for r in range(len(bid_f))]
+    report(format_table(
+        ("bid \\ exec", *[str(e) for e in exec_f]), rows,
+        title="P3 utility over (bid factor x exec factor), NCP-FE; "
+              "max at (1.0, 1.0)"))

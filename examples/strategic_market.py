@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A compute market with cheaters: watch the referee earn its keep.
+
+Scenario: four independent organizations rent out their machines for
+divisible workloads (think render farms or genome chunks).  There is no
+operator everyone trusts, so they run DLS-BL-NCP.  We replay the same
+engagement under a rogues' gallery of strategies and show, for each,
+what the protocol does and who ends up with what.
+
+Run:  python examples/strategic_market.py
+"""
+
+from repro import DLSBLNCP, NetworkKind
+from repro.agents import AgentBehavior, Deviation, misreport, slow_execution
+from repro.analysis.reporting import format_table
+from repro.core.fines import FinePolicy
+
+W = [2.0, 3.0, 5.0, 4.0]      # true unit-processing times
+Z = 0.4                        # bus rate
+KIND = NetworkKind.NCP_FE      # P1 holds the data and has a front end
+POLICY = FinePolicy(2.0)       # F = 2 x projected compensation bill
+
+SCENARIOS = [
+    ("everyone honest", {}),
+    ("P2 overbids 1.6x (claims to be slow)", {1: misreport(1.6)}),
+    ("P3 sandbagging (runs 1.5x slower than bid)", {2: slow_execution(1.5)}),
+    ("P2 broadcasts two different bids",
+     {1: AgentBehavior(deviations={Deviation.MULTIPLE_BIDS})}),
+    ("originator P1 short-ships P3's blocks",
+     {0: AgentBehavior(deviations={Deviation.SHORT_ALLOCATION},
+                       deviation_params={"victim": "P3", "delta_blocks": 3})}),
+    ("P4 submits a doctored payment vector",
+     {3: AgentBehavior(deviations={Deviation.WRONG_PAYMENTS})}),
+    ("P2 falsely accuses P1 of equivocating",
+     {1: AgentBehavior(deviations={Deviation.FALSE_EQUIVOCATION_CLAIM},
+                       deviation_params={"victim": "P1"})}),
+]
+
+
+def describe(outcome) -> str:
+    if outcome.completed and not outcome.fined:
+        return "completed cleanly"
+    if outcome.completed:
+        fined = ", ".join(f"{k} fined {v:.2f}" for k, v in outcome.fined.items())
+        return f"completed; {fined}"
+    fined = ", ".join(f"{k} fined {v:.2f}" for k, v in outcome.fined.items())
+    return f"TERMINATED in {outcome.terminal_phase.name}; {fined}"
+
+
+def main() -> None:
+    print(f"Market: w={W}, z={Z}, fine policy = 2x compensation bill\n")
+    baseline = DLSBLNCP(W, KIND, Z, policy=POLICY).run()
+
+    rows = []
+    for label, behaviors in SCENARIOS:
+        out = DLSBLNCP(W, KIND, Z, behaviors=behaviors, policy=POLICY).run()
+        rows.append((label, describe(out),
+                     *(round(out.utilities[n], 3) for n in out.order)))
+
+    print(format_table(
+        ("scenario", "protocol outcome", "U(P1)", "U(P2)", "U(P3)", "U(P4)"),
+        rows,
+        title="Utility of every participant under each strategy profile"))
+
+    print("\nReading the table:")
+    print(" * honest row: everyone profits — voluntary participation (Thm 5.3)")
+    print(" * misreporting/sandbagging rows: no fine, but the cheater's own")
+    print("   utility drops — strategyproofness with verification (Thm 5.2)")
+    print(" * protocol-deviation rows: the deviant is caught, fined more than")
+    print("   it could ever gain, and the informers split the fine (Thm 5.1)")
+
+    # The deterrence ledger for the equivocation case, in detail.
+    out = DLSBLNCP(W, KIND, Z, policy=POLICY,
+                   behaviors={1: AgentBehavior(
+                       deviations={Deviation.MULTIPLE_BIDS})}).run()
+    print(f"\nEquivocation case detail: fine F = {out.fine_amount:.4f}")
+    print(format_table(
+        ("party", "balance", "vs honest utility"),
+        [(n, round(out.balances[n], 4),
+          round(baseline.utilities[n], 4)) for n in out.order]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline build environment ships setuptools without the ``wheel``
+package, so PEP 517 editable installs fail on ``bdist_wheel``.  This
+shim lets ``pip install -e .`` take the classic ``setup.py develop``
+path; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro: strategyproof divisible-load scheduling on bus networks.
+
+A full reproduction of Carroll & Grosu, *A Strategyproof Mechanism for
+Scheduling Divisible Loads in Bus Networks without Control Processor*
+(IPPS/IPDPS Workshops 2006): classical Divisible Load Theory solvers
+for the three bus-network system models, the centralized DLS-BL
+mechanism (compensation-and-bonus payments with verification), and the
+distributed DLS-BL-NCP mechanism with strategic agents, a simulated
+PKI, a shared-bus transport, referee-adjudicated fines and informer
+rewards — plus the future-work extensions (star / linear / tree
+architectures, multiround scheduling) the paper announces.
+
+Quickstart::
+
+    from repro import DLSBL, DLSBLNCP, NetworkKind
+
+    # centralized mechanism (trusted control processor)
+    mech = DLSBL(NetworkKind.CP, z=0.3)
+    result = mech.run(bids=[2.0, 3.0, 5.0], w_exec=[2.0, 3.0, 5.0])
+
+    # distributed mechanism (no control processor)
+    outcome = DLSBLNCP([2.0, 3.0, 5.0], NetworkKind.NCP_FE, z=0.3).run()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure and theorem.
+"""
+
+from repro.core import (
+    DLSBL,
+    DLSBLNCP,
+    FinePolicy,
+    MechanismResult,
+    NCPOutcome,
+    Referee,
+)
+from repro.dlt import BusNetwork, NetworkKind, allocate, finish_times, makespan
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DLSBL",
+    "DLSBLNCP",
+    "FinePolicy",
+    "MechanismResult",
+    "NCPOutcome",
+    "Referee",
+    "BusNetwork",
+    "NetworkKind",
+    "allocate",
+    "finish_times",
+    "makespan",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Strategic agent models.
+
+The mechanism's whole point is that processors are rational and
+self-interested: they may misreport their processing capacity
+(``b_i != w_i``), under-execute (``w~_i > w_i``), or — absent a trusted
+control processor — deviate from the scheduling algorithm itself.
+
+:class:`repro.agents.behaviors.AgentBehavior` captures a strategy as
+data (bid factor, execution factor, and a set of protocol
+:class:`~repro.agents.behaviors.Deviation`\\ s), and
+:class:`repro.agents.processor.ProcessorAgent` executes that strategy
+inside the protocol, including the *honest* monitoring duties (verify
+signatures, detect equivocation, recompute allocations and payments,
+fink to the referee) that the incentive structure makes individually
+rational.
+"""
+
+from repro.agents.behaviors import (
+    AgentBehavior,
+    Deviation,
+    abstaining,
+    misreport,
+    slow_execution,
+    truthful,
+)
+from repro.agents.processor import ProcessorAgent
+
+__all__ = [
+    "AgentBehavior",
+    "Deviation",
+    "abstaining",
+    "truthful",
+    "misreport",
+    "slow_execution",
+    "ProcessorAgent",
+]

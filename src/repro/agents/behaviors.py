@@ -1,0 +1,141 @@
+"""Strategy descriptions: misreporting, under-execution, protocol deviations.
+
+A strategy is plain data so experiment sweeps can enumerate behaviours
+declaratively.  The two *reporting* dimensions mirror the mechanism-
+design model (Section 3):
+
+* ``bid_factor`` — the agent bids ``b_i = bid_factor * w_i`` (1.0 is
+  truthful; >1 claims to be slower, <1 claims to be faster);
+* ``exec_factor`` — the agent executes at ``w~_i = exec_factor * w_i``;
+  values below 1 are clamped to 1 because a processor physically cannot
+  run faster than its true capacity (the verification model's
+  ``w~_i >= w_i``).
+
+The *algorithmic* dimension is the set of :class:`Deviation` flags,
+covering the offence catalogue of Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Deviation", "AgentBehavior", "truthful", "misreport", "slow_execution"]
+
+
+class Deviation(Enum):
+    """Protocol deviations an agent may attempt (Section 4 offences)."""
+
+    MULTIPLE_BIDS = "multiple-bids"
+    """Broadcast two different signed bids in the Bidding phase (offence i)."""
+
+    SPLIT_BIDS = "split-bids"
+    """Send different signed bids to different peers.
+
+    Physically impossible under atomic broadcast; the attack the
+    paper's footnote-1 commitments exist to kill on point-to-point
+    networks (engine ``bidding_mode`` "commit" / "naive")."""
+
+    SHORT_ALLOCATION = "short-allocation"
+    """As originator, ship fewer load units than ``alpha_i`` to a victim (offence ii)."""
+
+    OVER_ALLOCATION = "over-allocation"
+    """As originator, ship more load units than ``alpha_i`` to a victim (offence ii)."""
+
+    WRONG_PAYMENTS = "wrong-payments"
+    """Submit an incorrectly computed payment vector (offence iii)."""
+
+    CONTRADICTORY_PAYMENTS = "contradictory-payments"
+    """Submit two different signed payment vectors (offence iii)."""
+
+    MANIPULATED_BID_VECTOR = "manipulated-bid-vector"
+    """Alter own entry (re-signed) in the bid vector sent to the referee (offence iv)."""
+
+    FALSE_ALLOCATION_CLAIM = "false-allocation-claim"
+    """Claim a correct assignment was wrong (offence v)."""
+
+    FALSE_EQUIVOCATION_CLAIM = "false-equivocation-claim"
+    """Accuse an innocent peer of equivocating with non-probative evidence (offence v)."""
+
+    REFUSE_REMEDY = "refuse-remedy"
+    """As originator, refuse the referee-mediated remainder transfer (offence ii)."""
+
+    SILENT_OBSERVER = "silent-observer"
+    """Shirk the monitoring duty: never report observed deviations.
+
+    Not an offence in itself — used in experiments to show detection
+    still succeeds as long as *one* non-deviant monitors (and that the
+    silent agent merely forfeits its informer reward)."""
+
+
+@dataclass(frozen=True)
+class AgentBehavior:
+    """A complete strategy for one processor.
+
+    ``abstain`` opts out of the engagement entirely: "If P_i does not
+    wish to participate, it does not broadcast a bid and it receives a
+    utility of 0" (Section 4, Bidding) — legal, not a deviation.
+
+    ``deviation_params`` carries per-deviation knobs, e.g.
+    ``{"victim": "P3", "delta_blocks": 2}`` for SHORT_ALLOCATION or
+    ``{"payment_scale": 1.5}`` for WRONG_PAYMENTS.
+    """
+
+    bid_factor: float = 1.0
+    exec_factor: float = 1.0
+    abstain: bool = False
+    deviations: frozenset[Deviation] = frozenset()
+    deviation_params: dict = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.bid_factor <= 0:
+            raise ValueError(f"bid_factor must be positive, got {self.bid_factor}")
+        if self.exec_factor <= 0:
+            raise ValueError(f"exec_factor must be positive, got {self.exec_factor}")
+        object.__setattr__(self, "deviations", frozenset(self.deviations))
+
+    @property
+    def is_truthful_reporter(self) -> bool:
+        return self.bid_factor == 1.0
+
+    @property
+    def is_full_speed(self) -> bool:
+        return self.exec_factor <= 1.0  # clamped to exactly w_i at runtime
+
+    @property
+    def is_compliant(self) -> bool:
+        """No algorithmic deviations (may still misreport or slack)."""
+        return not (self.deviations - {Deviation.SILENT_OBSERVER})
+
+    @property
+    def is_honest(self) -> bool:
+        """Truthful, full-speed and compliant — the equilibrium behaviour."""
+        return self.is_truthful_reporter and self.is_full_speed and self.is_compliant
+
+    def bid_for(self, w_true: float) -> float:
+        """The reported per-unit time ``b_i``."""
+        return self.bid_factor * w_true
+
+    def exec_value_for(self, w_true: float) -> float:
+        """The realized per-unit time ``w~_i`` (clamped to ``>= w_i``)."""
+        return max(1.0, self.exec_factor) * w_true
+
+
+def truthful() -> AgentBehavior:
+    """The honest strategy: bid truth, run flat out, follow the protocol."""
+    return AgentBehavior()
+
+
+def abstaining() -> AgentBehavior:
+    """Decline to participate (no bid broadcast, utility 0)."""
+    return AgentBehavior(abstain=True)
+
+
+def misreport(bid_factor: float) -> AgentBehavior:
+    """Misreport capacity by *bid_factor*; otherwise compliant."""
+    return AgentBehavior(bid_factor=bid_factor)
+
+
+def slow_execution(exec_factor: float) -> AgentBehavior:
+    """Bid truthfully but execute at ``exec_factor * w`` (>= 1 meaningful)."""
+    return AgentBehavior(exec_factor=exec_factor)

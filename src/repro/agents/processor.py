@@ -1,0 +1,309 @@
+"""The processor agent: strategy execution plus monitoring duties.
+
+A :class:`ProcessorAgent` owns a private true value ``w_i``, a signing
+key, and an :class:`~repro.agents.behaviors.AgentBehavior`.  It
+implements every per-processor step of DLS-BL-NCP:
+
+* produce (one or, when deviating, several) signed bids;
+* verify and archive everyone else's signed bids, detecting
+  equivocation;
+* redundantly compute the allocation and check its own assignment;
+* choose its execution rate (the meters observe the result);
+* redundantly compute the payment vector and submit it signed;
+* when disputes arise, hand its archived signed bid vector to the
+  referee (possibly manipulated, per its strategy).
+
+The honest code paths double as the *monitoring* role the mechanism
+incentivizes: every check an honest agent performs corresponds to an
+offence in the referee's catalogue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.agents.behaviors import AgentBehavior, Deviation
+from repro.core.payments import payments as compute_payments
+from repro.crypto.pki import PKI
+from repro.crypto.signatures import SignedMessage, SigningKey, canonical_bytes
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+
+__all__ = ["ProcessorAgent"]
+
+
+class ProcessorAgent:
+    """One strategic processor participating in DLS-BL-NCP."""
+
+    def __init__(
+        self,
+        name: str,
+        w_true: float,
+        behavior: AgentBehavior,
+        *,
+        key: SigningKey,
+        pki: PKI,
+        kind: NetworkKind,
+        z: float,
+    ) -> None:
+        if w_true <= 0:
+            raise ValueError(f"{name}: w_true must be positive, got {w_true}")
+        self.name = name
+        self.w_true = float(w_true)
+        self.behavior = behavior
+        self.key = key
+        self.pki = pki
+        self.kind = kind
+        self.z = float(z)
+        # signer -> list of distinct authentic signed bid messages seen
+        self._bid_archive: dict[str, list[SignedMessage]] = {}
+
+    # ------------------------------------------------------------------
+    # Bidding phase
+    # ------------------------------------------------------------------
+
+    @property
+    def bid(self) -> float:
+        """The (primary) reported per-unit processing time ``b_i``."""
+        return self.behavior.bid_for(self.w_true)
+
+    @property
+    def exec_value(self) -> float:
+        """The realized per-unit time ``w~_i`` (>= ``w_i`` by physics)."""
+        return self.behavior.exec_value_for(self.w_true)
+
+    def make_bid_messages(self) -> list[SignedMessage]:
+        """Signed bid broadcast(s): ``S_Pi(b_i, P_i)``.
+
+        The MULTIPLE_BIDS deviation issues a second, different signed
+        bid — the offence the Bidding phase polices.
+        """
+        msgs = [self.key.sign({"processor": self.name, "bid": self.bid})]
+        if Deviation.MULTIPLE_BIDS in self.behavior.deviations:
+            alt = self.behavior.deviation_params.get("second_bid_factor", 0.5)
+            msgs.append(self.key.sign({"processor": self.name, "bid": alt * self.bid}))
+        return msgs
+
+    # -- point-to-point bidding (no atomic broadcast; paper footnote 1) --
+
+    def make_commitment(self):
+        """Publish a commitment to this agent's primary bid.
+
+        Returned for the bulletin; the opening nonce is kept and rides
+        along with the point-to-point bid messages.
+        """
+        from repro.crypto.commitments import commit
+
+        payload = {"processor": self.name, "bid": self.bid}
+        commitment, nonce = commit(self.name, payload)
+        self._commit_nonce = nonce
+        return commitment
+
+    def make_p2p_bid_messages(self, peers: list[str]) -> dict[str, tuple[SignedMessage, bytes]]:
+        """Per-recipient signed bids (point-to-point networks).
+
+        Honest agents send everyone the same message.  SPLIT_BIDS sends
+        the chosen victim a different signed bid — the equivocation
+        atomic broadcast physically rules out.  The commitment nonce
+        (if one was made) accompanies every copy; the split copy cannot
+        match the published commitment, which is how footnote-1
+        commitments catch the attack.
+        """
+        nonce = getattr(self, "_commit_nonce", b"")
+        primary = self.key.sign({"processor": self.name, "bid": self.bid})
+        out = {peer: (primary, nonce) for peer in peers if peer != self.name}
+        if Deviation.SPLIT_BIDS in self.behavior.deviations:
+            params = self.behavior.deviation_params
+            victim = params.get("victim")
+            candidates = [p for p in peers if p != self.name]
+            if victim is None and candidates:
+                victim = candidates[-1]
+            if victim in out:
+                alt_bid = params.get("split_bid_factor", 0.5) * self.bid
+                alt = self.key.sign({"processor": self.name, "bid": alt_bid})
+                out[victim] = (alt, nonce)
+        return out
+
+    def observe_p2p_bid(self, sm: SignedMessage, nonce: bytes,
+                        bulletin: dict | None = None) -> None:
+        """Receive a point-to-point bid; verify its commitment if any.
+
+        Commitment mismatches are archived as evidence (the signed
+        message itself proves what the sender transmitted) and the bid
+        is still recorded — the protocol needs the value on file for
+        the referee's cross-checks.
+        """
+        if not self.pki.verify(sm):
+            return
+        if not isinstance(sm.payload, dict) or sm.payload.get("processor") != sm.signer:
+            return
+        if bulletin is not None and sm.signer in bulletin:
+            from repro.crypto.commitments import verify_commitment
+
+            if not verify_commitment(bulletin[sm.signer], sm.payload, nonce):
+                violations = getattr(self, "_commitment_violations", {})
+                violations.setdefault(sm.signer, (sm, nonce))
+                self._commitment_violations = violations
+        self.observe_bid(sm)
+
+    def detect_commitment_violations(self) -> list[tuple[str, tuple[SignedMessage, bytes]]]:
+        """Commitment mismatches this agent witnessed first-hand."""
+        if Deviation.SILENT_OBSERVER in self.behavior.deviations:
+            return []
+        violations = getattr(self, "_commitment_violations", {})
+        return [(accused, evidence)
+                for accused, evidence in sorted(violations.items())
+                if accused != self.name]
+
+    def observe_bid(self, sm: SignedMessage) -> None:
+        """Archive an incoming bid if authentic; silently discard otherwise.
+
+        "If the message fails verification, it is discarded."  Distinct
+        authentic payloads from one signer are all kept — they are the
+        equivocation evidence.
+        """
+        if not self.pki.verify(sm):
+            return
+        if not isinstance(sm.payload, dict) or sm.payload.get("processor") != sm.signer:
+            return
+        archive = self._bid_archive.setdefault(sm.signer, [])
+        if any(canonical_bytes(m.payload) == canonical_bytes(sm.payload) for m in archive):
+            return
+        archive.append(sm)
+
+    def detect_equivocations(self) -> list[tuple[str, tuple[SignedMessage, SignedMessage]]]:
+        """Equivocators this agent can prove, with the two-message evidence.
+
+        SILENT_OBSERVER agents shirk and report nothing; deviants never
+        report their own offence (they hold the same evidence everyone
+        else does, but reporting it fines *them*).
+        """
+        if Deviation.SILENT_OBSERVER in self.behavior.deviations:
+            return []
+        found = []
+        for signer, msgs in sorted(self._bid_archive.items()):
+            if signer != self.name and len(msgs) >= 2:
+                found.append((signer, (msgs[0], msgs[1])))
+        return found
+
+    def fabricate_equivocation_claim(self, participants: list[str]) -> tuple[str, tuple[SignedMessage, SignedMessage]] | None:
+        """FALSE_EQUIVOCATION_CLAIM: accuse an innocent peer.
+
+        The best a liar can do is present the victim's single authentic
+        bid twice (it cannot forge a second one), which the referee
+        rejects as non-probative.
+        """
+        if Deviation.FALSE_EQUIVOCATION_CLAIM not in self.behavior.deviations:
+            return None
+        victim = self.behavior.deviation_params.get("victim")
+        candidates = [p for p in participants if p != self.name]
+        if victim is None and candidates:
+            victim = candidates[0]
+        msgs = self._bid_archive.get(victim, [])
+        if not msgs:
+            return None
+        return victim, (msgs[0], msgs[0])
+
+    # ------------------------------------------------------------------
+    # Allocation phase
+    # ------------------------------------------------------------------
+
+    def bid_view(self, order: list[str]) -> dict[str, float]:
+        """This agent's view of the bid profile (first authentic bid wins).
+
+        Under atomic broadcast every honest agent holds the same view.
+        """
+        view = {}
+        for name in order:
+            msgs = self._bid_archive.get(name)
+            if not msgs:
+                raise KeyError(f"{self.name} holds no bid from {name}")
+            view[name] = float(msgs[0].payload["bid"])
+        return view
+
+    def compute_allocation(self, order: list[str]) -> np.ndarray:
+        """Redundant allocation computation (Algorithm 2.1 / 2.2)."""
+        view = self.bid_view(order)
+        net = BusNetwork(tuple(view[n] for n in order), self.z, self.kind, tuple(order))
+        return allocate(net)
+
+    def planned_shipments(self, entitled_blocks: dict[str, int]) -> dict[str, int]:
+        """As originator: blocks to actually ship to each recipient.
+
+        Honest originators ship exactly the entitlement; SHORT/OVER
+        deviations perturb the chosen victim's count.
+        """
+        plan = dict(entitled_blocks)
+        dev = self.behavior.deviations
+        params = self.behavior.deviation_params
+        victim = params.get("victim")
+        if victim is None:
+            others = [n for n in plan if n != self.name]
+            victim = others[0] if others else None
+        if victim is not None and victim in plan:
+            if Deviation.SHORT_ALLOCATION in dev:
+                plan[victim] = max(0, plan[victim] - int(params.get("delta_blocks", 1)))
+            elif Deviation.OVER_ALLOCATION in dev:
+                plan[victim] = plan[victim] + int(params.get("delta_blocks", 1))
+        return plan
+
+    def disputes_assignment(self, received_blocks: int, entitled_blocks: int) -> bool:
+        """Whether to signal the referee about the received assignment."""
+        if Deviation.FALSE_ALLOCATION_CLAIM in self.behavior.deviations:
+            return True
+        if Deviation.SILENT_OBSERVER in self.behavior.deviations:
+            return False
+        return received_blocks != entitled_blocks
+
+    def bid_vector_messages(self, order: list[str]) -> list[SignedMessage]:
+        """The signed bid vector handed to the referee on disputes.
+
+        MANIPULATED_BID_VECTOR re-signs this agent's own entry with an
+        altered value (the only entry it *can* alter — it lacks every
+        other private key).
+        """
+        vector = [self._bid_archive[name][0] for name in order]
+        if Deviation.MANIPULATED_BID_VECTOR in self.behavior.deviations:
+            scale = self.behavior.deviation_params.get("vector_bid_factor", 2.0)
+            forged = self.key.sign({"processor": self.name, "bid": scale * self.bid})
+            vector = [forged if sm.signer == self.name else sm for sm in vector]
+        return vector
+
+    @property
+    def cooperates_with_remedy(self) -> bool:
+        """Whether, as originator, it ships the referee-mediated remainder."""
+        return Deviation.REFUSE_REMEDY not in self.behavior.deviations
+
+    # ------------------------------------------------------------------
+    # Payments phase
+    # ------------------------------------------------------------------
+
+    def payment_vector_messages(
+        self,
+        order: list[str],
+        alpha: np.ndarray,
+        phi: dict[str, float],
+    ) -> list[SignedMessage]:
+        """Compute ``Q`` from the broadcast meters and submit it signed.
+
+        ``w~_j = phi_j / alpha_j`` (Computing Payments, Section 4).
+        WRONG_PAYMENTS scales the vector; CONTRADICTORY_PAYMENTS sends
+        two different signed copies.
+        """
+        view = self.bid_view(order)
+        net = BusNetwork(tuple(view[n] for n in order), self.z, self.kind, tuple(order))
+        w_exec = np.array([phi[n] / a if a > 0 else view[n] for n, a in zip(order, alpha)])
+        q = compute_payments(net, w_exec)
+        if Deviation.WRONG_PAYMENTS in self.behavior.deviations:
+            q = q * self.behavior.deviation_params.get("payment_scale", 1.5)
+        payload = {"processor": self.name, "Q": [float(x) for x in q]}
+        msgs = [self.key.sign(payload)]
+        if Deviation.CONTRADICTORY_PAYMENTS in self.behavior.deviations:
+            alt = dict(payload, Q=[float(x) * 2.0 for x in q])
+            msgs.append(self.key.sign(alt))
+        return msgs
+
+    def __repr__(self) -> str:
+        return (f"ProcessorAgent({self.name!r}, w={self.w_true}, "
+                f"bid={self.bid:.3g}, exec={self.exec_value:.3g}, "
+                f"deviations={sorted(d.value for d in self.behavior.deviations)})")

@@ -1,0 +1,62 @@
+"""Experiment analysis toolkit.
+
+* :mod:`repro.analysis.strategyproofness` — utility surfaces over (bid
+  factor × execution factor), best-response checks (Theorems 3.1/5.2).
+* :mod:`repro.analysis.welfare` — makespans, utilities, user cost and
+  cross-system comparisons (Theorems 3.2/5.3 and the Figures 1-3
+  narratives).
+* :mod:`repro.analysis.complexity` — communication-cost measurements
+  and log-log scaling fits (Theorem 5.4).
+* :mod:`repro.analysis.coalitions` — group-manipulation probes (where
+  individual strategyproofness ends).
+* :mod:`repro.analysis.economics` — the price of truthfulness
+  (VCG-style overpayment measurements).
+* :mod:`repro.analysis.reporting` — fixed-width table rendering shared
+  by the benchmark harness and the examples.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.analysis.strategyproofness import (
+    UtilityPoint,
+    best_response_bid_factor,
+    utility_curve,
+    utility_surface,
+)
+from repro.analysis.welfare import kind_comparison, truthful_profile
+from repro.analysis.complexity import CommunicationSample, fit_loglog_slope, measure_communication
+from repro.analysis.coalitions import CoalitionResult, coalition_best_response, coalition_sweep
+from repro.analysis.economics import CostBreakdown, overpayment_ratio, overpayment_sweep
+from repro.analysis.workloads import FAMILIES, family_names, generate
+from repro.analysis.dynamics import DynamicsTrace, best_response_dynamics
+from repro.analysis.sensitivity import (
+    allocation_sensitivity,
+    payment_sensitivity,
+    worst_case_condition,
+)
+
+__all__ = [
+    "CoalitionResult",
+    "coalition_best_response",
+    "coalition_sweep",
+    "CostBreakdown",
+    "overpayment_ratio",
+    "overpayment_sweep",
+    "FAMILIES",
+    "family_names",
+    "generate",
+    "DynamicsTrace",
+    "best_response_dynamics",
+    "allocation_sensitivity",
+    "payment_sensitivity",
+    "worst_case_condition",
+    "format_table",
+    "UtilityPoint",
+    "best_response_bid_factor",
+    "utility_curve",
+    "utility_surface",
+    "kind_comparison",
+    "truthful_profile",
+    "CommunicationSample",
+    "fit_loglog_slope",
+    "measure_communication",
+]

@@ -1,0 +1,106 @@
+"""Coalition (group) manipulation analysis.
+
+DLS-BL is *individually* strategyproof (Theorem 3.1), but — like the
+VCG family it belongs to — nothing in the paper claims resistance to
+coalitions with side payments.  The bonus of agent *i*,
+``B_i = T(alpha(b_{-i}), b_{-i}) - T(alpha(b), ...)``, grows when the
+*other* agents look slower, so two colluders can inflate each other's
+exclusion terms by jointly overbidding and split the spoils.
+
+This module quantifies that: grid search over joint bid factors for a
+coalition, with the coalition's objective the *sum* of member
+utilities (transferable utility — side payments assumed).  It provides
+the data for the ablation benchmark E13 and for the authors' follow-up
+research direction (coalitional divisible-load scheduling).
+
+Note the physical constraint carried through: a colluder that underbids
+must still execute at its true speed at best (``w~ >= w``), while an
+overbidder can execute at its bid; :func:`coalition_utilities` applies
+the same clamping the individual sweeps use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations, product
+
+import numpy as np
+
+from repro.core.payments import utilities as mech_utilities
+from repro.dlt.platform import BusNetwork
+
+__all__ = [
+    "CoalitionResult",
+    "coalition_utilities",
+    "coalition_best_response",
+    "coalition_sweep",
+]
+
+
+@dataclass(frozen=True)
+class CoalitionResult:
+    """Best joint deviation found for one coalition."""
+
+    members: tuple[int, ...]
+    best_factors: tuple[float, ...]
+    joint_utility: float
+    truthful_joint_utility: float
+
+    @property
+    def gain(self) -> float:
+        """What the coalition nets over collective truth-telling."""
+        return self.joint_utility - self.truthful_joint_utility
+
+    @property
+    def profitable(self) -> bool:
+        return self.gain > 1e-9
+
+
+def coalition_utilities(
+    network_true: BusNetwork,
+    members: tuple[int, ...],
+    factors: tuple[float, ...],
+) -> float:
+    """Sum of member utilities when members bid ``factor * w`` jointly.
+
+    Non-members bid truthfully.  Every agent executes at
+    ``max(w_i, b_i)``: overbidders may (and optimally do) slow to their
+    bid; underbidders are pinned at their true speed.
+    """
+    w = network_true.w_array
+    bids = w.copy()
+    for i, f in zip(members, factors):
+        bids[i] = f * w[i]
+    net_bids = network_true.with_w(bids)
+    w_exec = np.maximum(w, bids)
+    u = mech_utilities(net_bids, w_exec)
+    return float(sum(u[i] for i in members))
+
+
+def coalition_best_response(
+    network_true: BusNetwork,
+    members: tuple[int, ...],
+    grid,
+) -> CoalitionResult:
+    """Grid-search the coalition's joint bid factors."""
+    truthful = coalition_utilities(network_true, members,
+                                   tuple(1.0 for _ in members))
+    best_factors = tuple(1.0 for _ in members)
+    best = truthful
+    for factors in product(grid, repeat=len(members)):
+        value = coalition_utilities(network_true, members, factors)
+        if value > best:
+            best, best_factors = value, tuple(float(f) for f in factors)
+    return CoalitionResult(tuple(members), best_factors, best, truthful)
+
+
+def coalition_sweep(
+    network_true: BusNetwork,
+    size: int = 2,
+    grid=(0.75, 1.0, 1.5, 2.0),
+) -> list[CoalitionResult]:
+    """Best response for every coalition of *size* agents."""
+    if not 1 <= size <= network_true.m:
+        raise ValueError(f"coalition size {size} out of range")
+    return [coalition_best_response(network_true, members, grid)
+            for members in combinations(range(network_true.m), size)]

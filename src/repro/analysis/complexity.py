@@ -1,0 +1,83 @@
+"""Communication-complexity measurements (Theorem 5.4).
+
+Theorem 5.4: the communication complexity of DLS-BL-NCP for ``m``
+processors is Θ(m²), with the Computing-Payments phase dominating (each
+of ``m`` processors transmits a vector of size ``m`` to the referee).
+The paper's cost metric is *messages × message size*, excluding the
+load-unit transfers.
+
+:func:`measure_communication` runs the full protocol at increasing
+``m`` and records the bus accounting;
+:func:`fit_loglog_slope` extracts the scaling exponent, which must land
+near 2 for control bytes (and near 1 for control message *count* —
+a useful internal check that the quadratic comes from message *sizes*,
+exactly as the proof argues).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dls_bl_ncp import DLSBLNCP
+from repro.dlt.platform import NetworkKind
+from repro.network.messages import MessageKind
+
+__all__ = ["CommunicationSample", "measure_communication", "fit_loglog_slope"]
+
+
+@dataclass(frozen=True)
+class CommunicationSample:
+    """Traffic of one protocol run at a given m."""
+
+    m: int
+    control_messages: int
+    control_bytes: int
+    payment_bytes: int
+    bid_bytes: int
+
+
+def measure_communication(
+    ms,
+    kind: NetworkKind = NetworkKind.NCP_FE,
+    *,
+    z: float = 0.5,
+    seed: int = 0,
+    bidding_mode: str = "atomic",
+) -> list[CommunicationSample]:
+    """Run an all-honest protocol per ``m`` and collect traffic stats.
+
+    ``bidding_mode`` selects the Bidding-phase transport: with atomic
+    broadcast bid traffic is Θ(m); point-to-point ("commit"/"naive")
+    makes it Θ(m²) — the total stays Θ(m²) either way (Theorem 5.4's
+    payment phase already dominates), which
+    ``benchmarks/test_thm54_communication.py`` verifies per mode.
+    """
+    rng = np.random.default_rng(seed)
+    samples = []
+    for m in ms:
+        w = rng.uniform(1.0, 10.0, size=int(m))
+        outcome = DLSBLNCP(list(w), kind, z, bidding_mode=bidding_mode).run()
+        stats = outcome.traffic
+        samples.append(CommunicationSample(
+            m=int(m),
+            control_messages=stats.control_messages,
+            control_bytes=stats.control_bytes,
+            payment_bytes=stats.bytes_by_kind[MessageKind.PAYMENT_VECTOR],
+            bid_bytes=stats.bytes_by_kind[MessageKind.BID],
+        ))
+    return samples
+
+
+def fit_loglog_slope(xs, ys) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    The scaling exponent: ~2 for Θ(m²) quantities, ~1 for Θ(m).
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if np.any(xs <= 0) or np.any(ys <= 0):
+        raise ValueError("log-log fit requires positive data")
+    slope, _ = np.polyfit(np.log(xs), np.log(ys), 1)
+    return float(slope)

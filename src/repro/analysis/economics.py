@@ -1,0 +1,95 @@
+"""Economic properties: what does strategyproofness cost the user?
+
+The mechanism pays ``Q_i = C_i + B_i``: compensation (the work's cost)
+plus a bonus equal to each processor's marginal contribution.  The
+bonuses are the *price of truthfulness* — the premium over bare cost
+reimbursement that buys incentive compatibility, the analogue of VCG
+overpayment.  This module measures it:
+
+* :func:`overpayment_ratio` — ``sum(Q) / sum(C)`` for one instance;
+* :func:`overpayment_sweep` — how the premium scales with the number
+  of processors (marginal contributions shrink as the system grows, so
+  the premium decays toward 1) and with the communication rate;
+* :func:`user_cost_breakdown` — per-instance decomposition used by the
+  E15 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dls_bl import DLSBL
+from repro.dlt.platform import NetworkKind
+
+__all__ = [
+    "CostBreakdown",
+    "user_cost_breakdown",
+    "overpayment_ratio",
+    "overpayment_sweep",
+]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Where the user's money goes in one truthful run."""
+
+    m: int
+    z: float
+    kind: NetworkKind
+    compensation_total: float
+    bonus_total: float
+    makespan: float
+
+    @property
+    def user_cost(self) -> float:
+        return self.compensation_total + self.bonus_total
+
+    @property
+    def overpayment_ratio(self) -> float:
+        """``sum(Q)/sum(C)``: 1.0 means zero truthfulness premium."""
+        return self.user_cost / self.compensation_total
+
+
+def user_cost_breakdown(w_true, kind: NetworkKind, z: float) -> CostBreakdown:
+    """Decompose the truthful user bill for one instance."""
+    w = np.asarray(w_true, dtype=float)
+    r = DLSBL(kind, z).truthful_run(w)
+    return CostBreakdown(
+        m=len(w),
+        z=float(z),
+        kind=kind,
+        compensation_total=float(sum(r.compensations)),
+        bonus_total=float(sum(r.bonuses)),
+        makespan=r.makespan_reported,
+    )
+
+
+def overpayment_ratio(w_true, kind: NetworkKind, z: float) -> float:
+    """``sum(Q)/sum(C)`` for one truthful instance."""
+    return user_cost_breakdown(w_true, kind, z).overpayment_ratio
+
+
+def overpayment_sweep(
+    ms,
+    kind: NetworkKind = NetworkKind.CP,
+    *,
+    z: float = 0.2,
+    trials: int = 20,
+    seed: int = 0,
+) -> list[tuple[int, float, float]]:
+    """Mean and max overpayment ratio per system size.
+
+    Instances draw ``w ~ U[1, 10]``; ``z`` is held fixed so only the
+    marginal-contribution effect moves the ratio.
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    for m in ms:
+        ratios = [
+            overpayment_ratio(rng.uniform(1.0, 10.0, int(m)), kind, z)
+            for _ in range(trials)
+        ]
+        rows.append((int(m), float(np.mean(ratios)), float(np.max(ratios))))
+    return rows

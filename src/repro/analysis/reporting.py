@@ -1,0 +1,55 @@
+"""Fixed-width table rendering for experiment output.
+
+The paper reports its results as figures and theorem statements; our
+benchmark harness regenerates them as printed tables/series.  A single
+shared renderer keeps every experiment's output uniform and greppable
+in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value: Any, width: int) -> str:
+    if isinstance(value, float):
+        text = f"{value:.6g}"
+    else:
+        text = str(value)
+    return text.rjust(width) if isinstance(value, (int, float)) else text.ljust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned ASCII table."""
+    str_rows = [[f"{v:.6g}" if isinstance(v, float) else str(v) for v in row]
+                for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells for {len(headers)} headers")
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for raw, row in zip(rows, str_rows):
+        cells = []
+        for j, (orig, cell) in enumerate(zip(raw, row)):
+            cells.append(cell.rjust(widths[j]) if isinstance(orig, (int, float))
+                         else cell.ljust(widths[j]))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:
+    """Render an (x, y) series as two aligned columns."""
+    return format_table(("x", name), list(zip(xs, ys)))

@@ -1,0 +1,58 @@
+"""Welfare and cross-system comparisons.
+
+Supports two narratives from the paper:
+
+* **Voluntary participation** (Theorems 3.2 / 5.3): truthful agents
+  never end a run with negative utility — :func:`truthful_profile`
+  computes full truthful outcomes for batches of random instances.
+* **System-model comparison** (Figures 1-3): for the same processors
+  and bus, how do the three system models rank on makespan and user
+  cost, and how does the gap move with the communication rate ``z``?
+  Both NCP systems dominate CP (their originator computes instead of
+  idling), while NCP-FE versus NCP-NFE depends on which processor the
+  originator role lands on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dls_bl import DLSBL, MechanismResult
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.timing import makespan
+
+__all__ = ["truthful_profile", "kind_comparison", "KindComparison"]
+
+
+def truthful_profile(w_true, kind: NetworkKind, z: float) -> MechanismResult:
+    """Run DLS-BL with everyone truthful and flat out."""
+    return DLSBL(kind, z).truthful_run(np.asarray(w_true, dtype=float))
+
+
+@dataclass(frozen=True)
+class KindComparison:
+    """Optimal makespan and truthful user cost per system model."""
+
+    z: float
+    makespans: dict[NetworkKind, float]
+    user_costs: dict[NetworkKind, float]
+
+    @property
+    def ranking(self) -> list[NetworkKind]:
+        """Kinds ordered from fastest to slowest makespan."""
+        return sorted(self.makespans, key=self.makespans.__getitem__)
+
+
+def kind_comparison(w_true, z: float) -> KindComparison:
+    """Compare the three system models on identical processors and bus."""
+    w = np.asarray(w_true, dtype=float)
+    makespans = {}
+    user_costs = {}
+    for kind in NetworkKind:
+        net = BusNetwork(tuple(w), z, kind)
+        makespans[kind] = makespan(allocate(net), net)
+        user_costs[kind] = truthful_profile(w, kind, z).user_cost
+    return KindComparison(float(z), makespans, user_costs)

@@ -1,0 +1,319 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Thin argparse layer over the public API so the library is usable
+without writing Python:
+
+* ``allocate`` — optimal fractions + finishing times for a bus network;
+* ``schedule`` — the same, rendered as an ASCII Gantt (Figures 1-3);
+* ``mechanism`` — a DLS-BL round: payments, bonuses, utilities;
+* ``protocol`` — a full DLS-BL-NCP run, optionally with deviants;
+* ``survey``  — makespan comparison across the three system models.
+
+Examples::
+
+    python -m repro allocate --kind ncp-fe --z 0.5 2 3 5 4
+    python -m repro schedule --kind cp --z 0.6 2 3 5
+    python -m repro mechanism --kind cp --z 0.5 --bids 2 3 5 --exec 2 3 5
+    python -m repro protocol --kind ncp-fe --z 0.4 2 3 5 --deviant 1:multiple-bids
+    python -m repro survey --z 0.5 2 3 5 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.agents.behaviors import AgentBehavior, Deviation
+from repro.analysis.reporting import format_table
+from repro.analysis.welfare import kind_comparison
+from repro.core.dls_bl import DLSBL
+from repro.core.dls_bl_ncp import DLSBLNCP
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.schedule import build_schedule, render_gantt
+from repro.dlt.timing import finish_times
+
+__all__ = ["main", "build_parser"]
+
+_KINDS = {k.value: k for k in NetworkKind}
+
+
+def _kind(value: str) -> NetworkKind:
+    try:
+        return _KINDS[value]
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown kind {value!r}; choose from {sorted(_KINDS)}")
+
+
+def _deviation(value: str) -> tuple[int, Deviation]:
+    """Parse ``INDEX:deviation-name`` (e.g. ``1:multiple-bids``)."""
+    try:
+        idx_str, name = value.split(":", 1)
+        return int(idx_str), Deviation(name)
+    except (ValueError, KeyError) as exc:
+        valid = sorted(d.value for d in Deviation)
+        raise argparse.ArgumentTypeError(
+            f"expected INDEX:NAME with NAME in {valid}; got {value!r} ({exc})")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Strategyproof divisible-load scheduling on bus networks "
+                    "(Carroll & Grosu 2006 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, with_kind=True):
+        if with_kind:
+            p.add_argument("--kind", type=_kind, default=NetworkKind.NCP_FE,
+                           help=f"system model: {sorted(_KINDS)} "
+                                "(default ncp-fe)")
+        p.add_argument("--z", type=float, required=True,
+                       help="per-unit bus communication time")
+        p.add_argument("w", type=float, nargs="+",
+                       help="per-unit processing times w_1 .. w_m")
+
+    p = sub.add_parser("allocate", help="optimal load fractions")
+    add_common(p)
+
+    p = sub.add_parser("schedule", help="ASCII Gantt chart (Figures 1-3)")
+    add_common(p)
+    p.add_argument("--width", type=int, default=72)
+
+    p = sub.add_parser("mechanism", help="one DLS-BL payment round")
+    p.add_argument("--kind", type=_kind, default=NetworkKind.CP)
+    p.add_argument("--z", type=float, required=True)
+    p.add_argument("--bids", type=float, nargs="+", required=True)
+    p.add_argument("--exec", type=float, nargs="+", dest="exec_values",
+                   help="observed execution values (default: same as bids)")
+
+    p = sub.add_parser("protocol", help="full DLS-BL-NCP run")
+    add_common(p)
+    p.add_argument("--deviant", type=_deviation, action="append", default=[],
+                   metavar="INDEX:NAME",
+                   help="make processor INDEX attempt a deviation "
+                        "(repeatable), e.g. 1:multiple-bids")
+    p.add_argument("--fine-factor", type=float, default=2.0)
+    p.add_argument("--bidding-mode", choices=("atomic", "commit", "naive"),
+                   default="atomic",
+                   help="transport model for the Bidding phase "
+                        "(paper footnote 1); default atomic broadcast")
+    p.add_argument("--trace", action="store_true",
+                   help="print the wire-level transcript and traffic summary")
+    p.add_argument("--json", action="store_true",
+                   help="emit the outcome as JSON instead of tables")
+
+    p = sub.add_parser("survey", help="compare the three system models")
+    p.add_argument("--z", type=float, required=True)
+    p.add_argument("w", type=float, nargs="+")
+
+    p = sub.add_parser("star", help="DLS-ST mechanism round on a star network")
+    p.add_argument("--links", type=float, nargs="+", required=True,
+                   help="per-worker link times z_1 .. z_m (public)")
+    p.add_argument("--bids", type=float, nargs="+", required=True)
+    p.add_argument("--exec", type=float, nargs="+", dest="exec_values")
+
+    p = sub.add_parser("chain", help="DLS-LN mechanism round on a daisy chain")
+    p.add_argument("--hops", type=float, nargs="+", required=True,
+                   help="per-hop link times z_1 .. z_{m-1} (public)")
+    p.add_argument("--bids", type=float, nargs="+", required=True)
+    p.add_argument("--exec", type=float, nargs="+", dest="exec_values")
+
+    p = sub.add_parser("affine", help="optimal cohort under startup overheads")
+    p.add_argument("--z", type=float, required=True)
+    p.add_argument("--sc", type=float, default=0.0, help="comm startup")
+    p.add_argument("--sp", type=float, default=0.0, help="compute startup")
+    p.add_argument("--load", type=float, default=1.0)
+    p.add_argument("--kind", type=_kind, default=NetworkKind.CP)
+    p.add_argument("w", type=float, nargs="+")
+
+    p = sub.add_parser("regime", help="diagnose the DLT regime for an instance")
+    add_common(p)
+
+    return parser
+
+
+def cmd_allocate(args) -> int:
+    net = BusNetwork(tuple(args.w), args.z, args.kind)
+    alpha = allocate(net)
+    T = finish_times(alpha, net)
+    print(format_table(
+        ("processor", "w_i", "alpha_i", "finish time"),
+        [(net.names[i], net.w[i], float(alpha[i]), float(T[i]))
+         for i in range(net.m)],
+        title=f"{args.kind.value}: optimal allocation (z={args.z})"))
+    return 0
+
+
+def cmd_schedule(args) -> int:
+    net = BusNetwork(tuple(args.w), args.z, args.kind)
+    sched = build_schedule(allocate(net), net)
+    print(render_gantt(sched, width=args.width))
+    return 0
+
+
+def cmd_mechanism(args) -> int:
+    exec_values = args.exec_values or args.bids
+    if len(exec_values) != len(args.bids):
+        print("error: --exec must match --bids in length", file=sys.stderr)
+        return 2
+    result = DLSBL(args.kind, args.z).run(args.bids, exec_values)
+    print(format_table(
+        ("processor", "alpha_i", "C_i", "B_i", "Q_i", "U_i"),
+        [(f"P{i+1}", result.alpha[i], result.compensations[i],
+          result.bonuses[i], result.payments[i], result.utilities[i])
+         for i in range(result.m)],
+        title=f"DLS-BL on {args.kind.value} (z={args.z}); "
+              f"user cost = {result.user_cost:.6g}"))
+    return 0
+
+
+def cmd_protocol(args) -> int:
+    if args.kind is NetworkKind.CP:
+        print("error: DLS-BL-NCP runs on ncp-fe / ncp-nfe (use `mechanism` "
+              "for the CP system)", file=sys.stderr)
+        return 2
+    behaviors = {}
+    for idx, dev in args.deviant:
+        if not 0 <= idx < len(args.w):
+            print(f"error: deviant index {idx} out of range", file=sys.stderr)
+            return 2
+        existing = behaviors.get(idx)
+        devs = (existing.deviations if existing else frozenset()) | {dev}
+        behaviors[idx] = AgentBehavior(deviations=devs)
+    from repro.core.fines import FinePolicy
+
+    mech = DLSBLNCP(list(args.w), args.kind, args.z, behaviors=behaviors,
+                    policy=FinePolicy(args.fine_factor),
+                    bidding_mode=args.bidding_mode)
+    outcome = mech.run()
+    if args.json:
+        from repro.io import dumps_result
+
+        print(dumps_result(outcome, indent=2))
+        return 0 if outcome.completed else 1
+    print(format_table(
+        ("processor", "bid", "alpha_i", "payment", "balance", "utility"),
+        [(n, outcome.bids.get(n, float("nan")), outcome.alpha[n],
+          outcome.payments[n], outcome.balances[n], outcome.utilities[n])
+         for n in outcome.order],
+        title=f"DLS-BL-NCP on {args.kind.value} (z={args.z})"))
+    status = "COMPLETED" if outcome.completed else "TERMINATED"
+    print(f"\n{status} in phase {outcome.terminal_phase.name}; "
+          f"fine F = {outcome.fine_amount:.6g}")
+    if outcome.fined:
+        for name, amount in outcome.fined.items():
+            print(f"  {name} fined {amount:.6g}")
+    else:
+        print("  no fines")
+    if args.trace:
+        from repro.protocol.trace import render_transcript, traffic_summary
+
+        print()
+        print(render_transcript(mech.engine.bus))
+        print()
+        print(traffic_summary(mech.engine.bus))
+    return 0 if outcome.completed else 1
+
+
+def cmd_survey(args) -> int:
+    kc = kind_comparison(args.w, args.z)
+    print(format_table(
+        ("kind", "optimal makespan", "truthful user cost"),
+        [(k.value, kc.makespans[k], kc.user_costs[k]) for k in kc.ranking],
+        title=f"System-model survey (w={args.w}, z={args.z}), fastest first"))
+    return 0
+
+
+def _print_mechanism_result(result, title: str) -> None:
+    print(format_table(
+        ("processor", "alpha_i", "C_i", "B_i", "Q_i", "U_i"),
+        [(f"P{i+1}", result.alpha[i], result.compensations[i],
+          result.bonuses[i], result.payments[i], result.utilities[i])
+         for i in range(result.m)],
+        title=f"{title}; user cost = {result.user_cost:.6g}"))
+
+
+def cmd_star(args) -> int:
+    from repro.core.dls_star import DLSStar
+
+    exec_values = args.exec_values or args.bids
+    if len(exec_values) != len(args.bids) or len(args.bids) != len(args.links):
+        print("error: --links, --bids and --exec must share one length",
+              file=sys.stderr)
+        return 2
+    result = DLSStar(args.links).run(args.bids, exec_values)
+    _print_mechanism_result(result, f"DLS-ST (links={list(args.links)})")
+    return 0
+
+
+def cmd_chain(args) -> int:
+    from repro.core.dls_chain import DLSChain
+
+    exec_values = args.exec_values or args.bids
+    if (len(exec_values) != len(args.bids)
+            or len(args.bids) != len(args.hops) + 1):
+        print("error: need m bids (and exec values) for m-1 hops",
+              file=sys.stderr)
+        return 2
+    result = DLSChain(args.hops).run(args.bids, exec_values)
+    _print_mechanism_result(result, f"DLS-LN (hops={list(args.hops)})")
+    return 0
+
+
+def cmd_affine(args) -> int:
+    from repro.dlt.affine import AffineBus, optimal_cohort
+
+    bus = AffineBus(tuple(args.w), args.z, s_c=args.sc, s_p=args.sp,
+                    kind=args.kind, load=args.load)
+    size, alpha, t = optimal_cohort(bus)
+    print(format_table(
+        ("processor", "w_i", "load share"),
+        [(f"P{i+1}", args.w[i], float(alpha[i])) for i in range(len(args.w))],
+        title=f"Affine model (s_c={args.sc}, s_p={args.sp}, L={args.load}): "
+              f"optimal cohort {size}/{len(args.w)}, makespan {t:.6g}"))
+    return 0
+
+
+def cmd_regime(args) -> int:
+    from repro.dlt.regime import diagnose
+
+    net = BusNetwork(tuple(args.w), args.z, args.kind)
+    rep = diagnose(net)
+    rows = [
+        ("kind", rep.kind.value),
+        ("in analytic regime", rep.in_regime),
+        ("regime margin", rep.margin),
+        ("closed form optimal (LP check)", rep.closed_form_optimal),
+        ("closed-form makespan", rep.closed_form_makespan),
+        ("LP-optimal makespan", rep.lp_makespan),
+        ("mechanism guarantees hold", rep.mechanism_guarantees_hold),
+    ]
+    print(format_table(("property", "value"), rows,
+                       title=f"Regime diagnostic (w={args.w}, z={args.z})"))
+    return 0 if rep.mechanism_guarantees_hold else 1
+
+
+_COMMANDS = {
+    "allocate": cmd_allocate,
+    "schedule": cmd_schedule,
+    "mechanism": cmd_mechanism,
+    "protocol": cmd_protocol,
+    "survey": cmd_survey,
+    "star": cmd_star,
+    "chain": cmd_chain,
+    "affine": cmd_affine,
+    "regime": cmd_regime,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

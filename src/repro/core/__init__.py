@@ -1,0 +1,60 @@
+"""The paper's primary contribution: strategyproof DLT mechanisms.
+
+* :mod:`repro.core.payments` — the compensation-and-bonus payment
+  structure (Section 3, Eqs. 10-12) shared by DLS-BL and DLS-BL-NCP.
+* :mod:`repro.core.dls_bl` — the centralized DLS-BL mechanism (trusted
+  control processor; the paper's prior work it builds on).
+* :mod:`repro.core.referee` — the minimally-trusted referee of
+  DLS-BL-NCP: evidence verification, fines, reward distribution.
+* :mod:`repro.core.fines` — fine-magnitude policy (``F >= sum of
+  compensations``) and redistribution arithmetic.
+* :mod:`repro.core.dls_bl_ncp` — the distributed DLS-BL-NCP mechanism,
+  a convenience facade over :mod:`repro.protocol`.
+* :mod:`repro.core.dls_star` / :mod:`repro.core.dls_chain` /
+  :mod:`repro.core.dls_tree` — the paper's announced architecture
+  extensions: the same compensation-and-bonus structure on star,
+  linear daisy-chain and tree networks, each with physically grounded
+  exclusion semantics and canonical (ungameable) service orders.
+"""
+
+from repro.core.payments import (
+    bonus,
+    bonus_vector,
+    compensation,
+    excluded_optimal_makespan,
+    payments,
+    utilities,
+)
+from repro.core.dls_bl import DLSBL, MechanismResult
+from repro.core.dls_star import DLSStar, star_payments, star_utilities
+from repro.core.dls_chain import DLSChain, chain_payments, chain_utilities
+from repro.core.dls_tree import DLSTree, tree_bonus, tree_excluded_makespan
+from repro.core.fines import FinePolicy
+from repro.core.referee import Referee, RefereeVerdict, Fine
+from repro.core.dls_bl_ncp import DLSBLNCP, NCPOutcome
+
+__all__ = [
+    "bonus",
+    "bonus_vector",
+    "compensation",
+    "excluded_optimal_makespan",
+    "payments",
+    "utilities",
+    "DLSBL",
+    "DLSStar",
+    "star_payments",
+    "star_utilities",
+    "DLSChain",
+    "chain_payments",
+    "chain_utilities",
+    "DLSTree",
+    "tree_bonus",
+    "tree_excluded_makespan",
+    "MechanismResult",
+    "FinePolicy",
+    "Referee",
+    "RefereeVerdict",
+    "Fine",
+    "DLSBLNCP",
+    "NCPOutcome",
+]

@@ -1,0 +1,124 @@
+"""DLS-BL: the centralized strategyproof mechanism (trusted control node).
+
+This is the mechanism of the authors' prior work that DLS-BL-NCP
+re-implements in a distributed fashion; the paper restates it in
+Section 3 and reuses its allocation and payment functions verbatim
+(Theorems 5.2 and 5.3 reduce to Theorems 3.1 and 3.2 through it), so a
+faithful reproduction needs the centralized mechanism as a first-class
+object — it is also the oracle the NCP protocol's redundant computations
+are checked against.
+
+Flow: workers report bids ``b`` → the (trusted) center runs the
+BUS-LINEAR closed form on ``b`` → workers execute, the center observes
+``phi_i`` → execution values ``w~_i = phi_i / alpha_i`` → payments
+``Q = C + B`` are handed out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.payments import bonus_vector, compensation, payments
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.timing import makespan
+
+__all__ = ["MechanismResult", "DLSBL"]
+
+
+@dataclass(frozen=True)
+class MechanismResult:
+    """Everything the mechanism computed for one run.
+
+    ``makespan_reported`` is ``T(alpha(b), b)`` (what the schedule
+    promised); ``makespan_realized`` is ``T(alpha(b), w~)`` (what the
+    meters observed).  ``utilities`` are the agents' quasi-linear
+    utilities ``Q_i - alpha_i w~_i``; ``user_cost`` is the total bill
+    ``sum Q_i`` forwarded to the payment infrastructure.
+    """
+
+    alpha: tuple[float, ...]
+    w_exec: tuple[float, ...]
+    compensations: tuple[float, ...]
+    bonuses: tuple[float, ...]
+    payments: tuple[float, ...]
+    utilities: tuple[float, ...]
+    makespan_reported: float
+    makespan_realized: float
+
+    @property
+    def user_cost(self) -> float:
+        return float(sum(self.payments))
+
+    @property
+    def m(self) -> int:
+        return len(self.alpha)
+
+
+class DLSBL:
+    """The DLS-BL mechanism bound to one network kind and bus rate.
+
+    Parameters
+    ----------
+    kind:
+        System model.  The paper's DLS-BL is stated for ``CP``; the NCP
+        variants reuse the same payment structure on their own timing
+        equations, so all three kinds are accepted.
+    z:
+        Per-unit bus communication time (public knowledge).
+    """
+
+    def __init__(self, kind: NetworkKind, z: float) -> None:
+        if z <= 0:
+            raise ValueError(f"z must be positive, got {z}")
+        self.kind = kind
+        self.z = float(z)
+
+    def network_for(self, bids) -> BusNetwork:
+        """The scheduling instance induced by *bids*."""
+        bids = np.asarray(bids, dtype=float)
+        if bids.ndim != 1 or len(bids) < 2:
+            raise ValueError("DLS-BL requires a 1-D vector of >= 2 bids")
+        return BusNetwork(tuple(bids), self.z, self.kind)
+
+    def allocate(self, bids) -> np.ndarray:
+        """Output function ``alpha(b)`` (Definition 3.1(i))."""
+        return allocate(self.network_for(bids))
+
+    def run(self, bids, w_exec) -> MechanismResult:
+        """Execute one full mechanism round.
+
+        Parameters
+        ----------
+        bids:
+            Reported per-unit processing times ``b_i``.
+        w_exec:
+            Observed execution values ``w~_i`` (from the tamper-proof
+            meters; physically ``w~_i >= w_i`` but the mechanism does
+            not — cannot — check that against the private truth).
+        """
+        net = self.network_for(bids)
+        w_exec = np.asarray(w_exec, dtype=float)
+        if w_exec.shape != (net.m,):
+            raise ValueError(f"w_exec must have shape ({net.m},), got {w_exec.shape}")
+        alpha = allocate(net)
+        comp = compensation(alpha, w_exec)
+        bon = bonus_vector(net, w_exec)
+        pay = payments(net, w_exec)
+        util = pay - comp  # Q_i + V_i with V_i = -C_i
+        return MechanismResult(
+            alpha=tuple(map(float, alpha)),
+            w_exec=tuple(map(float, w_exec)),
+            compensations=tuple(map(float, comp)),
+            bonuses=tuple(map(float, bon)),
+            payments=tuple(map(float, pay)),
+            utilities=tuple(map(float, util)),
+            makespan_reported=makespan(alpha, net),
+            makespan_realized=makespan(alpha, net, w_exec=w_exec),
+        )
+
+    def truthful_run(self, w_true) -> MechanismResult:
+        """Convenience: everyone bids truthfully and executes flat out."""
+        return self.run(w_true, w_true)

@@ -1,0 +1,100 @@
+"""DLS-BL-NCP: the paper's contribution, as a one-call facade.
+
+:class:`DLSBLNCP` assembles the full apparatus — PKI, user, referee,
+payment infrastructure, bus, strategic agents — from a declarative
+description (true values + behaviours), runs the protocol, and returns
+the :class:`NCPOutcome`.  Experiments that sweep strategies construct a
+fresh instance per run (the protocol is single-shot: fines terminate
+it, and keys/ledgers are per-engagement).
+"""
+
+from __future__ import annotations
+
+from repro.agents.behaviors import AgentBehavior, truthful
+from repro.agents.processor import ProcessorAgent
+from repro.core.fines import FinePolicy
+from repro.crypto.pki import PKI
+from repro.dlt.platform import NetworkKind
+from repro.protocol.engine import ProtocolEngine, ProtocolResult
+
+__all__ = ["NCPOutcome", "DLSBLNCP"]
+
+NCPOutcome = ProtocolResult
+"""Outcome of a DLS-BL-NCP run (alias of the engine's result record)."""
+
+
+class DLSBLNCP:
+    """Configure and run the distributed mechanism.
+
+    Parameters
+    ----------
+    w_true:
+        True per-unit processing times, in allocation order.
+    kind:
+        ``NCP_FE`` or ``NCP_NFE``.
+    z:
+        Per-unit bus communication time.
+    behaviors:
+        Strategy per processor; defaults to everyone honest.
+    policy:
+        Fine policy (``F = safety_factor * sum alpha_j b_j``).
+    num_blocks:
+        Load-division granularity.
+
+    Example
+    -------
+    >>> from repro.agents import misreport
+    >>> mech = DLSBLNCP([2.0, 3.0, 5.0], NetworkKind.NCP_FE, z=0.4,
+    ...                 behaviors={1: misreport(1.5)})
+    >>> outcome = mech.run()
+    >>> outcome.completed
+    True
+    """
+
+    def __init__(
+        self,
+        w_true,
+        kind: NetworkKind,
+        z: float,
+        *,
+        behaviors: dict[int, AgentBehavior] | list[AgentBehavior] | None = None,
+        policy: FinePolicy | None = None,
+        num_blocks: int = 120,
+        names: list[str] | None = None,
+        bidding_mode: str = "atomic",
+    ) -> None:
+        w_true = [float(w) for w in w_true]
+        m = len(w_true)
+        if m < 2:
+            raise ValueError("DLS-BL-NCP requires at least 2 processors")
+        names = names or [f"P{i + 1}" for i in range(m)]
+        if isinstance(behaviors, dict):
+            table = [behaviors.get(i, truthful()) for i in range(m)]
+        elif behaviors is None:
+            table = [truthful() for _ in range(m)]
+        else:
+            if len(behaviors) != m:
+                raise ValueError(f"need {m} behaviors, got {len(behaviors)}")
+            table = list(behaviors)
+
+        self.pki = PKI()
+        self.user_key = self.pki.register("user")
+        agents = []
+        for name, w, behavior in zip(names, w_true, table):
+            key = self.pki.register(name)
+            agents.append(ProcessorAgent(name, w, behavior, key=key,
+                                         pki=self.pki, kind=kind, z=z))
+        self.engine = ProtocolEngine(
+            agents, kind, z,
+            pki=self.pki, user_key=self.user_key,
+            policy=policy, num_blocks=num_blocks,
+            bidding_mode=bidding_mode,
+        )
+
+    @property
+    def agents(self) -> list[ProcessorAgent]:
+        return self.engine.agents
+
+    def run(self) -> NCPOutcome:
+        """Execute the protocol once."""
+        return self.engine.run()

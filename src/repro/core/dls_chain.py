@@ -1,0 +1,166 @@
+"""DLS-LN: the compensation-and-bonus mechanism on linear daisy chains.
+
+Second of the paper's announced architecture extensions.  Processors
+``P_1 .. P_m`` sit on a line; ``P_1`` originates and every node
+forwards the remainder downstream while computing its own share
+(front-end, store-and-forward).
+
+The one design decision — what "``P_i`` does not participate" means —
+follows the physics, as with the bus originator (DESIGN.md §3.5):
+an interior node sits on the data path, so a non-participant stops
+*computing* but keeps *relaying*.  Its two incident hops merge into a
+single hop whose per-unit time is their sum (the data still traverses
+both links), which is exactly what the per-hop generalization of
+:func:`repro.dlt.architectures.allocate_linear` expresses.
+
+Unlike NCP-NFE, the chain is **regime-free** under linear costs: the
+front-ended head computes from t = 0, so the equal-finish interior
+always beats every boundary (downstream shares decay geometrically
+with expensive links but never hit zero), and both strategyproofness
+and voluntary participation hold for arbitrary positive hop times —
+verified by the property tests across links up to 20x the compute
+rates.  :meth:`DLSChain.in_regime` is kept as a guard for future
+affine-cost variants, where participation *does* break.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dls_bl import MechanismResult
+from repro.dlt.architectures import allocate_linear, linear_finish_times
+
+__all__ = [
+    "chain_excluded_makespan",
+    "chain_bonus_vector",
+    "chain_payments",
+    "chain_utilities",
+    "DLSChain",
+]
+
+
+def _chain_makespan(w, hops, w_exec=None) -> float:
+    alpha = allocate_linear(w, hops if len(w) > 1 else 1.0)
+    eval_w = w if w_exec is None else w_exec
+    return float(np.max(linear_finish_times(alpha, eval_w,
+                                            hops if len(w) > 1 else 1.0)))
+
+
+def _exclude(w, hops, i: int):
+    """Remove node *i*'s compute; it keeps relaying.
+
+    Interior node: its two incident hops merge (the suffix load crosses
+    both, and with ``alpha_i = 0`` the traversed volume is identical),
+    so ``hops[i-1] + hops[i]`` replaces them.  Tail node: its hop
+    disappears (nothing ships past it).  Head node: handled by the
+    caller — the data still originates there, so the *entire* load is
+    relayed over hop 0 before the reduced chain starts, a constant
+    entry delay rather than a merged hop.
+    Returns ``(w', hops', entry_delay_per_unit)``.
+    """
+    w = list(w)
+    hops = list(hops)
+    m = len(w)
+    entry = 0.0
+    del w[i]
+    if m >= 2:
+        if i == 0:
+            entry = hops[0]  # full load crosses hop 0 first
+            del hops[0]
+        elif i == m - 1:
+            del hops[-1]
+        else:
+            hops[i - 1] += hops[i]
+            del hops[i]
+    return w, hops, entry
+
+
+def chain_excluded_makespan(w_bids, hops, i: int) -> float:
+    """Optimal makespan with node *i* as a pure relay."""
+    if len(w_bids) < 2:
+        raise ValueError("the mechanism requires m >= 2 nodes")
+    w_r, hops_r, entry = _exclude(list(w_bids), list(hops), i)
+    return entry * 1.0 + _chain_makespan(np.asarray(w_r), np.asarray(hops_r))
+
+
+def _validated(w_bids, hops, w_exec=None):
+    w = np.asarray(w_bids, dtype=float)
+    hops = np.asarray(hops, dtype=float)
+    if len(hops) != len(w) - 1:
+        raise ValueError(f"need {len(w) - 1} hop times, got {len(hops)}")
+    if w_exec is not None:
+        w_exec = np.asarray(w_exec, dtype=float)
+        if w_exec.shape != w.shape:
+            raise ValueError("w_exec must match the bid vector's shape")
+        if np.any(w_exec <= 0) or not np.all(np.isfinite(w_exec)):
+            raise ValueError(f"w_exec must be positive and finite, got {w_exec}")
+    return w, hops, w_exec
+
+
+def chain_bonus_vector(w_bids, hops, w_exec) -> np.ndarray:
+    """``B_i`` for every node on the chain."""
+    w, hops, w_exec = _validated(w_bids, hops, w_exec)
+    out = np.empty(len(w))
+    for i in range(len(w)):
+        mixed = w.copy()
+        mixed[i] = w_exec[i]
+        realized = _chain_makespan(w, hops, w_exec=mixed)
+        out[i] = chain_excluded_makespan(w, hops, i) - realized
+    return out
+
+
+def chain_payments(w_bids, hops, w_exec) -> np.ndarray:
+    """``Q_i = C_i + B_i`` on the chain."""
+    w, hops, w_exec = _validated(w_bids, hops, w_exec)
+    alpha = allocate_linear(w, hops if len(w) > 1 else 1.0)
+    return alpha * w_exec + chain_bonus_vector(w, hops, w_exec)
+
+
+def chain_utilities(w_bids, hops, w_exec) -> np.ndarray:
+    """``U_i = B_i``."""
+    w, hops, w_exec = _validated(w_bids, hops, w_exec)
+    alpha = allocate_linear(w, hops if len(w) > 1 else 1.0)
+    return chain_payments(w, hops, w_exec) - alpha * w_exec
+
+
+class DLSChain:
+    """The chain mechanism bound to public per-hop link times."""
+
+    def __init__(self, hops) -> None:
+        self.hops = tuple(float(x) for x in hops)
+        if any(x <= 0 for x in self.hops):
+            raise ValueError(f"hop times must be positive, got {self.hops}")
+
+    @property
+    def m(self) -> int:
+        return len(self.hops) + 1
+
+    def in_regime(self, bids) -> bool:
+        """Whether the reported profile admits a full-participation
+        optimum (the allocator yields all-positive shares)."""
+        try:
+            allocate_linear(np.asarray(bids, dtype=float), np.asarray(self.hops))
+            return True
+        except ArithmeticError:
+            return False
+
+    def run(self, bids, w_exec) -> MechanismResult:
+        w, hops, w_exec = _validated(bids, self.hops, w_exec)
+        alpha = allocate_linear(w, hops)
+        comp = alpha * w_exec
+        bon = chain_bonus_vector(w, hops, w_exec)
+        reported = float(np.max(linear_finish_times(alpha, w, hops)))
+        realized = float(np.max(linear_finish_times(alpha, w_exec, hops)))
+        return MechanismResult(
+            alpha=tuple(map(float, alpha)),
+            w_exec=tuple(map(float, w_exec)),
+            compensations=tuple(map(float, comp)),
+            bonuses=tuple(map(float, bon)),
+            payments=tuple(map(float, comp + bon)),
+            utilities=tuple(map(float, bon)),
+            makespan_reported=reported,
+            makespan_realized=realized,
+        )
+
+    def truthful_run(self, w_true) -> MechanismResult:
+        return self.run(w_true, w_true)

@@ -1,0 +1,182 @@
+"""DLS-ST: the compensation-and-bonus mechanism on star networks.
+
+The paper's conclusion announces extending the mechanism to other
+architectures; the single-level star (heterogeneous links, one-port
+hub) is the canonical next step — it strictly generalizes the
+BUS-LINEAR-CP system (``z_i == z`` recovers it exactly), and the hub
+plays the control-processor role, so the DLS-BL payment structure
+carries over with no originator-role subtleties:
+
+* **allocation**: the optimal star fractions for the *reported* profile
+  (:func:`repro.dlt.architectures.allocate_star`), served in
+  **nondecreasing link-time order**.  On stars the service order
+  matters, and full participation is optimal only under that order
+  (Beaumont, Casanova, Legrand, Robert & Yang 2005 — the paper's
+  ref [2]; our own LP check: ``w = (1, 0.5)``, ``z = (2, 1)`` served
+  slow-link-first makes participation *harmful*).  Link times are
+  public physical parameters, so the canonical order is exogenous and
+  cannot be gamed through bids.
+* **compensation**: ``C_i = alpha_i * w~_i``;
+* **bonus**: ``B_i = T(alpha(b_{-i}), b_{-i}) - T(alpha(b), (b_{-i}, w~_i))``
+  where exclusion removes worker *i* together with its private link
+  (the hub keeps distributing to everyone else).
+
+With the canonical order the star behaves like CP — regime-free — and
+the strategyproofness/voluntary-participation arguments apply without
+the NCP-NFE caveats (DESIGN.md §3.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dls_bl import MechanismResult
+from repro.dlt.architectures import StarNetwork, allocate_star, star_finish_times
+
+__all__ = [
+    "canonical_star_order",
+    "star_optimal_allocation",
+    "star_optimal_makespan",
+    "star_excluded_makespan",
+    "star_bonus_vector",
+    "star_payments",
+    "star_utilities",
+    "DLSStar",
+]
+
+
+def canonical_star_order(z) -> list[int]:
+    """Service order: nondecreasing link time, ties by index (stable)."""
+    z = np.asarray(z, dtype=float)
+    return [int(i) for i in np.argsort(z, kind="stable")]
+
+
+def _sorted_star(star: StarNetwork) -> tuple[StarNetwork, list[int]]:
+    order = canonical_star_order(star.z)
+    return star.permuted(order), order
+
+
+def star_optimal_allocation(star: StarNetwork) -> np.ndarray:
+    """Optimal fractions under the canonical service order, returned in
+    the star's original worker indexing."""
+    sorted_star, order = _sorted_star(star)
+    alpha_sorted = allocate_star(sorted_star)
+    alpha = np.empty(star.m)
+    for pos, idx in enumerate(order):
+        alpha[idx] = alpha_sorted[pos]
+    return alpha
+
+
+def star_optimal_makespan(star: StarNetwork, w_override=None) -> float:
+    """Makespan of the canonical-order optimal allocation.
+
+    ``w_override`` evaluates the same allocation at different execution
+    values (the mechanism-with-verification mixed term).
+    """
+    sorted_star, order = _sorted_star(star)
+    alpha_sorted = allocate_star(sorted_star)
+    if w_override is not None:
+        w = np.asarray(w_override, dtype=float)
+        sorted_star = StarNetwork(tuple(w[i] for i in order), sorted_star.z)
+    return float(np.max(star_finish_times(alpha_sorted, sorted_star)))
+
+
+def star_excluded_makespan(star_bids: StarNetwork, i: int) -> float:
+    """Optimal makespan with worker *i* (and its link) removed."""
+    if star_bids.m < 2:
+        raise ValueError("the mechanism requires m >= 2 workers")
+    keep = [j for j in range(star_bids.m) if j != i]
+    reduced = StarNetwork(tuple(star_bids.w[j] for j in keep),
+                          tuple(star_bids.z[j] for j in keep))
+    return star_optimal_makespan(reduced)
+
+
+def _validated_exec(star: StarNetwork, w_exec) -> np.ndarray:
+    w_exec = np.asarray(w_exec, dtype=float)
+    if w_exec.shape != (star.m,):
+        raise ValueError(f"w_exec must have shape ({star.m},), got {w_exec.shape}")
+    if np.any(w_exec <= 0) or not np.all(np.isfinite(w_exec)):
+        raise ValueError(f"w_exec must be positive and finite, got {w_exec}")
+    return w_exec
+
+
+def star_bonus_vector(star_bids: StarNetwork, w_exec) -> np.ndarray:
+    """All bonuses ``B_1..B_m`` on the star (original indexing)."""
+    w_exec = _validated_exec(star_bids, w_exec)
+    out = np.empty(star_bids.m)
+    bids = np.asarray(star_bids.w, dtype=float)
+    for i in range(star_bids.m):
+        mixed = bids.copy()
+        mixed[i] = w_exec[i]
+        realized = star_optimal_makespan(star_bids, w_override=mixed)
+        out[i] = star_excluded_makespan(star_bids, i) - realized
+    return out
+
+
+def star_payments(star_bids: StarNetwork, w_exec) -> np.ndarray:
+    """``Q_i = C_i + B_i`` on the star."""
+    w_exec = _validated_exec(star_bids, w_exec)
+    alpha = star_optimal_allocation(star_bids)
+    return alpha * w_exec + star_bonus_vector(star_bids, w_exec)
+
+
+def star_utilities(star_bids: StarNetwork, w_exec) -> np.ndarray:
+    """``U_i = Q_i - alpha_i w~_i = B_i``."""
+    w_exec = _validated_exec(star_bids, w_exec)
+    alpha = star_optimal_allocation(star_bids)
+    return star_payments(star_bids, w_exec) - alpha * w_exec
+
+
+class DLSStar:
+    """The star-network mechanism bound to public link times ``z``.
+
+    Parameters
+    ----------
+    z:
+        Per-unit link communication times, one per worker.  Public
+        physical parameters (agents bid only their processing times);
+        the mechanism serves links in nondecreasing ``z`` regardless of
+        the indexing you use.
+    """
+
+    def __init__(self, z) -> None:
+        self.z = tuple(float(x) for x in z)
+        if not self.z or any(x <= 0 for x in self.z):
+            raise ValueError(f"link times must be positive, got {self.z}")
+
+    @property
+    def m(self) -> int:
+        return len(self.z)
+
+    def network_for(self, bids) -> StarNetwork:
+        bids = np.asarray(bids, dtype=float)
+        if bids.shape != (self.m,):
+            raise ValueError(f"need {self.m} bids, got shape {bids.shape}")
+        return StarNetwork(tuple(bids), self.z)
+
+    def allocate(self, bids) -> np.ndarray:
+        return star_optimal_allocation(self.network_for(bids))
+
+    def run(self, bids, w_exec) -> MechanismResult:
+        """One full mechanism round (same record type as DLS-BL)."""
+        star = self.network_for(bids)
+        w_exec = _validated_exec(star, w_exec)
+        alpha = star_optimal_allocation(star)
+        comp = alpha * w_exec
+        bon = star_bonus_vector(star, w_exec)
+        pay = comp + bon
+        reported = star_optimal_makespan(star)
+        realized = star_optimal_makespan(star, w_override=w_exec)
+        return MechanismResult(
+            alpha=tuple(map(float, alpha)),
+            w_exec=tuple(map(float, w_exec)),
+            compensations=tuple(map(float, comp)),
+            bonuses=tuple(map(float, bon)),
+            payments=tuple(map(float, pay)),
+            utilities=tuple(map(float, bon)),
+            makespan_reported=reported,
+            makespan_realized=realized,
+        )
+
+    def truthful_run(self, w_true) -> MechanismResult:
+        return self.run(w_true, w_true)

@@ -1,0 +1,111 @@
+"""All exclusion makespans in O(m): the payments hot path, vectorized.
+
+``payments`` needs ``T(alpha(b_{-i}), b_{-i})`` for *every* worker —
+naively m closed-form solves of size m-1, i.e. O(m²).  The chain
+structure collapses this to O(m) with prefix sums:
+
+The optimal fractions are proportional to chain weights
+``u_1 = 1, u_{i+1} = k_i u_i`` with ``k_i = w_i / (z + w_{i+1})``, and
+the optimal makespan is ``c_1 / S`` where ``S = Σ u_i`` and ``c_1`` is
+the first worker's per-unit completion coefficient (``z + w_1`` when it
+receives over the bus, ``w_1`` for a front-ended originator).
+
+Removing worker ``j`` splices the chain: weights before ``j`` are
+unchanged, weights after are rescaled by
+``r_j = k'_{j-1} / (k_{j-1} k_j)`` with ``k'_{j-1} = w_{j-1}/(z + w_{j+1})``
+— a pure ratio of ``k``'s, so no underflow risk — giving
+
+    S'_j = P_{j-1} + r_j (S - P_j)
+
+from one prefix-sum pass.  Head/tail removals and the NCP originator
+role (whose exclusion is the CP-distributor system, DESIGN.md §3.5)
+are the only special cases.
+
+The result is bit-for-bit interchangeable with the naive loop (property
+tested) and turns the full payment vector from O(m²)·O(m) into O(m²)
+(the per-``i`` realized-makespan terms remain), making thousand-worker
+markets interactive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dlt.platform import BusNetwork, NetworkKind
+
+__all__ = ["all_excluded_optimal_makespans"]
+
+
+def _chain_weights(w: np.ndarray, z: float) -> np.ndarray:
+    """Weights ``u`` with ``u_1 = 1``, ``u_{i+1} = k_i u_i``."""
+    if len(w) == 1:
+        return np.ones(1)
+    k = w[:-1] / (z + w[1:])
+    return np.concatenate(([1.0], np.cumprod(k)))
+
+
+def all_excluded_optimal_makespans(network_bids: BusNetwork) -> np.ndarray:
+    """``T(alpha(b_{-i}), b_{-i})`` for every ``i``, in O(m).
+
+    Semantics identical to calling
+    :func:`repro.core.payments.excluded_optimal_makespan` per index.
+    Requires ``m >= 2``.
+    """
+    m = network_bids.m
+    if m < 2:
+        raise ValueError("the mechanism requires m >= 2 workers")
+    w = network_bids.w_array
+    z = network_bids.z
+    kind = network_bids.kind
+
+    # Weight chain for the *receiving* part of the system.  For NCP-NFE
+    # the last weight uses the z-free coupling (Eq. 9).
+    u = _chain_weights(w, z)
+    if kind is NetworkKind.NCP_NFE and m >= 2:
+        u = u.copy()
+        u[m - 1] = u[m - 2] * w[m - 2] / w[m - 1]
+    P = np.cumsum(u)
+    S = float(P[-1])
+
+    # First-worker completion coefficient of the full system.
+    def head_coeff(first_w: float, originator_is_first: bool) -> float:
+        if kind is NetworkKind.NCP_FE and originator_is_first:
+            return first_w        # front end: no reception delay
+        return z + first_w        # receives over the bus
+
+    out = np.empty(m)
+    for j in range(m):
+        if j == network_bids.originator_index:
+            # Originator keeps distributing, stops computing: the
+            # residual is the CP system over the remaining workers.
+            keep = np.delete(w, j)
+            u_cp = _chain_weights(keep, z)
+            out[j] = (z + keep[0]) / float(np.sum(u_cp))
+            continue
+        if j == 0:
+            # Head removal: remaining chain rescales by 1/u_2; its head
+            # is the old second worker, which now receives first —
+            # except an NFE originator left alone, which holds its own
+            # data and simply computes it (no bus at all).
+            if kind is NetworkKind.NCP_NFE and m == 2:
+                out[j] = float(w[1])
+                continue
+            S_p = (S - u[0]) / u[1]
+            out[j] = head_coeff(w[1], originator_is_first=False) / S_p
+        elif j == m - 1:
+            S_p = float(P[m - 2])
+            out[j] = head_coeff(w[0], originator_is_first=True) / S_p
+        elif kind is NetworkKind.NCP_NFE and j == m - 2:
+            # Splice directly onto the originator's z-free coupling.
+            if m == 2:  # pragma: no cover - j==m-2==0 handled above
+                raise AssertionError
+            S_p = float(P[m - 3]) + u[m - 3] * w[m - 3] / w[m - 1]
+            out[j] = head_coeff(w[0], originator_is_first=True) / S_p
+        else:
+            k_jm1 = w[j - 1] / (z + w[j])
+            k_j = w[j] / (z + w[j + 1])
+            k_splice = w[j - 1] / (z + w[j + 1])
+            r = k_splice / (k_jm1 * k_j)
+            S_p = float(P[j - 1]) + r * (S - float(P[j]))
+            out[j] = head_coeff(w[0], originator_is_first=True) / S_p
+    return out

@@ -1,0 +1,73 @@
+"""Fine-magnitude policy and redistribution arithmetic.
+
+Section 4 (Bidding) requires the fine ``F`` to be (a) large enough "to
+dissuade cheating and to induce finking" and (b) at least the sum of the
+compensations, ``F >= sum_j alpha_j w_j``, with the magnitude known to
+all parties up front.
+
+Because the observed execution values ``w~`` only exist *after* the
+work, a publicly known ``F`` must be set from the bids.  We compute the
+base ``sum_j alpha_j(b) * b_j`` (the compensation bill if everyone
+executes as bid) and multiply by a safety factor that also covers
+slow execution.  The factor is a policy knob so the fine-calibration
+experiment (E10) can explore the sub-threshold regime where the paper's
+inequality is violated and deviation starts to pay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork
+
+__all__ = ["FinePolicy"]
+
+
+@dataclass(frozen=True)
+class FinePolicy:
+    """How large fines are and how the proceeds flow back.
+
+    Parameters
+    ----------
+    safety_factor:
+        Multiplier on the compensation-sum base.  ``>= 1`` satisfies the
+        paper's ``F >= sum alpha_j w_j`` condition (values well above 1
+        are typical — the paper only lower-bounds ``F``); ``< 1`` is
+        allowed for experiments that probe the violated regime.
+    """
+
+    safety_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.safety_factor <= 0:
+            raise ValueError(f"safety_factor must be positive, got {self.safety_factor}")
+
+    def compensation_base(self, network_bids: BusNetwork) -> float:
+        """``sum_j alpha_j(b) * b_j`` — the projected compensation bill."""
+        alpha = allocate(network_bids)
+        return float(np.dot(alpha, network_bids.w_array))
+
+    def fine_amount(self, network_bids: BusNetwork) -> float:
+        """The publicly announced fine ``F`` for this instance."""
+        return self.safety_factor * self.compensation_base(network_bids)
+
+    def satisfies_paper_bound(self, network_bids: BusNetwork, w_exec=None) -> bool:
+        """Check ``F >= sum_j alpha_j w~_j`` against (possibly observed) rates."""
+        alpha = allocate(network_bids)
+        w = network_bids.w_array if w_exec is None else np.asarray(w_exec, dtype=float)
+        return self.fine_amount(network_bids) >= float(np.dot(alpha, w)) - 1e-12
+
+    @staticmethod
+    def informer_reward(fine_total: float, num_beneficiaries: int) -> float:
+        """Even split of collected fines among non-deviants.
+
+        Bidding phase: one fined party, ``F / (m-1)`` each; Payments
+        phase: ``x`` fined parties, ``xF / (m-x)`` each.  Both are this
+        single rule: total collected over number of beneficiaries.
+        """
+        if num_beneficiaries < 1:
+            raise ValueError("no beneficiaries to distribute fines to")
+        return fine_total / num_beneficiaries

@@ -1,0 +1,60 @@
+"""Cryptographic commitments (paper footnote 1).
+
+"Commitments are required when atomic broadcast facilities are not
+available.  When atomic facilities are not available, a sender
+distinctly transmits a message to each recipient.  The sender may
+transmit different messages even though broadcasting by definition
+means sending the same message to all the recipients.  Before
+broadcasting, the sender publicizes a commitment computed for the
+message.  The recipient checks the commitment to ensure that it has
+received the proper message."
+
+Standard hash commitment: ``C = H(canonical(payload) || nonce)``.
+Hiding comes from the random nonce, binding from collision resistance
+of SHA-256 — the two properties the bidding phase needs (bids stay
+secret until revealed; a sender cannot find two bids matching one
+commitment).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.signatures import canonical_bytes
+
+__all__ = ["Commitment", "commit", "verify_commitment"]
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """A published commitment: the digest plus the committer's identity."""
+
+    committer: str
+    digest: str
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.digest) // 2 + len(self.committer)
+
+
+def _digest(payload: Any, nonce: bytes) -> str:
+    return hashlib.sha256(canonical_bytes(payload) + nonce).hexdigest()
+
+
+def commit(committer: str, payload: Any) -> tuple[Commitment, bytes]:
+    """Commit to *payload*; returns (commitment, opening nonce).
+
+    The committer publishes the commitment, keeps the nonce, and later
+    reveals ``(payload, nonce)`` — here the reveal rides along with the
+    signed bid message.
+    """
+    nonce = secrets.token_bytes(16)
+    return Commitment(committer, _digest(payload, nonce)), nonce
+
+
+def verify_commitment(commitment: Commitment, payload: Any, nonce: bytes) -> bool:
+    """Does ``(payload, nonce)`` open *commitment*?"""
+    return commitment.digest == _digest(payload, nonce)

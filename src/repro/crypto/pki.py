@@ -1,0 +1,83 @@
+"""Public-key infrastructure: identity registry and verification oracle.
+
+The paper assumes "a public key infrastructure (PKI), to which the
+participants have access", with each participant's public key registered
+under its identity.  Our :class:`PKI` plays that role: principals
+register once, receive their private :class:`SigningKey`, and anyone may
+ask the PKI to verify a :class:`SignedMessage` against the registered
+identity.  The PKI never reveals keys, so verification-by-oracle is
+observationally the same as verifying with a public key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.signatures import SignedMessage, SigningKey
+
+__all__ = ["Principal", "PKI"]
+
+
+@dataclass(frozen=True)
+class Principal:
+    """A registered identity (processor, user, or referee)."""
+
+    name: str
+
+
+class PKI:
+    """Trusted registry binding identities to verification keys.
+
+    This is infrastructure, not a participant: it holds no protocol
+    state, makes no allocation or payment decisions, and is assumed
+    tamper-proof like the network (Section 4's system model).
+    """
+
+    def __init__(self) -> None:
+        self._keys: dict[str, SigningKey] = {}
+
+    def register(self, name: str) -> SigningKey:
+        """Register *name* and hand back its private signing key.
+
+        Duplicate registration is rejected: a second registration under
+        an existing identity would be an impersonation channel.
+        """
+        if name in self._keys:
+            raise ValueError(f"identity {name!r} already registered")
+        key = SigningKey(name)
+        self._keys[name] = key
+        return key
+
+    def is_registered(self, name: str) -> bool:
+        return name in self._keys
+
+    def verify(self, signed: SignedMessage) -> bool:
+        """Does *signed* verify under its claimed signer's registered key?
+
+        Unknown identities never verify.  Messages failing verification
+        are discarded by honest processors per the Bidding phase rules.
+        """
+        key = self._keys.get(signed.signer)
+        return key is not None and key.verify(signed)
+
+    def verify_all(self, messages: list[SignedMessage]) -> bool:
+        """Convenience: all messages verify."""
+        return all(self.verify(m) for m in messages)
+
+    def proves_equivocation(self, a: SignedMessage, b: SignedMessage) -> bool:
+        """Do *a* and *b* prove their signer sent contradictory messages?
+
+        True iff both verify under the *same* identity but carry
+        different payloads — the exact evidence the referee accepts for
+        the "multiple, inconsistent bids" and "contradictory payment
+        vectors" offences.
+        """
+        from repro.crypto.signatures import canonical_bytes
+
+        return (
+            a.signer == b.signer
+            and self.verify(a)
+            and self.verify(b)
+            and canonical_bytes(a.payload) != canonical_bytes(b.payload)
+        )

@@ -1,0 +1,100 @@
+"""HMAC-based simulated digital signatures.
+
+``SIG_beta(m)`` in the paper is the secure digital signature of message
+``m`` under principal beta's private key, and ``S_beta(m) = (m, SIG_beta(m))``
+is the signed message.  We reproduce the interface exactly; see the
+package docstring for why HMAC-SHA256 plus a trusted registry is an
+adequate stand-in for asymmetric signatures here.
+
+Messages are arbitrary JSON-serializable Python values.  They are
+canonicalized (sorted keys, repr-stable float encoding) before MAC-ing
+so that two semantically identical messages always carry identical
+signatures and two different messages virtually never collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import secrets
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["canonical_bytes", "SigningKey", "SignedMessage"]
+
+
+def canonical_bytes(message: Any) -> bytes:
+    """Deterministic byte encoding of a JSON-serializable message.
+
+    Floats are encoded through :func:`repr` by ``json`` which is stable
+    across runs; dict keys are sorted; tuples degrade to lists (the
+    protocol never distinguishes the two).
+    """
+    try:
+        return json.dumps(message, sort_keys=True, separators=(",", ":")).encode()
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"message is not canonically serializable: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SignedMessage:
+    """``S_beta(m)``: a message, the claimed signer, and the signature.
+
+    The ``signer`` field is the *claimed* identity; only verification
+    against the PKI's registered key confirms it.  ``payload`` keeps the
+    original structured message so protocol code never re-parses bytes.
+    """
+
+    signer: str
+    payload: Any
+    signature: bytes
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate wire size (canonical payload + signature + id).
+
+        Used by the bus accounting layer for the Theorem 5.4
+        communication-complexity measurements.
+        """
+        return len(canonical_bytes(self.payload)) + len(self.signature) + len(self.signer)
+
+
+class SigningKey:
+    """A principal's private signing key (HMAC secret).
+
+    Possession of this object is possession of the key: the referee's
+    Lemma 5.2 reasoning ("either the signature was forged — impossible —
+    or the principal's key leaked, itself a deviation") maps onto object
+    reachability in the simulation.
+    """
+
+    __slots__ = ("_name", "_secret")
+
+    def __init__(self, name: str, secret: bytes | None = None) -> None:
+        self._name = name
+        self._secret = secret if secret is not None else secrets.token_bytes(32)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def sign(self, message: Any) -> SignedMessage:
+        """Produce ``S_name(message)``."""
+        mac = hmac.new(self._secret, canonical_bytes(message), hashlib.sha256)
+        return SignedMessage(self._name, message, mac.digest())
+
+    def verify(self, signed: SignedMessage) -> bool:
+        """Check *signed* against this key (used by the PKI registry).
+
+        Verifies both the MAC and that the claimed signer matches the
+        key's identity; constant-time comparison via :func:`hmac.compare_digest`.
+        """
+        if signed.signer != self._name:
+            return False
+        expected = hmac.new(self._secret, canonical_bytes(signed.payload),
+                            hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signed.signature)
+
+    def __repr__(self) -> str:  # never leak the secret
+        return f"SigningKey(name={self._name!r})"

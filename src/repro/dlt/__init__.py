@@ -1,0 +1,62 @@
+"""Divisible Load Theory (DLT) substrate.
+
+This subpackage implements the classical, incentive-free scheduling theory
+the paper builds on (Bharadwaj, Ghose, Mani & Robertazzi, *Scheduling
+Divisible Loads in Parallel and Distributed Systems*):
+
+* :mod:`repro.dlt.platform` — processors, bus-network system models
+  (CP / NCP-FE / NCP-NFE) and parameter validation.
+* :mod:`repro.dlt.closed_form` — the closed-form optimal allocation
+  algorithms (Algorithms 2.1 and 2.2 of the paper plus the CP analogue),
+  vectorized with NumPy.
+* :mod:`repro.dlt.timing` — finishing-time equations (1)-(3) and makespan
+  evaluation, including evaluation under *execution* values that differ
+  from the bid values (needed by the mechanism with verification).
+* :mod:`repro.dlt.schedule` — construction of explicit communication /
+  computation schedules (the data behind Figures 1-3).
+* :mod:`repro.dlt.optimality` — LP and fixed-point baselines certifying
+  Theorem 2.1, and utilities for Theorem 2.2 (order invariance).
+* :mod:`repro.dlt.sequencing` — allocation-order permutation tools.
+* :mod:`repro.dlt.architectures` — future-work extensions: star
+  (heterogeneous links), linear daisy-chain and tree networks.
+* :mod:`repro.dlt.multiround` — multi-installment scheduling extension.
+* :mod:`repro.dlt.affine` — affine cost model (startup overheads) with
+  optimal-cohort search.
+* :mod:`repro.dlt.regime` — diagnostics for the classical DLT regime
+  the NCP-NFE guarantees depend on.
+"""
+
+from repro.dlt.platform import (
+    BusNetwork,
+    NetworkKind,
+    Processor,
+    validate_positive,
+)
+from repro.dlt.closed_form import allocate, allocate_cp, allocate_ncp_fe, allocate_ncp_nfe
+from repro.dlt.timing import finish_times, makespan, optimal_makespan
+from repro.dlt.schedule import Schedule, Segment, build_schedule
+from repro.dlt.affine import AffineBus, allocate_affine, optimal_cohort
+from repro.dlt.regime import RegimeReport, diagnose, nfe_in_regime
+
+__all__ = [
+    "BusNetwork",
+    "NetworkKind",
+    "Processor",
+    "validate_positive",
+    "allocate",
+    "allocate_cp",
+    "allocate_ncp_fe",
+    "allocate_ncp_nfe",
+    "finish_times",
+    "makespan",
+    "optimal_makespan",
+    "Schedule",
+    "Segment",
+    "build_schedule",
+    "AffineBus",
+    "allocate_affine",
+    "optimal_cohort",
+    "RegimeReport",
+    "diagnose",
+    "nfe_in_regime",
+]

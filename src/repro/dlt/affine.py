@@ -1,0 +1,171 @@
+"""Affine cost model: communication/computation startup overheads.
+
+The paper's linear model charges ``alpha*z`` to ship and ``alpha*w`` to
+compute.  The classical first generalization (Bharadwaj et al., ch. 10)
+adds fixed latencies: shipping a fraction costs ``s_c + alpha*z``
+(network startup) and computing it costs ``s_p + alpha*w`` (task spawn
+overhead).  Two qualitative changes follow:
+
+* the equal-finish recursion picks up a constant —
+  ``alpha_i w_i = s_c + alpha_{i+1} (z + w_{i+1})`` — so the fractions
+  are no longer scale-free;
+* **using every processor can hurt**: each extra participant costs a
+  fixed ``s_c`` (+ its own ``s_p``) on the shared timeline, so for
+  small loads the optimal *cohort* is a strict prefix, a participation
+  structure the linear model never exhibits (Theorem 2.1 stops being
+  unconditional).
+
+:func:`allocate_affine` solves the equal-finish system for a fixed
+cohort by backward substitution (``alpha_i = a_i alpha_m + b_i``), and
+:func:`optimal_cohort` searches prefix sizes for the true optimum —
+the ablation benchmark E14 plots the resulting participation knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dlt.platform import NetworkKind, validate_positive
+
+__all__ = [
+    "AffineBus",
+    "affine_finish_times",
+    "allocate_affine",
+    "optimal_cohort",
+]
+
+
+@dataclass(frozen=True)
+class AffineBus:
+    """A bus network with affine communication and computation costs.
+
+    Parameters
+    ----------
+    w:
+        Per-unit processing times (allocation order).
+    z:
+        Per-unit communication time.
+    s_c:
+        Fixed per-transfer communication startup (>= 0).
+    s_p:
+        Fixed per-participant computation startup (>= 0).
+    kind:
+        ``CP`` or ``NCP_FE`` (the front-end variants share the
+        recursion; NCP-NFE's affine treatment adds nothing new and is
+        omitted).
+    load:
+        Total load volume ``L`` (the affine model is not scale-free, so
+        the load size matters; fractions returned still sum to 1 and
+        refer to shares of ``L``).
+    """
+
+    w: tuple[float, ...]
+    z: float
+    s_c: float = 0.0
+    s_p: float = 0.0
+    kind: NetworkKind = NetworkKind.CP
+    load: float = 1.0
+
+    def __post_init__(self) -> None:
+        w = validate_positive(self.w, "w")
+        object.__setattr__(self, "w", tuple(float(x) for x in w))
+        if self.z <= 0:
+            raise ValueError(f"z must be positive, got {self.z}")
+        if self.s_c < 0 or self.s_p < 0:
+            raise ValueError("startup overheads must be non-negative")
+        if self.load <= 0:
+            raise ValueError(f"load must be positive, got {self.load}")
+        if self.kind is NetworkKind.NCP_NFE:
+            raise ValueError("affine model implemented for CP and NCP_FE")
+
+    @property
+    def m(self) -> int:
+        return len(self.w)
+
+    def prefix(self, m_used: int) -> "AffineBus":
+        """The cohort using only the first *m_used* processors."""
+        if not 1 <= m_used <= self.m:
+            raise ValueError(f"m_used must be in [1, {self.m}]")
+        return AffineBus(self.w[:m_used], self.z, self.s_c, self.s_p,
+                         self.kind, self.load)
+
+
+def affine_finish_times(alpha, bus: AffineBus) -> np.ndarray:
+    """Finishing times under affine costs for the given load shares.
+
+    ``alpha`` are shares of ``bus.load`` summing to (at most) 1.
+    CP: ``T_i = sum_{j<=i}(s_c + L a_j z) + s_p + L a_i w_i``.
+    NCP-FE: the originator keeps its share (no ``s_c``/comm for it);
+    receivers wait on the prefix starting from ``alpha_2``.
+    """
+    alpha = np.asarray(alpha, dtype=float)
+    m = bus.m
+    if alpha.shape != (m,):
+        raise ValueError(f"alpha must have shape ({m},), got {alpha.shape}")
+    L = bus.load
+    vol = L * alpha * bus.z + bus.s_c          # per-transfer bus occupancy
+    if bus.kind is NetworkKind.CP:
+        ready = np.cumsum(vol)
+    else:  # NCP_FE
+        ready = np.cumsum(vol) - vol[0]
+        ready[0] = 0.0
+    compute = bus.s_p + L * alpha * np.asarray(bus.w)
+    return ready + compute
+
+
+def allocate_affine(bus: AffineBus) -> np.ndarray:
+    """Equal-finish shares for the full cohort of *bus*.
+
+    Backward substitution of
+    ``L a_i w_i = s_c + L a_{i+1} (z + w_{i+1})``
+    (the ``s_p`` terms cancel between consecutive participants), then
+    normalization.  Raises :class:`ArithmeticError` when the overheads
+    force a negative share — the signal that this cohort size is
+    infeasible and :func:`optimal_cohort` should shrink it.
+    """
+    m = bus.m
+    w = np.asarray(bus.w)
+    L = bus.load
+    if m == 1:
+        return np.ones(1)
+    # alpha_i = a_i * alpha_m + b_i, backward from a_m = 1, b_m = 0.
+    a = np.empty(m)
+    b = np.empty(m)
+    a[m - 1], b[m - 1] = 1.0, 0.0
+    for i in range(m - 2, -1, -1):
+        a[i] = a[i + 1] * (bus.z + w[i + 1]) / w[i]
+        b[i] = (b[i + 1] * (bus.z + w[i + 1]) + bus.s_c / L) / w[i]
+    alpha_m = (1.0 - b.sum()) / a.sum()
+    alpha = a * alpha_m + b
+    if alpha_m <= 0 or np.any(alpha <= 0):
+        raise ArithmeticError(
+            f"cohort of {m} infeasible: overheads leave no positive share "
+            f"(alpha_m = {alpha_m:.3g})")
+    return alpha
+
+
+def optimal_cohort(bus: AffineBus) -> tuple[int, np.ndarray, float]:
+    """Best prefix cohort: (size, shares, makespan).
+
+    Evaluates every feasible prefix size (the service order is given;
+    with identical ``s_c`` per link the optimal cohort under a fixed
+    order is a prefix) and returns the fastest.  Shares are returned in
+    the full network's indexing with zeros for idle processors.
+    """
+    best: tuple[int, np.ndarray, float] | None = None
+    for m_used in range(1, bus.m + 1):
+        sub = bus.prefix(m_used)
+        try:
+            alpha = allocate_affine(sub)
+        except ArithmeticError:
+            continue
+        t = float(np.max(affine_finish_times(alpha, sub)))
+        if best is None or t < best[2]:
+            full = np.zeros(bus.m)
+            full[:m_used] = alpha
+            best = (m_used, full, t)
+    if best is None:  # pragma: no cover - m_used=1 is always feasible
+        raise ArithmeticError("no feasible cohort")
+    return best

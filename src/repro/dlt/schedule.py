@@ -1,0 +1,142 @@
+"""Explicit schedules: the data behind Figures 1, 2 and 3.
+
+The paper's Figures 1-3 are timing (Gantt) diagrams with one row per
+processor plus a shared "Communication" row.  :func:`build_schedule`
+reconstructs those diagrams exactly: a list of bus :class:`Segment`\\ s
+(which fraction is in flight when) and per-processor compute segments.
+The benchmark harness renders these as ASCII Gantt charts and asserts
+that segment end-points agree with the closed-form finishing times of
+:mod:`repro.dlt.timing` — i.e. that the figure and the equations tell
+the same story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.timing import communication_finish_times, finish_times
+
+__all__ = ["Segment", "Schedule", "build_schedule", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A half-open activity interval ``[start, end)`` on some resource.
+
+    ``resource`` is either ``"bus"`` or a processor name; ``label``
+    identifies the activity (e.g. ``"a3*z"`` for shipping ``alpha_3`` or
+    ``"a3*w3"`` for computing it); ``processor`` is the worker index the
+    activity belongs to.
+    """
+
+    resource: str
+    label: str
+    processor: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"segment {self.label!r} ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete execution schedule for one allocation on one network."""
+
+    network: BusNetwork
+    alpha: tuple[float, ...]
+    bus_segments: tuple[Segment, ...]
+    compute_segments: tuple[Segment, ...]
+
+    @property
+    def makespan(self) -> float:
+        """End of the last compute segment (communication never trails)."""
+        return max((s.end for s in self.compute_segments), default=0.0)
+
+    def processor_finish_times(self) -> np.ndarray:
+        """Per-processor finish times read off the schedule segments."""
+        out = np.zeros(self.network.m)
+        for seg in self.compute_segments:
+            out[seg.processor] = max(out[seg.processor], seg.end)
+        return out
+
+    def bus_is_one_port(self) -> bool:
+        """Check the one-port model: bus segments never overlap."""
+        segs = sorted(self.bus_segments, key=lambda s: s.start)
+        return all(a.end <= b.start + 1e-12 for a, b in zip(segs, segs[1:]))
+
+
+def build_schedule(alpha, network: BusNetwork, w_exec=None) -> Schedule:
+    """Construct the explicit schedule for *alpha* on *network*.
+
+    Transmissions are issued in allocation order (optimal by Theorem
+    2.2) back-to-back on the one-port bus; each worker computes as soon
+    as it holds its fraction.  With *w_exec* the compute segments use the
+    observed execution rates instead of the scheduling values.
+    """
+    alpha_arr = np.asarray(alpha, dtype=float)
+    m, z, kind = network.m, network.z, network.kind
+    ready = communication_finish_times(alpha_arr, network)
+    T = finish_times(alpha_arr, network, w_exec)
+
+    bus: list[Segment] = []
+    receivers = list(range(m))
+    if kind is NetworkKind.NCP_FE:
+        receivers = list(range(1, m))
+    elif kind is NetworkKind.NCP_NFE:
+        receivers = list(range(m - 1))
+    clock = 0.0
+    for i in receivers:
+        dur = alpha_arr[i] * z
+        bus.append(Segment("bus", f"a{i + 1}*z", i, clock, clock + dur))
+        clock += dur
+
+    compute = [
+        Segment(network.names[i], f"a{i + 1}*w{i + 1}", i, float(ready[i]), float(T[i]))
+        for i in range(m)
+    ]
+    return Schedule(network, tuple(float(a) for a in alpha_arr),
+                    tuple(bus), tuple(compute))
+
+
+def render_gantt(schedule: Schedule, width: int = 72) -> str:
+    """Render *schedule* as an ASCII Gantt chart (one row per resource).
+
+    Mirrors the layout of the paper's Figures 1-3: a ``bus`` row showing
+    the back-to-back transmissions, then one row per processor showing
+    its compute interval.  Intended for the benchmark harness and the
+    examples; resolution is ``makespan / width`` per character cell.
+    """
+    span = schedule.makespan
+    if span <= 0.0:
+        return "(empty schedule)"
+    scale = width / span
+
+    def bar(segs: list[Segment], fill: str) -> str:
+        row = [" "] * (width + 1)
+        for s in segs:
+            lo = int(round(s.start * scale))
+            hi = max(lo + 1, int(round(s.end * scale)))
+            for c in range(lo, min(hi, width + 1)):
+                row[c] = fill
+        return "".join(row).rstrip()
+
+    names = ["bus"] + list(schedule.network.names)
+    pad = max(len(n) for n in names)
+    lines = [f"{'bus':>{pad}} |{bar(list(schedule.bus_segments), '=')}"]
+    per_proc: dict[int, list[Segment]] = {}
+    for s in schedule.compute_segments:
+        per_proc.setdefault(s.processor, []).append(s)
+    for i in range(schedule.network.m):
+        name = schedule.network.names[i]
+        lines.append(f"{name:>{pad}} |{bar(per_proc.get(i, []), '#')}")
+    lines.append(f"{'':>{pad}}  0{'-' * (width - 8)} T={span:.4f}")
+    return "\n".join(lines)

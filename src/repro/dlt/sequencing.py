@@ -1,0 +1,104 @@
+"""Allocation-order tools for Theorem 2.2.
+
+Theorem 2.2: *any* load allocation order is optimal for the three
+bus-network problems — permuting the processors changes the individual
+fractions but not the optimal makespan.  Two precise points:
+
+* The **originator is positional**, not part of the order: in NCP-FE
+  the load starts at the first processor and in NCP-NFE at the last, so
+  the theorem's "allocation order" permutes the *receiving* processors
+  only.  (Swapping a processor into the originator slot is a different
+  instance, and its makespan genuinely changes.)  For CP every worker
+  receives, so all ``m!`` orders apply.
+* The invariance is special to buses, where every link shares one
+  ``z``; it fails on star networks with heterogeneous links, which
+  :mod:`repro.dlt.architectures` demonstrates.
+
+This module enumerates or samples valid orders and reports the optimal
+makespan per order; the E5 benchmark regenerates the theorem's content
+as a table of (order, makespan) rows with zero spread.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import permutations
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork
+from repro.dlt.timing import makespan
+
+__all__ = [
+    "iter_orders",
+    "makespan_by_order",
+    "makespan_spread",
+]
+
+
+def iter_orders(
+    m: int,
+    *,
+    fixed: int | None = None,
+    limit: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> Iterator[tuple[int, ...]]:
+    """Yield allocation orders (permutations of ``range(m)``).
+
+    ``fixed`` pins one index to its own position (the originator slot).
+    Exhaustive in lexicographic order when *limit* is ``None`` or covers
+    the full count; otherwise yields the identity, the (valid) reversal,
+    and deduplicated random samples up to *limit*.
+    """
+    free = [i for i in range(m) if i != fixed]
+
+    def embed(perm_free: Sequence[int]) -> tuple[int, ...]:
+        it = iter(perm_free)
+        return tuple(i if i == fixed else next(it) for i in range(m))
+
+    total = math.factorial(len(free))
+    if limit is None or limit >= total:
+        for perm in permutations(free):
+            yield embed(perm)
+        return
+    rng = rng or np.random.default_rng(0)
+    seen: set[tuple[int, ...]] = set()
+    for cand_free in (list(free), list(reversed(free))):
+        cand = embed(cand_free)
+        if cand not in seen:
+            seen.add(cand)
+            yield cand
+    while len(seen) < limit:
+        cand = embed([free[j] for j in rng.permutation(len(free))])
+        if cand not in seen:
+            seen.add(cand)
+            yield cand
+
+
+def makespan_by_order(
+    network: BusNetwork,
+    orders: Sequence[tuple[int, ...]] | None = None,
+    *,
+    limit: int | None = 64,
+) -> list[tuple[tuple[int, ...], float]]:
+    """Optimal makespan for each valid allocation order.
+
+    Orders fix the network's originator position automatically (see
+    module docstring); pass explicit *orders* to override.
+    """
+    if orders is None:
+        orders = list(iter_orders(network.m, fixed=network.originator_index,
+                                  limit=limit))
+    out = []
+    for order in orders:
+        net = network.permuted(order)
+        out.append((tuple(order), makespan(allocate(net), net)))
+    return out
+
+
+def makespan_spread(network: BusNetwork, *, limit: int | None = 64) -> float:
+    """Relative spread of optimal makespans across orders (Thm 2.2 => ~0)."""
+    values = np.array([t for _, t in makespan_by_order(network, limit=limit)])
+    return float((values.max() - values.min()) / values.max())

@@ -1,0 +1,33 @@
+"""Bus-network substrate: discrete-event kernel, messages, shared bus.
+
+The paper's system model (Sections 2 and 4) assumes:
+
+* a shared bus where the distance between any pair of processors is
+  constant (per-unit communication time ``z``);
+* the **one-port model**: at most one load transfer occupies the bus at
+  a time;
+* a **reliable, atomic broadcast** primitive — justified in the paper by
+  the shared transmission medium — which relieves the protocol of
+  commitment rounds;
+* an obedient, tamper-proof network (agents can lie, but cannot corrupt
+  the transport).
+
+:mod:`repro.network.events` provides a deterministic discrete-event
+kernel; :mod:`repro.network.bus` implements the bus with one-port load
+transfers and atomic broadcast on top of it, with per-message count and
+byte accounting (the raw data behind Theorem 5.4's Θ(m²) communication
+complexity measurement).
+"""
+
+from repro.network.events import Event, EventQueue
+from repro.network.messages import Message, MessageKind
+from repro.network.bus import Bus, TrafficStats
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Message",
+    "MessageKind",
+    "Bus",
+    "TrafficStats",
+]

@@ -1,0 +1,124 @@
+"""Deterministic discrete-event simulation kernel.
+
+A minimal but genuine DES core: events are ``(time, sequence, action)``
+triples in a binary heap; ties in time break by insertion order, which
+makes every simulation fully deterministic for a fixed schedule of
+insertions — a property the protocol tests rely on (identical runs must
+produce identical message logs and fines).
+
+The kernel is intentionally generic (no knowledge of buses, agents or
+mechanisms) so both the bus transport and the multiround pipeline can
+be expressed on it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled action; ordering is (time, seq) so FIFO within a tick."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; the kernel skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority-queue event loop with a monotonic clock.
+
+    Usage::
+
+        q = EventQueue()
+        q.schedule(1.5, lambda: ..., label="bid-broadcast")
+        q.run()          # or q.run_until(t) / q.step()
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, time: float, action: Callable[[], None], *, label: str = "") -> Event:
+        """Schedule *action* at absolute *time* (>= now)."""
+        if time < self._now - 1e-12:
+            raise ValueError(f"cannot schedule into the past: {time} < now={self._now}")
+        ev = Event(max(time, self._now), self._seq, action, label)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_in(self, delay: float, action: Callable[[], None], *, label: str = "") -> Event:
+        """Schedule *action* after *delay* time units."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, action, label=label)
+
+    def step(self) -> Event | None:
+        """Execute the next live event; return it (or None if drained)."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            ev.action()
+            self._processed += 1
+            return ev
+        return None
+
+    def run(self, *, max_events: int = 1_000_000) -> int:
+        """Run to quiescence; return events executed.
+
+        ``max_events`` guards against runaway self-rescheduling loops in
+        buggy agents (raises rather than hanging the test suite).
+        """
+        count = 0
+        while self.step() is not None:
+            count += 1
+            if count > max_events:
+                raise RuntimeError(f"event budget exceeded ({max_events}); likely a scheduling loop")
+        return count
+
+    def run_until(self, deadline: float, *, max_events: int = 1_000_000) -> int:
+        """Run events with time <= deadline; advance clock to deadline."""
+        count = 0
+        while self._heap:
+            nxt = self._heap[0]
+            if nxt.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if nxt.time > deadline:
+                break
+            self.step()
+            count += 1
+            if count > max_events:
+                raise RuntimeError(f"event budget exceeded ({max_events})")
+        self._now = max(self._now, deadline)
+        return count

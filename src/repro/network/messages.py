@@ -1,0 +1,76 @@
+"""Protocol message envelopes and wire-size model.
+
+Every DLS-BL-NCP message that crosses the bus or reaches the referee is
+wrapped in a :class:`Message`.  The ``kind`` tags drive both the
+protocol dispatch and the per-phase communication accounting used for
+the Theorem 5.4 measurement (the theorem's "communication cost" is the
+product of message count and message size, excluding load-unit
+transfers — we therefore track load transfers separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.crypto.signatures import SignedMessage, canonical_bytes
+
+__all__ = ["MessageKind", "Message"]
+
+
+class MessageKind(Enum):
+    """Message categories, one per protocol interaction."""
+
+    BID = "bid"                      # Bidding: S_Pi(b_i, P_i), all-to-all broadcast
+    COMMITMENT = "commitment"        # Bidding without atomic broadcast (footnote 1)
+    LOAD = "load"                    # Allocating: load blocks, originator -> worker
+    CLAIM = "claim"                  # any phase: evidence submitted to the referee
+    BID_VECTOR = "bid-vector"        # Allocating disputes: full signed bid vector
+    METER = "meter"                  # Processing: referee broadcasts (phi_1..phi_m)
+    PAYMENT_VECTOR = "payment-vector"  # Computing Payments: S_Pi(P_i, Q)
+    VERDICT = "verdict"              # referee -> all: fines and rewards
+    BILL = "bill"                    # referee -> payment infrastructure / user
+
+    @property
+    def is_load_transfer(self) -> bool:
+        """Load-unit transfers are excluded from Thm 5.4's cost metric."""
+        return self is MessageKind.LOAD
+
+
+@dataclass(frozen=True)
+class Message:
+    """An envelope on the wire.
+
+    ``recipients`` is ``("*",)`` for broadcasts.  ``body`` is typically
+    a :class:`SignedMessage`; plain payloads are allowed for
+    infrastructure traffic (meter readouts, verdicts) that the paper
+    does not require to be signed.
+    """
+
+    kind: MessageKind
+    sender: str
+    recipients: tuple[str, ...]
+    body: Any
+    size_bytes: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if not self.recipients:
+            raise ValueError("message must have at least one recipient")
+        if self.size_bytes < 0:
+            object.__setattr__(self, "size_bytes", self._estimate_size())
+
+    def _estimate_size(self) -> int:
+        body = self.body
+        if isinstance(body, SignedMessage):
+            return body.size_bytes
+        if isinstance(body, (list, tuple)) and body and isinstance(body[0], SignedMessage):
+            return sum(m.size_bytes for m in body)
+        try:
+            return len(canonical_bytes(body))
+        except TypeError:
+            return 64  # opaque objects (load blocks) get a nominal header size
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.recipients == ("*",)

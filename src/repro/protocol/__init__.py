@@ -1,0 +1,31 @@
+"""The distributed DLS-BL-NCP protocol.
+
+* :mod:`repro.protocol.phases` — phase enumeration and shared helpers.
+* :mod:`repro.protocol.payment_infra` — the assumed payment
+  infrastructure (accounts, billing, fine collection).
+* :mod:`repro.protocol.engine` — the orchestrator that runs the four
+  phases (Bidding → Allocating Load → Processing Load → Computing
+  Payments) over the simulated bus, with the referee adjudicating any
+  signalled conflicts.
+
+The engine is deliberately *not* trusted with mechanism decisions: all
+allocations and payments are computed redundantly by the agents (or by
+the referee when disputes arise); the engine only moves messages,
+enforces physics (meters, one-port bus) and applies verdicts to the
+ledger — the roles the paper assigns to tamper-proof infrastructure.
+"""
+
+from repro.protocol.phases import Phase
+from repro.protocol.payment_infra import Ledger, PaymentInfrastructure
+from repro.protocol.engine import ProtocolEngine, ProtocolResult
+from repro.protocol.sessions import EngagementRecord, MarketSession
+
+__all__ = [
+    "Phase",
+    "Ledger",
+    "PaymentInfrastructure",
+    "ProtocolEngine",
+    "ProtocolResult",
+    "EngagementRecord",
+    "MarketSession",
+]

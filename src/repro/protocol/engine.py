@@ -1,0 +1,554 @@
+"""The DLS-BL-NCP protocol orchestrator.
+
+Runs the four phases of Section 4 over the simulated bus:
+
+1. **Bidding** — all-to-all broadcast of signed bids (processors may
+   abstain: no bid, utility 0); agents monitor for equivocation and
+   signal the referee.
+2. **Allocating Load** — every participant redundantly computes
+   ``alpha(b)``; the originator ships user-signed blocks over the
+   one-port bus; each recipient checks its assignment and may dispute.
+3. **Processing Load** — agents execute at their chosen (>= true) rate;
+   tamper-proof meters record ``phi_i``; the referee broadcasts the
+   readings.
+4. **Computing Payments** — every participant redundantly computes the
+   payment vector ``Q`` and submits it signed; the referee verifies all
+   vectors agree (recomputing on disagreement), fines wrong-doers, and
+   forwards ``Q`` to the payment infrastructure, which bills the user.
+
+Any fine raised in phases 1-2 terminates the protocol immediately
+(processors that had commenced work are compensated ``alpha_i w~_i``
+out of the collected fines).  Payment-phase fines do not void the
+completed computation: the referee's recomputed ``Q`` settles, with
+fines and informer rewards applied on top.
+
+The engine itself is untrusted plumbing: it never decides allocations
+or payments, it only delivers messages, reads meters, and executes
+verdicts on the ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.agents.processor import ProcessorAgent
+from repro.core.fines import FinePolicy
+from repro.core.referee import Referee, RefereeVerdict
+from repro.crypto.blocks import divide_load, quantize_blocks
+from repro.crypto.pki import PKI
+from repro.crypto.signatures import SigningKey
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.timing import makespan
+from repro.network.bus import Bus, TrafficStats
+from repro.network.messages import Message, MessageKind
+from repro.protocol.payment_infra import PaymentInfrastructure
+from repro.protocol.phases import Phase
+
+__all__ = ["ProtocolResult", "ProtocolEngine"]
+
+REFEREE = "referee"
+USER = "user"
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Complete record of one DLS-BL-NCP run.
+
+    ``balances`` are final ledger positions (payments + rewards +
+    compensations - fines); ``costs`` are the processing costs actually
+    incurred (``alpha_i w~_i`` for work performed, 0 otherwise);
+    ``utilities`` are ``balances - costs`` — the quasi-linear utility of
+    Eq. (10) extended with the fine/reward flows of Section 4.
+    Abstaining processors appear with alpha/payment/utility 0 and are
+    absent from ``participants``.
+    """
+
+    completed: bool
+    terminal_phase: Phase
+    verdicts: tuple[RefereeVerdict, ...]
+    order: tuple[str, ...]
+    participants: tuple[str, ...]
+    bids: dict[str, float]
+    alpha: dict[str, float]
+    phi: dict[str, float]
+    payments: dict[str, float]
+    balances: dict[str, float]
+    costs: dict[str, float]
+    utilities: dict[str, float]
+    fine_amount: float
+    makespan_realized: float | None
+    traffic: TrafficStats
+
+    def utility(self, name: str) -> float:
+        return self.utilities[name]
+
+    @property
+    def fined(self) -> dict[str, float]:
+        """Total fines per processor across all verdicts."""
+        out: dict[str, float] = {}
+        for v in self.verdicts:
+            for f in v.fines:
+                out[f.who] = out.get(f.who, 0.0) + f.amount
+        return out
+
+    @property
+    def user_cost(self) -> float:
+        """What the user ultimately paid (negative ledger balance)."""
+        return -self.balances.get(USER, 0.0)
+
+
+class ProtocolEngine:
+    """Wire together agents, bus, referee and ledger, then run.
+
+    Parameters
+    ----------
+    agents:
+        The strategic processors, in allocation order (``P_1`` first;
+        the originator position is implied by *kind*).
+    kind:
+        ``NCP_FE`` or ``NCP_NFE`` — DLS-BL-NCP is defined for networks
+        *without* control processors (use :class:`repro.core.DLSBL`
+        for the CP system).
+    z:
+        Per-unit bus communication time.
+    num_blocks:
+        Granularity of the user's load division.
+    bidding_mode:
+        How bids travel (paper §4 + footnote 1):
+
+        * ``"atomic"`` (default) — the bus provides reliable atomic
+          broadcast; equivocation requires two broadcasts and is caught
+          immediately.
+        * ``"commit"`` — no atomic broadcast: bids go point-to-point,
+          preceded by a published hash commitment.  Split bids fail the
+          commitment check at the victim and are fined in the Bidding
+          phase.
+        * ``"naive"`` — point-to-point without commitments (the
+          ablation): split bids poison honest views undetected and only
+          surface downstream, after work has been wasted.
+    """
+
+    BIDDING_MODES = ("atomic", "commit", "naive")
+
+    def __init__(
+        self,
+        agents: list[ProcessorAgent],
+        kind: NetworkKind,
+        z: float,
+        *,
+        pki: PKI,
+        user_key: SigningKey,
+        policy: FinePolicy | None = None,
+        num_blocks: int = 120,
+        bidding_mode: str = "atomic",
+    ) -> None:
+        if bidding_mode not in self.BIDDING_MODES:
+            raise ValueError(f"bidding_mode must be one of {self.BIDDING_MODES}, "
+                             f"got {bidding_mode!r}")
+        self.bidding_mode = bidding_mode
+        self._bulletin: dict = {}
+        if kind is NetworkKind.CP:
+            raise ValueError(
+                "DLS-BL-NCP targets networks without control processors; "
+                "use DLSBL for the CP system")
+        if len(agents) < 2:
+            raise ValueError("the mechanism requires at least 2 processors")
+        names = [a.name for a in agents]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate agent names: {names}")
+        self.agents = list(agents)
+        self.kind = kind
+        self.z = float(z)
+        self.pki = pki
+        self.user_key = user_key
+        self.policy = policy or FinePolicy()
+        self.num_blocks = int(num_blocks)
+        self.referee = Referee(pki, self.policy)
+        self.infra = PaymentInfrastructure(USER)
+        self.bus = Bus(self.z)
+        self.order = names
+        self._received: dict[str, list] = {n: [] for n in names}
+        self._attach_endpoints()
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def _attach_endpoints(self) -> None:
+        for agent in self.agents:
+            self.bus.attach(agent.name, self._agent_handler(agent))
+        self.bus.attach(REFEREE, lambda msg: None)
+        self.bus.attach(USER, lambda msg: None)
+
+    def _agent_handler(self, agent: ProcessorAgent):
+        def handle(msg: Message) -> None:
+            if msg.kind is MessageKind.BID:
+                if isinstance(msg.body, dict) and "nonce" in msg.body:
+                    agent.observe_p2p_bid(msg.body["sm"], msg.body["nonce"],
+                                          self._bulletin or None)
+                else:
+                    agent.observe_bid(msg.body)
+            elif msg.kind is MessageKind.LOAD and msg.recipients == (agent.name,):
+                self._received[agent.name].extend(msg.body)
+        return handle
+
+    @property
+    def originator(self) -> ProcessorAgent:
+        """The physical data holder (P_1 for NCP-FE, P_m for NCP-NFE).
+
+        The role is tied to where the load resides, so it does not move
+        when other processors abstain.
+        """
+        idx = self.kind.originator_index(len(self.agents))
+        assert idx is not None
+        return self.agents[idx]
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+
+    def run(self) -> ProtocolResult:
+        """Execute the protocol once and settle the ledger."""
+        blocks = divide_load(self.user_key, 1.0, self.num_blocks)
+        verdicts: list[RefereeVerdict] = []
+
+        # ---- Phase 1: Bidding -------------------------------------------
+        participants = [a for a in self.agents if not a.behavior.abstain]
+        active = [a.name for a in participants]
+        if self.bidding_mode == "atomic":
+            for agent in participants:
+                msgs = agent.make_bid_messages()
+                agent.observe_bid(msgs[0])  # archive own primary bid
+                for sm in msgs:
+                    self.bus.broadcast(Message(MessageKind.BID, agent.name,
+                                               ("*",), sm))
+        else:
+            if self.bidding_mode == "commit":
+                for agent in participants:
+                    commitment = agent.make_commitment()
+                    self._bulletin[agent.name] = commitment
+                    self.bus.broadcast(Message(
+                        MessageKind.COMMITMENT, agent.name, ("*",),
+                        {"digest": commitment.digest},
+                    ))
+            for agent in participants:
+                # Archive the own primary bid (HMAC signing is
+                # deterministic, so this equals the honest wire copy).
+                agent.observe_bid(agent.key.sign(
+                    {"processor": agent.name, "bid": agent.bid}))
+                p2p = agent.make_p2p_bid_messages(active)
+                for peer, (sm, nonce) in p2p.items():
+                    self.bus.send(Message(
+                        MessageKind.BID, agent.name, (peer,),
+                        {"sm": sm, "nonce": nonce},
+                        size_bytes=sm.size_bytes + len(nonce),
+                    ))
+
+        if self.originator.behavior.abstain or len(active) < 2:
+            # Without the data holder, or with a single bidder, there is
+            # no engagement: everyone walks away with utility 0.
+            return self._result(False, Phase.BIDDING, verdicts, active={},
+                                bids={}, alpha={}, phi={}, payments={},
+                                fine=0.0, realized=None,
+                                participants=active)
+
+        bids = self._canonical_bids(active)
+        net_bids = BusNetwork(tuple(bids[n] for n in active), self.z,
+                              self.kind, tuple(active))
+        fine = self.policy.fine_amount(net_bids)
+
+        if self.bidding_mode == "commit":
+            violation = self._first_commitment_claim(participants)
+            if violation is not None:
+                claimant, accused, evidence = violation
+                self.bus.send(Message(MessageKind.CLAIM, claimant, (REFEREE,),
+                                      {"case": "commitment", "accused": accused}))
+                verdict = self.referee.judge_commitment_violation(
+                    claimant, accused, evidence,
+                    self._bulletin.get(accused), active, fine)
+                verdicts.append(verdict)
+                self._apply_verdict(verdict)
+                return self._result(False, Phase.BIDDING, verdicts, active=bids,
+                                    bids=bids, alpha={}, phi={}, payments={},
+                                    fine=fine, realized=None,
+                                    participants=active)
+
+        claim = self._first_bidding_claim(participants, active)
+        if claim is not None:
+            claimant, accused, evidence = claim
+            self.bus.send(Message(MessageKind.CLAIM, claimant, (REFEREE,),
+                                  {"case": "equivocation", "accused": accused}))
+            verdict = self.referee.judge_equivocation(
+                claimant, accused, evidence, active, fine)
+            verdicts.append(verdict)
+            self._apply_verdict(verdict)
+            return self._result(False, Phase.BIDDING, verdicts, active=bids,
+                                bids=bids, alpha={}, phi={}, payments={},
+                                fine=fine, realized=None, participants=active)
+
+        # ---- Phase 2: Allocating Load ------------------------------------
+        alpha = allocate(net_bids)
+        alpha_map = dict(zip(active, map(float, alpha)))
+        # Entitlements as the *originator* computes them (identical to
+        # everyone's under atomic broadcast; possibly divergent views
+        # on point-to-point networks, which the dispute path resolves).
+        entitled = dict(zip(active, quantize_blocks(alpha, self.num_blocks)))
+        plan = self.originator.planned_shipments(dict(entitled))
+
+        cursor = 0
+        for name in active:
+            count = plan[name]
+            slice_ = blocks[cursor : cursor + count]
+            cursor += count
+            if name == self.originator.name:
+                self._received[name] = list(slice_)
+                continue
+            units = count / self.num_blocks
+            self.bus.transfer_load(self.originator.name, name, units, slice_)
+        self.bus.queue.run()
+
+        claimant_agent = self._first_allocation_dispute(participants, entitled)
+        if claimant_agent is not None:
+            work_done = self._work_commenced_before(
+                claimant_agent.name, active, alpha_map)
+            self.bus.send(Message(MessageKind.CLAIM, claimant_agent.name,
+                                  (REFEREE,), {"case": "allocation"}))
+            c_vec = claimant_agent.bid_vector_messages(active)
+            o_vec = self.originator.bid_vector_messages(active)
+            self.bus.send(Message(MessageKind.BID_VECTOR, claimant_agent.name,
+                                  (REFEREE,), c_vec))
+            self.bus.send(Message(MessageKind.BID_VECTOR, self.originator.name,
+                                  (REFEREE,), o_vec))
+            verdict = self.referee.judge_allocation_dispute(
+                claimant=claimant_agent.name,
+                originator=self.originator.name,
+                claimant_vector=c_vec,
+                originator_vector=o_vec,
+                participants=active,
+                order=active,
+                kind=self.kind,
+                z=self.z,
+                received_blocks=len(self._received[claimant_agent.name]),
+                num_blocks=self.num_blocks,
+                claimant_blocks=self._received[claimant_agent.name],
+                user_name=self.user_key.name,
+                fine=fine,
+                work_done=work_done,
+                originator_cooperates=self.originator.cooperates_with_remedy,
+            )
+            verdicts.append(verdict)
+            self._apply_verdict(verdict)
+            costs = {n: work_done.get(n, 0.0) for n in active}
+            return self._result(False, Phase.ALLOCATING_LOAD, verdicts,
+                                active=bids, bids=bids, alpha=alpha_map,
+                                phi={}, payments={}, fine=fine, realized=None,
+                                costs=costs, participants=active)
+
+        # ---- Phase 3: Processing Load -------------------------------------
+        # Tamper-proof meters: the engine (not the agent) records the
+        # actually elapsed per-assignment time phi_i = alpha_i * w~_i.
+        phi = {a.name: alpha_map[a.name] * a.exec_value for a in participants}
+        self.bus.broadcast(Message(MessageKind.METER, REFEREE, ("*",),
+                                   {n: phi[n] for n in active}))
+        w_exec = {a.name: a.exec_value for a in participants}
+        realized = makespan(alpha, net_bids,
+                            w_exec=np.array([w_exec[n] for n in active]))
+
+        # ---- Phase 4: Computing Payments -----------------------------------
+        submissions: dict[str, list] = {}
+        for agent in participants:
+            msgs = agent.payment_vector_messages(active, alpha, phi)
+            submissions[agent.name] = msgs
+            for sm in msgs:
+                self.bus.send(Message(MessageKind.PAYMENT_VECTOR, agent.name,
+                                      (REFEREE,), sm))
+
+        verdict = self.referee.judge_payment_vectors(
+            submissions,
+            participants=active,
+            order=active,
+            bids=bids,
+            w_exec=w_exec,
+            kind=self.kind,
+            z=self.z,
+            fine=fine,
+            bid_vectors={a.name: a.bid_vector_messages(active)
+                         for a in participants},
+        )
+        if verdict.fines:
+            verdicts.append(verdict)
+            self._apply_verdict(verdict)
+
+        # Settlement: the (referee-verified or recomputed) payments.
+        from repro.core.payments import payments as compute_payments
+
+        q = compute_payments(net_bids, np.array([w_exec[n] for n in active]))
+        payments_map = dict(zip(active, map(float, q)))
+        self.bus.send(Message(MessageKind.BILL, REFEREE, (USER,),
+                              {"total": float(sum(q))}))
+        self.infra.remit_payments(payments_map)
+
+        costs = {n: alpha_map[n] * w_exec[n] for n in active}
+        return self._result(True, Phase.COMPLETE, verdicts, active=bids,
+                            bids=bids, alpha=alpha_map, phi=phi,
+                            payments=payments_map, fine=fine,
+                            realized=realized, costs=costs,
+                            participants=active)
+
+    # ------------------------------------------------------------------
+    # phase helpers
+    # ------------------------------------------------------------------
+
+    def _canonical_bids(self, active: list[str]) -> dict[str, float]:
+        """The bid view that drives the physical schedule.
+
+        Atomic mode: the first authentic bid per participant in bus-log
+        order — identical at every honest participant by atomicity.
+        Point-to-point modes: the *originator's* archive, because the
+        originator is the party that actually cuts and ships the load
+        (split bids may leave other participants with different views;
+        that divergence is the attack the downstream checks catch).
+        """
+        if self.bidding_mode != "atomic":
+            return self.originator.bid_view(active)
+        bids: dict[str, float] = {}
+        for msg in self.bus.log:
+            if msg.kind is not MessageKind.BID:
+                continue
+            sm = msg.body
+            if sm.signer in bids or not self.pki.verify(sm):
+                continue
+            bids[sm.signer] = float(sm.payload["bid"])
+        missing = [n for n in active if n not in bids]
+        if missing:
+            raise RuntimeError(f"no authentic bid from {missing}")
+        return bids
+
+    def _first_commitment_claim(self, participants: list[ProcessorAgent]):
+        """First commitment violation any participant witnessed."""
+        for agent in participants:
+            violations = agent.detect_commitment_violations()
+            if violations:
+                accused, evidence = violations[0]
+                return agent.name, accused, evidence
+        return None
+
+    def _first_bidding_claim(self, participants: list[ProcessorAgent],
+                             active: list[str]):
+        """The first claim any participant raises, in agent order.
+
+        Genuine equivocation evidence takes precedence over fabricated
+        claims for a given agent (a liar holding real evidence uses it —
+        that is the profitable move).
+        """
+        for agent in participants:
+            detections = agent.detect_equivocations()
+            if detections:
+                accused, evidence = detections[0]
+                return agent.name, accused, evidence
+            fab = agent.fabricate_equivocation_claim(active)
+            if fab is not None:
+                accused, evidence = fab
+                return agent.name, accused, evidence
+        return None
+
+    def _first_allocation_dispute(self, participants: list[ProcessorAgent],
+                                  entitled: dict[str, int]):
+        """The first recipient disputing its assignment, in order.
+
+        Each recipient checks against its *own* redundantly computed
+        entitlement — under atomic broadcast that equals the
+        originator's plan, but on point-to-point networks a poisoned
+        bid view makes honest entitlements diverge, and this is where
+        the divergence surfaces.
+        """
+        active = [a.name for a in participants]
+        for agent in participants:
+            if agent.name == self.originator.name:
+                continue
+            received = len(self._received[agent.name])
+            if self.bidding_mode == "atomic":
+                own_entitled = entitled[agent.name]
+            else:
+                own_alpha = agent.compute_allocation(active)
+                own_entitled = quantize_blocks(own_alpha, self.num_blocks)[
+                    active.index(agent.name)]
+            if agent.disputes_assignment(received, own_entitled):
+                return agent
+        return None
+
+    def _work_commenced_before(self, claimant: str, active: list[str],
+                               alpha_map: dict[str, float]) -> dict[str, float]:
+        """``alpha_i w~_i`` for processors that commenced work before the
+        dispute terminated the run.
+
+        Reception is in allocation order, so every worker ordered before
+        the claimant (plus a front-ended originator, which computes from
+        t = 0) has begun.
+        """
+        work: dict[str, float] = {}
+        claimant_idx = active.index(claimant)
+        by_name = {a.name: a for a in self.agents}
+        for i, name in enumerate(active):
+            agent = by_name[name]
+            started = i < claimant_idx
+            if name == self.originator.name:
+                started = self.kind is NetworkKind.NCP_FE
+            if started:
+                work[name] = alpha_map[name] * agent.exec_value
+        return work
+
+    def _apply_verdict(self, verdict: RefereeVerdict) -> None:
+        """Execute a verdict's monetary consequences on the ledger."""
+        for f in verdict.fines:
+            self.infra.collect_fine(f.who, f.amount, f.offence)
+        self.bus.broadcast(Message(MessageKind.VERDICT, REFEREE, ("*",), {
+            "case": verdict.case,
+            "fined": list(verdict.fined_names),
+        }))
+        if verdict.compensated:
+            self.infra.distribute_from_escrow(verdict.compensated, "compensation")
+        if verdict.rewards:
+            self.infra.distribute_from_escrow(verdict.rewards, "informer-reward")
+
+    def _result(
+        self,
+        completed: bool,
+        phase: Phase,
+        verdicts: list[RefereeVerdict],
+        *,
+        active: dict,
+        bids: dict[str, float],
+        alpha: dict[str, float],
+        phi: dict[str, float],
+        payments: dict[str, float],
+        fine: float,
+        realized: float | None,
+        participants: list[str],
+        costs: dict[str, float] | None = None,
+    ) -> ProtocolResult:
+        costs = costs or {}
+        costs = {n: costs.get(n, 0.0) for n in self.order}
+        balances = {n: self.infra.balance(n) for n in self.order}
+        balances[USER] = self.infra.balance(USER)
+        utilities = {n: balances[n] - costs[n] for n in self.order}
+        return ProtocolResult(
+            completed=completed,
+            terminal_phase=phase,
+            verdicts=tuple(verdicts),
+            order=tuple(self.order),
+            participants=tuple(participants),
+            bids=dict(bids),
+            alpha={n: alpha.get(n, 0.0) for n in self.order},
+            phi=dict(phi),
+            payments={n: payments.get(n, 0.0) for n in self.order},
+            balances=balances,
+            costs=costs,
+            utilities=utilities,
+            fine_amount=fine,
+            makespan_realized=realized,
+            traffic=self.bus.stats,
+        )

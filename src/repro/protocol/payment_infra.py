@@ -1,0 +1,95 @@
+"""Payment infrastructure: accounts, billing, fines.
+
+Section 4 assumes "the existence of a payment infrastructure ... to
+which the participants have access": the user funds the computation,
+processors receive payments, fines are collected from deviants and
+redistributed.  :class:`Ledger` is double-entry at the granularity the
+mechanism needs — every credit has a matching debit, so the system-wide
+balance is invariantly zero and tests can assert no money is created or
+destroyed by any verdict.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["Ledger", "PaymentInfrastructure"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One ledger movement (from ``src`` to ``dst``)."""
+
+    src: str
+    dst: str
+    amount: float
+    memo: str
+
+
+@dataclass
+class Ledger:
+    """Double-entry account book.
+
+    Accounts spring into existence at first touch with balance zero;
+    the special ``"escrow"`` account holds collected fines between
+    collection and redistribution.
+    """
+
+    balances: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    history: list[Transfer] = field(default_factory=list)
+
+    def transfer(self, src: str, dst: str, amount: float, memo: str = "") -> None:
+        """Move *amount* from *src* to *dst* (negative amounts rejected)."""
+        if amount < 0:
+            raise ValueError(f"negative transfer {amount} ({memo})")
+        self.balances[src] -= amount
+        self.balances[dst] += amount
+        self.history.append(Transfer(src, dst, amount, memo))
+
+    def balance(self, name: str) -> float:
+        return self.balances.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        """System-wide sum; must always be ~0 (conservation of money)."""
+        return float(sum(self.balances.values()))
+
+
+class PaymentInfrastructure:
+    """Applies mechanism outcomes to the ledger.
+
+    The infrastructure is trusted plumbing (like the PKI): it executes
+    exactly the transfers the referee or the completed protocol
+    dictates, and nothing else.
+    """
+
+    ESCROW = "escrow"
+
+    def __init__(self, user: str = "user") -> None:
+        self.user = user
+        self.ledger = Ledger()
+
+    def remit_payments(self, payments: dict[str, float]) -> None:
+        """Bill the user and credit each processor its ``Q_i``.
+
+        Negative payments (possible when a processor's bonus is deeply
+        negative) flow the other way: the processor owes the user.
+        """
+        for name, q in payments.items():
+            if q >= 0:
+                self.ledger.transfer(self.user, name, q, memo=f"payment Q[{name}]")
+            else:
+                self.ledger.transfer(name, self.user, -q, memo=f"negative payment Q[{name}]")
+
+    def collect_fine(self, who: str, amount: float, offence: str) -> None:
+        """Debit a fined processor into escrow."""
+        self.ledger.transfer(who, self.ESCROW, amount, memo=f"fine:{offence}")
+
+    def distribute_from_escrow(self, rewards: dict[str, float], memo: str) -> None:
+        """Pay informer rewards / terminal compensations out of escrow."""
+        for name, amount in rewards.items():
+            self.ledger.transfer(self.ESCROW, name, amount, memo=f"{memo}:{name}")
+
+    def balance(self, name: str) -> float:
+        return self.ledger.balance(name)

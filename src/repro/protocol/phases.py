@@ -1,0 +1,28 @@
+"""Protocol phases of DLS-BL-NCP (Section 4)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["Phase"]
+
+
+class Phase(Enum):
+    """The phases in protocol order.
+
+    ``value`` encodes the order so ``Phase.X.value < Phase.Y.value``
+    means X precedes Y; experiment code uses this to assert *where* a
+    run terminated.
+    """
+
+    INITIALIZATION = 0
+    BIDDING = 1
+    ALLOCATING_LOAD = 2
+    PROCESSING_LOAD = 3
+    COMPUTING_PAYMENTS = 4
+    COMPLETE = 5
+
+    def __lt__(self, other: "Phase") -> bool:
+        if not isinstance(other, Phase):
+            return NotImplemented
+        return self.value < other.value

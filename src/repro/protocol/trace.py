@@ -1,0 +1,68 @@
+"""Human-readable protocol transcripts.
+
+Renders a bus message log as a line-per-message transcript plus a
+per-kind traffic summary — the debugging view for protocol work and
+the backing for the CLI's ``protocol --trace`` flag.  The transcript is
+derived purely from the transport log, so it shows what actually
+crossed the wire, not what any party claims happened.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.crypto.signatures import SignedMessage
+from repro.network.bus import Bus
+from repro.network.messages import Message, MessageKind
+
+__all__ = ["describe_message", "render_transcript", "traffic_summary"]
+
+
+def describe_message(msg: Message) -> str:
+    """One-line description of a wire message."""
+    dst = "ALL" if msg.is_broadcast else ",".join(msg.recipients)
+    body = msg.body
+    if msg.kind is MessageKind.BID and isinstance(body, SignedMessage):
+        detail = f"bid={body.payload.get('bid'):.6g} signed-by={body.signer}"
+    elif msg.kind is MessageKind.LOAD:
+        count = len(body) if isinstance(body, (list, tuple)) else "?"
+        detail = f"{count} blocks"
+    elif msg.kind is MessageKind.PAYMENT_VECTOR and isinstance(body, SignedMessage):
+        q = body.payload.get("Q", [])
+        detail = f"Q=[{', '.join(f'{x:.4g}' for x in q)}]"
+    elif msg.kind is MessageKind.METER:
+        detail = "phi=" + ", ".join(f"{k}:{v:.4g}" for k, v in body.items())
+    elif msg.kind is MessageKind.VERDICT:
+        detail = f"case={body.get('case')} fined={body.get('fined')}"
+    elif msg.kind is MessageKind.CLAIM:
+        detail = f"case={body.get('case')}"
+    elif msg.kind is MessageKind.BID_VECTOR:
+        detail = f"{len(body)} signed bids"
+    elif msg.kind is MessageKind.BILL:
+        detail = f"total={body.get('total'):.6g}"
+    elif msg.kind is MessageKind.COMMITMENT:
+        detail = f"digest={body.get('digest', '')[:16]}..."
+    else:  # pragma: no cover - future kinds
+        detail = ""
+    return (f"[{msg.kind.value:>14}] {msg.sender:>8} -> {dst:<8} "
+            f"{msg.size_bytes:>5}B  {detail}")
+
+
+def render_transcript(bus: Bus) -> str:
+    """Full transcript of everything that crossed *bus*."""
+    lines = [f"--- transcript: {len(bus.log)} messages, "
+             f"{bus.stats.bytes} bytes total ---"]
+    lines += [describe_message(m) for m in bus.log]
+    return "\n".join(lines)
+
+
+def traffic_summary(bus: Bus) -> str:
+    """Per-kind message/byte table (the Theorem 5.4 accounting view)."""
+    rows = [
+        (kind.value, bus.stats.by_kind[kind], bus.stats.bytes_by_kind[kind])
+        for kind in MessageKind
+        if bus.stats.by_kind[kind]
+    ]
+    rows.append(("TOTAL (control)", bus.stats.control_messages,
+                 bus.stats.control_bytes))
+    return format_table(("kind", "messages", "bytes"), rows,
+                        title="Bus traffic by message kind")

@@ -1,0 +1,64 @@
+"""Tests for strategy descriptions."""
+
+import pytest
+
+from repro.agents.behaviors import (
+    AgentBehavior,
+    Deviation,
+    misreport,
+    slow_execution,
+    truthful,
+)
+
+
+class TestConstruction:
+    def test_defaults_are_honest(self):
+        b = truthful()
+        assert b.is_honest and b.is_compliant
+        assert b.is_truthful_reporter and b.is_full_speed
+
+    def test_rejects_nonpositive_factors(self):
+        with pytest.raises(ValueError):
+            AgentBehavior(bid_factor=0.0)
+        with pytest.raises(ValueError):
+            AgentBehavior(exec_factor=-1.0)
+
+    def test_deviations_coerced_to_frozenset(self):
+        b = AgentBehavior(deviations={Deviation.MULTIPLE_BIDS})
+        assert isinstance(b.deviations, frozenset)
+
+
+class TestClassification:
+    def test_misreporter_not_honest_but_compliant(self):
+        b = misreport(1.5)
+        assert not b.is_honest
+        assert b.is_compliant
+        assert not b.is_truthful_reporter
+
+    def test_slacker_not_honest_but_compliant(self):
+        b = slow_execution(2.0)
+        assert not b.is_honest
+        assert b.is_compliant
+        assert not b.is_full_speed
+
+    def test_deviant_not_compliant(self):
+        b = AgentBehavior(deviations={Deviation.WRONG_PAYMENTS})
+        assert not b.is_compliant and not b.is_honest
+
+    def test_silent_observer_counts_as_compliant(self):
+        # Shirking the monitoring duty breaks no protocol rule; it only
+        # forfeits informer rewards.
+        b = AgentBehavior(deviations={Deviation.SILENT_OBSERVER})
+        assert b.is_compliant
+
+
+class TestValueMapping:
+    def test_bid_for(self):
+        assert misreport(1.5).bid_for(2.0) == pytest.approx(3.0)
+        assert truthful().bid_for(2.0) == pytest.approx(2.0)
+
+    def test_exec_value_clamped_to_physical_floor(self):
+        # An agent cannot execute faster than its true speed: factors
+        # below 1 clamp to w_i.
+        assert AgentBehavior(exec_factor=0.5).exec_value_for(2.0) == pytest.approx(2.0)
+        assert AgentBehavior(exec_factor=1.5).exec_value_for(2.0) == pytest.approx(3.0)

@@ -1,0 +1,238 @@
+"""Tests for the processor agent's strategy execution and monitoring."""
+
+import numpy as np
+import pytest
+
+from repro.agents.behaviors import AgentBehavior, Deviation, truthful
+from repro.agents.processor import ProcessorAgent
+from repro.crypto.pki import PKI
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+
+
+@pytest.fixture
+def world():
+    pki = PKI()
+
+    def make(name, w, behavior=None):
+        return ProcessorAgent(name, w, behavior or truthful(),
+                              key=pki.register(name), pki=pki,
+                              kind=NetworkKind.NCP_FE, z=0.5)
+
+    return pki, make
+
+
+def exchange_bids(agents):
+    """Simulate the all-to-all broadcast."""
+    for a in agents:
+        for msg in a.make_bid_messages():
+            for b in agents:
+                b.observe_bid(msg)
+
+
+class TestBidding:
+    def test_truthful_bid_equals_w(self, world):
+        _, make = world
+        a = make("P1", 2.5)
+        msgs = a.make_bid_messages()
+        assert len(msgs) == 1
+        assert msgs[0].payload == {"processor": "P1", "bid": 2.5}
+
+    def test_misreported_bid(self, world):
+        _, make = world
+        a = make("P1", 2.0, AgentBehavior(bid_factor=1.5))
+        assert a.make_bid_messages()[0].payload["bid"] == pytest.approx(3.0)
+
+    def test_multiple_bids_deviation(self, world):
+        _, make = world
+        a = make("P1", 2.0, AgentBehavior(deviations={Deviation.MULTIPLE_BIDS}))
+        msgs = a.make_bid_messages()
+        assert len(msgs) == 2
+        assert msgs[0].payload["bid"] != msgs[1].payload["bid"]
+
+    def test_unauthentic_bid_discarded(self, world):
+        from repro.crypto.signatures import SigningKey
+
+        pki, make = world
+        a = make("P1", 2.0)
+        rogue = SigningKey("ghost")
+        a.observe_bid(rogue.sign({"processor": "ghost", "bid": 1.0}))
+        assert a._bid_archive == {}
+
+    def test_signer_payload_mismatch_discarded(self, world):
+        pki, make = world
+        a, b = make("P1", 2.0), make("P2", 3.0)
+        # P2 signs a payload claiming to be P1: authentic signature,
+        # inconsistent identity -> discarded.
+        evil = b.key.sign({"processor": "P1", "bid": 1.0})
+        a.observe_bid(evil)
+        assert a._bid_archive == {}
+
+    def test_duplicate_identical_bid_archived_once(self, world):
+        _, make = world
+        a, b = make("P1", 2.0), make("P2", 3.0)
+        msg = b.make_bid_messages()[0]
+        a.observe_bid(msg)
+        a.observe_bid(msg)
+        assert len(a._bid_archive["P2"]) == 1
+
+
+class TestMonitoring:
+    def test_detects_equivocation(self, world):
+        _, make = world
+        honest = make("P1", 2.0)
+        cheat = make("P2", 3.0, AgentBehavior(deviations={Deviation.MULTIPLE_BIDS}))
+        exchange_bids([honest, cheat])
+        found = honest.detect_equivocations()
+        assert len(found) == 1
+        accused, (m1, m2) = found[0]
+        assert accused == "P2"
+        assert m1.payload != m2.payload
+
+    def test_never_reports_self(self, world):
+        _, make = world
+        cheat = make("P2", 3.0, AgentBehavior(deviations={Deviation.MULTIPLE_BIDS}))
+        honest = make("P1", 2.0)
+        exchange_bids([honest, cheat])
+        assert cheat.detect_equivocations() == []
+
+    def test_silent_observer_reports_nothing(self, world):
+        _, make = world
+        silent = make("P1", 2.0, AgentBehavior(deviations={Deviation.SILENT_OBSERVER}))
+        cheat = make("P2", 3.0, AgentBehavior(deviations={Deviation.MULTIPLE_BIDS}))
+        exchange_bids([silent, cheat])
+        assert silent.detect_equivocations() == []
+
+    def test_fabricated_claim_uses_single_message_twice(self, world):
+        _, make = world
+        liar = make("P1", 2.0, AgentBehavior(
+            deviations={Deviation.FALSE_EQUIVOCATION_CLAIM},
+            deviation_params={"victim": "P2"}))
+        honest = make("P2", 3.0)
+        exchange_bids([liar, honest])
+        victim, (m1, m2) = liar.fabricate_equivocation_claim(["P1", "P2"])
+        assert victim == "P2"
+        assert m1 is m2  # non-probative: cannot forge a second message
+
+
+class TestAllocationPhase:
+    def test_allocation_matches_closed_form(self, world):
+        _, make = world
+        agents = [make("P1", 2.0), make("P2", 3.0), make("P3", 5.0)]
+        exchange_bids(agents)
+        order = ["P1", "P2", "P3"]
+        net = BusNetwork((2.0, 3.0, 5.0), 0.5, NetworkKind.NCP_FE)
+        for a in agents:
+            assert a.compute_allocation(order) == pytest.approx(allocate(net))
+
+    def test_bid_view_consistent_across_honest_agents(self, world):
+        _, make = world
+        agents = [make("P1", 2.0), make("P2", 3.0)]
+        exchange_bids(agents)
+        assert agents[0].bid_view(["P1", "P2"]) == agents[1].bid_view(["P1", "P2"])
+
+    def test_bid_view_missing_raises(self, world):
+        _, make = world
+        a = make("P1", 2.0)
+        with pytest.raises(KeyError):
+            a.bid_view(["P1", "P2"])
+
+    def test_honest_shipment_plan_is_entitlement(self, world):
+        _, make = world
+        a = make("P1", 2.0)
+        plan = a.planned_shipments({"P1": 40, "P2": 35, "P3": 25})
+        assert plan == {"P1": 40, "P2": 35, "P3": 25}
+
+    def test_short_allocation_plan(self, world):
+        _, make = world
+        a = make("P1", 2.0, AgentBehavior(
+            deviations={Deviation.SHORT_ALLOCATION},
+            deviation_params={"victim": "P3", "delta_blocks": 5}))
+        plan = a.planned_shipments({"P1": 40, "P2": 35, "P3": 25})
+        assert plan == {"P1": 40, "P2": 35, "P3": 20}
+
+    def test_over_allocation_plan(self, world):
+        _, make = world
+        a = make("P1", 2.0, AgentBehavior(
+            deviations={Deviation.OVER_ALLOCATION},
+            deviation_params={"victim": "P2", "delta_blocks": 2}))
+        plan = a.planned_shipments({"P1": 40, "P2": 35, "P3": 25})
+        assert plan["P2"] == 37
+
+    def test_dispute_logic(self, world):
+        _, make = world
+        honest = make("P2", 3.0)
+        assert honest.disputes_assignment(20, 25)
+        assert honest.disputes_assignment(30, 25)
+        assert not honest.disputes_assignment(25, 25)
+
+    def test_false_claim_disputes_correct_count(self, world):
+        _, make = world
+        liar = make("P2", 3.0, AgentBehavior(
+            deviations={Deviation.FALSE_ALLOCATION_CLAIM}))
+        assert liar.disputes_assignment(25, 25)
+
+    def test_manipulated_bid_vector_resigns_own_entry(self, world):
+        pki, make = world
+        agents = [make("P1", 2.0, AgentBehavior(
+            deviations={Deviation.MANIPULATED_BID_VECTOR},
+            deviation_params={"vector_bid_factor": 2.0})), make("P2", 3.0)]
+        exchange_bids(agents)
+        vec = agents[0].bid_vector_messages(["P1", "P2"])
+        own = [m for m in vec if m.signer == "P1"][0]
+        assert own.payload["bid"] == pytest.approx(4.0)
+        assert pki.verify(own)  # re-signed with its own key: authentic
+
+
+class TestExecutionAndPayments:
+    def test_exec_value_floor(self, world):
+        _, make = world
+        eager = make("P1", 2.0, AgentBehavior(exec_factor=0.25))
+        assert eager.exec_value == pytest.approx(2.0)
+
+    def test_payment_vector_correct_for_honest(self, world):
+        from repro.core.payments import payments as compute_payments
+
+        _, make = world
+        agents = [make("P1", 2.0), make("P2", 3.0)]
+        exchange_bids(agents)
+        order = ["P1", "P2"]
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.NCP_FE)
+        alpha = allocate(net)
+        phi = {"P1": alpha[0] * 2.0, "P2": alpha[1] * 3.0}
+        msgs = agents[0].payment_vector_messages(order, alpha, phi)
+        assert len(msgs) == 1
+        expected = compute_payments(net, np.array([2.0, 3.0]))
+        assert msgs[0].payload["Q"] == pytest.approx(expected)
+
+    def test_wrong_payments_scaled(self, world):
+        _, make = world
+        agents = [make("P1", 2.0, AgentBehavior(
+            deviations={Deviation.WRONG_PAYMENTS},
+            deviation_params={"payment_scale": 2.0})), make("P2", 3.0)]
+        exchange_bids(agents)
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.NCP_FE)
+        alpha = allocate(net)
+        phi = {"P1": alpha[0] * 2.0, "P2": alpha[1] * 3.0}
+        from repro.core.payments import payments as compute_payments
+
+        wrong = agents[0].payment_vector_messages(["P1", "P2"], alpha, phi)
+        right = compute_payments(net, np.array([2.0, 3.0]))
+        assert wrong[0].payload["Q"] == pytest.approx(2.0 * right)
+
+    def test_contradictory_payment_messages(self, world):
+        _, make = world
+        agents = [make("P1", 2.0, AgentBehavior(
+            deviations={Deviation.CONTRADICTORY_PAYMENTS})), make("P2", 3.0)]
+        exchange_bids(agents)
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.NCP_FE)
+        alpha = allocate(net)
+        phi = {"P1": alpha[0] * 2.0, "P2": alpha[1] * 3.0}
+        msgs = agents[0].payment_vector_messages(["P1", "P2"], alpha, phi)
+        assert len(msgs) == 2
+        assert msgs[0].payload["Q"] != msgs[1].payload["Q"]
+
+    def test_rejects_nonpositive_w(self, world):
+        _, make = world
+        with pytest.raises(ValueError):
+            make("PX", 0.0)

@@ -1,0 +1,83 @@
+"""Tests for coalition-manipulation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.coalitions import (
+    CoalitionResult,
+    coalition_best_response,
+    coalition_sweep,
+    coalition_utilities,
+)
+from repro.dlt.platform import BusNetwork, NetworkKind
+
+NET = BusNetwork((2.0, 3.0, 5.0, 4.0), 0.4, NetworkKind.CP)
+GRID = (0.75, 1.0, 1.5, 2.0)
+
+
+class TestCoalitionUtilities:
+    def test_truthful_matches_individual_sum(self):
+        from repro.core.payments import utilities
+
+        u = utilities(NET, np.asarray(NET.w))
+        joint = coalition_utilities(NET, (0, 2), (1.0, 1.0))
+        assert joint == pytest.approx(float(u[0] + u[2]))
+
+    def test_underbidder_clamped_to_true_speed(self):
+        # An underbidding colluder cannot deliver its bid: execution is
+        # pinned at w, which the utility must reflect.
+        lone = coalition_utilities(NET, (1,), (0.75,))
+        truthful = coalition_utilities(NET, (1,), (1.0,))
+        assert lone <= truthful + 1e-9
+
+
+class TestIndividualConsistency:
+    def test_singletons_never_profit(self):
+        # Coalition of one == Theorem 3.1: must never gain.
+        for r in coalition_sweep(NET, size=1, grid=GRID):
+            assert not r.profitable
+            assert r.best_factors == (1.0,)
+
+
+class TestGroupManipulation:
+    def test_some_pair_profits(self):
+        # The headline ablation: DLS-BL is NOT group-strategyproof.
+        results = coalition_sweep(NET, size=2, grid=GRID)
+        assert any(r.profitable for r in results)
+
+    def test_profitable_pattern_is_partner_overbidding(self):
+        # The gain comes from a partner inflating the other's exclusion
+        # term: in every profitable pair at least one member overbids.
+        for r in coalition_sweep(NET, size=2, grid=GRID):
+            if r.profitable:
+                assert max(r.best_factors) > 1.0
+
+    def test_gain_is_side_payment_dependent(self):
+        # The colluders' *joint* utility rises, but the overbidder alone
+        # typically loses — the coalition only works with transfers.
+        from repro.core.payments import utilities
+
+        r = next(r for r in coalition_sweep(NET, size=2, grid=GRID)
+                 if r.profitable)
+        w = NET.w_array
+        bids = w.copy()
+        for i, f in zip(r.members, r.best_factors):
+            bids[i] = f * w[i]
+        u = utilities(NET.with_w(bids), np.maximum(w, bids))
+        u_truth = utilities(NET, w)
+        overbidders = [i for i, f in zip(r.members, r.best_factors) if f > 1.0]
+        assert any(u[i] < u_truth[i] + 1e-9 for i in overbidders)
+
+
+class TestApi:
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            coalition_sweep(NET, size=0)
+        with pytest.raises(ValueError):
+            coalition_sweep(NET, size=99)
+
+    def test_result_fields(self):
+        r = coalition_best_response(NET, (0, 1), GRID)
+        assert isinstance(r, CoalitionResult)
+        assert r.members == (0, 1)
+        assert r.gain == pytest.approx(r.joint_utility - r.truthful_joint_utility)

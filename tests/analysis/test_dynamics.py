@@ -1,0 +1,69 @@
+"""Best-response dynamics must snap to truth in one round (dominance)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dynamics import (
+    best_response_bid,
+    best_response_dynamics,
+)
+from repro.dlt.platform import BusNetwork, NetworkKind
+from tests.conftest import regime_network_strategy
+
+NET = BusNetwork((2.0, 3.0, 5.0, 4.0), 0.4, NetworkKind.CP)
+
+
+class TestBestResponseBid:
+    def test_truth_against_truthful_others(self):
+        bids = NET.w_array.copy()
+        for i in range(NET.m):
+            assert best_response_bid(NET, i, bids, (0.5, 1.0, 2.0)) == \
+                pytest.approx(NET.w[i])
+
+    def test_truth_against_lying_others(self):
+        bids = NET.w_array * np.array([1.8, 0.7, 1.3, 1.0])
+        for i in range(NET.m):
+            b = best_response_bid(NET, i, bids, (0.5, 0.9, 1.0, 1.1, 2.0))
+            assert b == pytest.approx(NET.w[i])
+
+
+class TestDynamics:
+    def test_one_round_convergence_from_anywhere(self):
+        trace = best_response_dynamics(NET, [1.8, 0.6, 1.4, 0.9])
+        assert trace.converged
+        assert trace.distance_to(NET.w) < 1e-12
+        # dominant strategies: the profile is truthful after ROUND ONE
+        assert np.allclose(trace.profiles[1], NET.w)
+
+    def test_truthful_start_is_fixed_point(self):
+        trace = best_response_dynamics(NET, [1.0] * NET.m)
+        assert trace.rounds <= 2
+        assert np.allclose(trace.profiles[-1], NET.w)
+
+    @given(regime_network_strategy(min_m=2, max_m=6),
+           st.lists(st.floats(min_value=0.85, max_value=2.0), min_size=2,
+                    max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_convergence_property(self, net, factors_raw):
+        # Starting factors >= 0.85 keep the intermediate bid profiles in
+        # the DLT regime (the same restriction the dominance theorem
+        # needs on NCP-NFE — DESIGN.md §3.5 finding 5).
+        factors = np.ones(net.m)
+        for j, f in enumerate(factors_raw[: net.m]):
+            factors[j] = f
+        trace = best_response_dynamics(net, factors)
+        assert trace.converged
+        assert trace.distance_to(net.w) < 1e-9
+        assert np.allclose(trace.profiles[1], net.w, rtol=1e-12)
+
+    def test_out_of_regime_start_converges_but_not_in_one_round(self):
+        # Documentation of the boundary: an NCP-NFE start with the
+        # originator underbidding past z breaks one-round dominance
+        # (best responses against an out-of-regime profile need not be
+        # truthful); the dynamics may still settle, just not with the
+        # one-round signature.
+        net = BusNetwork((1.0, 1.0), 0.75, NetworkKind.NCP_NFE)
+        trace = best_response_dynamics(net, [1.0, 0.5])
+        assert not np.allclose(trace.profiles[1], net.w)

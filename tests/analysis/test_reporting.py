@@ -1,0 +1,39 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.analysis.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        out = format_table(("name", "value"), [("alpha", 1.5), ("b", 22.25)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        out = format_table(("a",), [(1,)], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_numbers_right_aligned_strings_left(self):
+        out = format_table(("n", "s"), [(1, "x"), (100, "yy")])
+        rows = out.splitlines()[2:]
+        assert rows[0].startswith("  1")
+        assert rows[1].startswith("100")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_float_formatting_compact(self):
+        out = format_table(("v",), [(0.123456789,)])
+        assert "0.123457" in out
+
+
+class TestFormatSeries:
+    def test_two_columns(self):
+        out = format_series("makespan", [1, 2], [0.5, 0.25])
+        assert "makespan" in out
+        assert len(out.splitlines()) == 4

@@ -1,0 +1,50 @@
+"""Tests for the workload family generators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.workloads import FAMILIES, family_names, generate
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("family", family_names())
+    def test_positive_and_shaped(self, family, rng):
+        w = generate(family, 16, rng)
+        assert w.shape == (16,)
+        assert np.all(w > 0)
+        assert np.all(np.isfinite(w))
+
+    def test_unknown_family_fails_loudly(self, rng):
+        with pytest.raises(ValueError, match="unknown workload family"):
+            generate("quantum", 4, rng)
+
+    def test_bad_m(self, rng):
+        with pytest.raises(ValueError):
+            generate("uniform", 0, rng)
+
+    def test_deterministic_per_seed(self):
+        a = generate("heavy-tail", 8, np.random.default_rng(5))
+        b = generate("heavy-tail", 8, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestFamilyShapes:
+    def test_homogeneous_is_tight(self, rng):
+        w = generate("homogeneous", 64, rng)
+        assert w.std() / w.mean() < 0.1
+
+    def test_two_tier_is_bimodal(self, rng):
+        w = generate("two-tier", 500, rng)
+        assert (w > 4.0).mean() > 0.1   # some slow machines
+        assert (w < 3.0).mean() > 0.4   # many fast ones
+
+    def test_heavy_tail_has_stragglers(self, rng):
+        w = generate("heavy-tail", 1000, rng)
+        assert w.max() / np.median(w) > 4.0
+
+    def test_ordered_is_sorted(self, rng):
+        w = generate("ordered", 32, rng)
+        assert np.all(np.diff(w) >= 0)
+
+    def test_registry_and_names_agree(self):
+        assert set(family_names()) == set(FAMILIES)

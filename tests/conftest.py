@@ -1,0 +1,84 @@
+"""Shared fixtures and instance generators for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.dlt.platform import BusNetwork, NetworkKind
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG; per-test isolation via fixed seed."""
+    return np.random.default_rng(0xD15B)
+
+
+@pytest.fixture(params=list(NetworkKind), ids=lambda k: k.value)
+def kind(request) -> NetworkKind:
+    """Parametrize a test across all three system models."""
+    return request.param
+
+
+@pytest.fixture(params=[NetworkKind.NCP_FE, NetworkKind.NCP_NFE],
+                ids=lambda k: k.value)
+def ncp_kind(request) -> NetworkKind:
+    """Parametrize across the two no-control-processor models."""
+    return request.param
+
+
+def make_network(kind: NetworkKind, w, z: float = 0.5) -> BusNetwork:
+    return BusNetwork(tuple(float(x) for x in w), z, kind)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+
+def w_values(min_size: int = 1, max_size: int = 10):
+    """Per-unit processing times: positive, moderately heterogeneous.
+
+    The range [0.1, 50] spans 500x heterogeneity without driving the
+    chain products into float underflow, matching the closed forms'
+    documented domain.
+    """
+    return st.lists(
+        st.floats(min_value=0.1, max_value=50.0, allow_nan=False,
+                  allow_infinity=False),
+        min_size=min_size, max_size=max_size,
+    )
+
+
+def z_values():
+    """Bus communication rates over three decades."""
+    return st.floats(min_value=0.01, max_value=10.0, allow_nan=False,
+                     allow_infinity=False)
+
+
+def network_strategy(kinds=tuple(NetworkKind), min_m: int = 1, max_m: int = 10):
+    """Random BusNetwork instances across kinds and sizes."""
+    return st.builds(
+        lambda w, z, kind: BusNetwork(tuple(w), z, kind),
+        w_values(min_m, max_m),
+        z_values(),
+        st.sampled_from(list(kinds)),
+    )
+
+
+def regime_network_strategy(kinds=tuple(NetworkKind), min_m: int = 1, max_m: int = 10):
+    """Instances in the classical DLT regime: communication faster than
+    the slowest useful computation (``z < min(w)``).
+
+    Theorem 2.1's "all processors participate" premise requires this for
+    NCP-NFE: with ``z >= w_m`` the originator is better off keeping load
+    than paying to ship it (see tests/dlt/test_optimality.py's regime
+    boundary test and DESIGN.md).  The fraction 0.8 keeps a margin from
+    the boundary so float noise cannot flip optimizer comparisons.
+    """
+    return st.builds(
+        lambda w, frac, kind: BusNetwork(tuple(w), frac * min(w), kind),
+        w_values(min_m, max_m),
+        st.floats(min_value=0.05, max_value=0.8),
+        st.sampled_from(list(kinds)),
+    )

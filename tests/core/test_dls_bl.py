@@ -1,0 +1,132 @@
+"""Tests for the centralized DLS-BL mechanism (Theorems 3.1 and 3.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dls_bl import DLSBL
+from repro.dlt.platform import NetworkKind
+from tests.conftest import regime_network_strategy
+
+
+class TestApi:
+    def test_rejects_bad_z(self):
+        with pytest.raises(ValueError):
+            DLSBL(NetworkKind.CP, 0.0)
+
+    def test_rejects_single_bid(self):
+        with pytest.raises(ValueError):
+            DLSBL(NetworkKind.CP, 0.5).run([2.0], [2.0])
+
+    def test_rejects_w_exec_shape(self):
+        with pytest.raises(ValueError):
+            DLSBL(NetworkKind.CP, 0.5).run([2.0, 3.0], [2.0])
+
+    def test_allocation_matches_closed_form(self, kind):
+        from repro.dlt.closed_form import allocate
+        from repro.dlt.platform import BusNetwork
+
+        mech = DLSBL(kind, 0.5)
+        bids = [2.0, 3.0, 5.0]
+        expected = allocate(BusNetwork(tuple(bids), 0.5, kind))
+        assert mech.allocate(bids) == pytest.approx(expected)
+
+
+class TestResultRecord:
+    def test_truthful_run_consistency(self, kind):
+        mech = DLSBL(kind, 0.5)
+        r = mech.truthful_run([2.0, 3.0, 5.0])
+        assert r.m == 3
+        assert sum(r.alpha) == pytest.approx(1.0)
+        assert r.makespan_reported == pytest.approx(r.makespan_realized)
+        # Q = C + B elementwise
+        for q, c, b in zip(r.payments, r.compensations, r.bonuses):
+            assert q == pytest.approx(c + b)
+        # U = Q - C (valuation is the observed cost)
+        for u, q, c in zip(r.utilities, r.payments, r.compensations):
+            assert u == pytest.approx(q - c)
+        assert r.user_cost == pytest.approx(sum(r.payments))
+
+    def test_slow_execution_raises_realized_makespan(self, kind):
+        mech = DLSBL(kind, 0.5)
+        bids = [2.0, 3.0, 5.0]
+        slow = mech.run(bids, [2.0, 6.0, 5.0])
+        assert slow.makespan_realized > slow.makespan_reported
+
+
+class TestStrategyproofness:
+    """Theorem 3.1: no (bid, execution) deviation beats truth-telling."""
+
+    @given(regime_network_strategy(min_m=2, max_m=7),
+           st.integers(min_value=0, max_value=6),
+           st.floats(min_value=0.3, max_value=3.0))
+    @settings(max_examples=120, deadline=None)
+    def test_misreporting_never_beats_truth(self, net, i_raw, factor):
+        i = i_raw % net.m
+        w = np.asarray(net.w)
+        mech = DLSBL(net.kind, net.z)
+        truthful_u = mech.run(w, w).utilities[i]
+        bids = w.copy()
+        bids[i] = factor * w[i]
+        # The agent cannot execute faster than w_i.  If it underbids it
+        # must still take at least w_i per unit; if it overbids it can
+        # execute at w_i (or slower, never beneficial).
+        w_exec = w.copy()
+        deviant_u = mech.run(bids, w_exec).utilities[i]
+        assert deviant_u <= truthful_u + 1e-9
+
+    @given(regime_network_strategy(min_m=2, max_m=7),
+           st.integers(min_value=0, max_value=6),
+           st.floats(min_value=1.0, max_value=3.0),
+           st.floats(min_value=1.0, max_value=3.0))
+    @settings(max_examples=120, deadline=None)
+    def test_joint_bid_and_slack_deviation(self, net, i_raw, bid_f, exec_f):
+        # Deviating on both dimensions at once is still dominated.
+        i = i_raw % net.m
+        w = np.asarray(net.w)
+        mech = DLSBL(net.kind, net.z)
+        truthful_u = mech.run(w, w).utilities[i]
+        bids, w_exec = w.copy(), w.copy()
+        bids[i] = bid_f * w[i]
+        w_exec[i] = exec_f * w[i]
+        assert mech.run(bids, w_exec).utilities[i] <= truthful_u + 1e-9
+
+    def test_dominance_under_others_lies(self):
+        # Dominant strategy: truth is best *whatever* the others bid.
+        w = np.array([2.0, 3.0, 5.0])
+        mech = DLSBL(NetworkKind.CP, 0.4)
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            others = w * rng.uniform(0.5, 2.0, 3)
+            bids_truth = others.copy()
+            bids_truth[1] = w[1]
+            exec_truth = others.copy()
+            exec_truth[1] = w[1]
+            u_truth = mech.run(bids_truth, exec_truth).utilities[1]
+            lie = float(rng.uniform(0.5, 2.0)) * w[1]
+            bids_lie = others.copy()
+            bids_lie[1] = lie
+            exec_lie = others.copy()
+            exec_lie[1] = max(w[1], lie) if lie > w[1] else w[1]
+            u_lie = mech.run(bids_lie, exec_lie).utilities[1]
+            assert u_lie <= u_truth + 1e-9
+
+
+class TestVoluntaryParticipation:
+    @given(regime_network_strategy(min_m=2, max_m=8))
+    @settings(max_examples=100, deadline=None)
+    def test_truthful_utility_nonnegative(self, net):
+        w = np.asarray(net.w)
+        r = DLSBL(net.kind, net.z).run(w, w)
+        assert min(r.utilities) >= -1e-10
+
+    @given(regime_network_strategy(min_m=2, max_m=8))
+    @settings(max_examples=60, deadline=None)
+    def test_payments_cover_truthful_costs(self, net):
+        # Q_i = C_i + B_i >= C_i for truthful agents: the user always at
+        # least reimburses the work.
+        w = np.asarray(net.w)
+        r = DLSBL(net.kind, net.z).run(w, w)
+        for q, c in zip(r.payments, r.compensations):
+            assert q >= c - 1e-10

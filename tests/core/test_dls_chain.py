@@ -1,0 +1,163 @@
+"""Tests for the linear daisy-chain mechanism extension (DLS-LN)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.dls_chain import (
+    DLSChain,
+    chain_bonus_vector,
+    chain_excluded_makespan,
+    chain_payments,
+    chain_utilities,
+)
+from repro.dlt.architectures import allocate_linear, linear_finish_times
+
+
+def regime_chain_instances(min_m=2, max_m=6):
+    """Chains comfortably inside the participation regime."""
+    def build(w, fracs):
+        m = min(len(w), len(fracs) + 1)
+        w = w[:m]
+        hops = [f * min(w) / (m * 4) for f in fracs[: m - 1]]
+        return list(w), hops
+
+    return st.builds(
+        build,
+        st.lists(st.floats(min_value=1.0, max_value=10.0), min_size=min_m,
+                 max_size=max_m),
+        st.lists(st.floats(min_value=0.1, max_value=1.0), min_size=min_m - 1,
+                 max_size=max_m - 1),
+    )
+
+
+class TestApi:
+    def test_rejects_bad_hops(self):
+        with pytest.raises(ValueError):
+            DLSChain([0.5, 0.0])
+
+    def test_m_from_hops(self):
+        assert DLSChain([0.1, 0.2]).m == 3
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            DLSChain([0.1]).run([2.0, 3.0, 4.0], [2.0, 3.0, 4.0])
+
+    def test_excluded_requires_two(self):
+        with pytest.raises(ValueError):
+            chain_excluded_makespan([2.0], [], 0)
+
+
+class TestExclusionSemantics:
+    def test_interior_relay_merges_hops(self):
+        # Removing interior node 1's compute: hops 0 and 1 merge.
+        w = [2.0, 3.0, 4.0]
+        hops = [0.1, 0.2]
+        t = chain_excluded_makespan(w, hops, 1)
+        reduced = allocate_linear([2.0, 4.0], [0.3])
+        expected = float(np.max(linear_finish_times(reduced, [2.0, 4.0], [0.3])))
+        assert t == pytest.approx(expected)
+
+    def test_tail_exclusion_drops_hop(self):
+        w = [2.0, 3.0, 4.0]
+        hops = [0.1, 0.2]
+        t = chain_excluded_makespan(w, hops, 2)
+        reduced = allocate_linear([2.0, 3.0], [0.1])
+        expected = float(np.max(linear_finish_times(reduced, [2.0, 3.0], [0.1])))
+        assert t == pytest.approx(expected)
+
+    def test_head_exclusion_pays_entry_delay(self):
+        # The head still holds the data; a pure-relay head delays the
+        # whole engagement by hop0 * (full load).
+        w = [2.0, 3.0, 4.0]
+        hops = [0.1, 0.2]
+        t = chain_excluded_makespan(w, hops, 0)
+        reduced = allocate_linear([3.0, 4.0], [0.2])
+        expected = 0.1 + float(np.max(
+            linear_finish_times(reduced, [3.0, 4.0], [0.2])))
+        assert t == pytest.approx(expected)
+
+    def test_exclusion_never_faster_in_regime(self):
+        w = [2.0, 3.0, 4.0, 5.0]
+        hops = [0.05, 0.08, 0.04]
+        full = float(np.max(linear_finish_times(
+            allocate_linear(w, hops), w, hops)))
+        for i in range(4):
+            assert chain_excluded_makespan(w, hops, i) >= full - 1e-12
+
+
+class TestPaymentAlgebra:
+    @given(regime_chain_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_identities(self, inst):
+        w, hops = inst
+        mech = DLSChain(hops)
+        assume(mech.in_regime(w))
+        w_exec = np.asarray(w) * 1.15
+        q = chain_payments(w, hops, w_exec)
+        b = chain_bonus_vector(w, hops, w_exec)
+        alpha = allocate_linear(np.asarray(w), np.asarray(hops))
+        assert np.allclose(q, alpha * w_exec + b)
+        assert np.allclose(chain_utilities(w, hops, w_exec), b)
+
+
+class TestMechanismProperties:
+    @given(regime_chain_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_voluntary_participation(self, inst):
+        w, hops = inst
+        mech = DLSChain(hops)
+        assume(mech.in_regime(w))
+        r = mech.truthful_run(w)
+        assert min(r.utilities) >= -1e-9
+
+    @given(regime_chain_instances(),
+           st.integers(min_value=0, max_value=5),
+           st.floats(min_value=0.5, max_value=2.0))
+    @settings(max_examples=80, deadline=None)
+    def test_strategyproofness_in_regime(self, inst, i_raw, factor):
+        w, hops = inst
+        w = np.asarray(w)
+        i = i_raw % len(w)
+        mech = DLSChain(hops)
+        assume(mech.in_regime(w))
+        bids = w.copy()
+        bids[i] *= factor
+        assume(mech.in_regime(bids))
+        u_truth = mech.run(w, w).utilities[i]
+        u_lie = mech.run(bids, w).utilities[i]
+        assert u_lie <= u_truth + 1e-9
+
+    @given(regime_chain_instances(),
+           st.integers(min_value=0, max_value=5),
+           st.floats(min_value=1.0, max_value=2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_slacking_dominated(self, inst, i_raw, factor):
+        w, hops = inst
+        w = np.asarray(w)
+        i = i_raw % len(w)
+        mech = DLSChain(hops)
+        assume(mech.in_regime(w))
+        w_exec = w.copy()
+        w_exec[i] *= factor
+        u_truth = mech.run(w, w).utilities[i]
+        assert mech.run(w, w_exec).utilities[i] <= u_truth + 1e-9
+
+
+class TestRegime:
+    def test_linear_chain_is_regime_free(self):
+        # Under linear costs the equal-finish shares stay positive for
+        # arbitrarily expensive links (they decay geometrically), so the
+        # chain has no participation boundary — unlike NCP-NFE or the
+        # affine model.
+        for hops in ([0.05, 0.05], [5.0, 5.0], [100.0, 100.0]):
+            assert DLSChain(hops).in_regime([1.0, 1.0, 1.0])
+
+    def test_expensive_links_starve_the_tail_but_properties_hold(self):
+        mech = DLSChain([10.0, 10.0])
+        w = [1.0, 1.0, 1.0]
+        r = mech.truthful_run(w)
+        assert r.alpha[0] > 0.9          # head hoards the load
+        assert r.alpha[2] < 0.01         # tail nearly idle...
+        assert min(r.utilities) >= -1e-9  # ...but still never loses

@@ -1,0 +1,165 @@
+"""Tests for the star-network mechanism extension (DLS-ST)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dls_bl import DLSBL
+from repro.core.dls_star import (
+    DLSStar,
+    star_bonus_vector,
+    star_excluded_makespan,
+    star_payments,
+    star_utilities,
+)
+from repro.dlt.architectures import StarNetwork, allocate_star, star_finish_times
+from repro.dlt.platform import NetworkKind
+
+
+def star_instances(min_m=2, max_m=7):
+    return st.tuples(
+        st.lists(st.floats(min_value=0.5, max_value=20.0),
+                 min_size=min_m, max_size=max_m),
+        st.lists(st.floats(min_value=0.05, max_value=2.0),
+                 min_size=min_m, max_size=max_m),
+    ).map(lambda t: (t[0][: min(len(t[0]), len(t[1]))],
+                     t[1][: min(len(t[0]), len(t[1]))]))
+
+
+class TestApi:
+    def test_rejects_bad_links(self):
+        with pytest.raises(ValueError):
+            DLSStar([0.5, 0.0])
+
+    def test_rejects_bid_shape(self):
+        with pytest.raises(ValueError):
+            DLSStar([0.5, 0.6]).run([2.0], [2.0])
+
+    def test_requires_two_workers_for_exclusion(self):
+        star = StarNetwork((2.0,), (0.5,))
+        with pytest.raises(ValueError):
+            star_excluded_makespan(star, 0)
+
+
+class TestReductionToBus:
+    def test_homogeneous_links_equal_dls_bl_cp(self):
+        # z_i == z collapses DLS-ST to DLS-BL on the CP bus: identical
+        # allocations, payments and utilities.
+        w = [2.0, 3.0, 5.0, 4.0]
+        z = 0.5
+        star_mech = DLSStar([z] * 4)
+        bus_mech = DLSBL(NetworkKind.CP, z)
+        rs = star_mech.truthful_run(w)
+        rb = bus_mech.truthful_run(w)
+        assert rs.alpha == pytest.approx(rb.alpha)
+        assert rs.payments == pytest.approx(rb.payments)
+        assert rs.utilities == pytest.approx(rb.utilities)
+        assert rs.makespan_reported == pytest.approx(rb.makespan_reported)
+
+
+class TestPaymentAlgebra:
+    @given(star_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_q_equals_c_plus_b_and_u_equals_b(self, inst):
+        from repro.core.dls_star import star_optimal_allocation
+
+        w, z = inst
+        star = StarNetwork(tuple(w), tuple(z))
+        w_exec = np.asarray(w) * 1.2
+        q = star_payments(star, w_exec)
+        b = star_bonus_vector(star, w_exec)
+        alpha = star_optimal_allocation(star)
+        assert np.allclose(q, alpha * w_exec + b)
+        assert np.allclose(star_utilities(star, w_exec), b)
+
+    def test_slow_execution_reduces_bonus(self):
+        star = StarNetwork((2.0, 3.0, 5.0), (0.3, 0.6, 0.4))
+        fast = star_bonus_vector(star, [2.0, 3.0, 5.0])
+        slow = star_bonus_vector(star, [2.0, 6.0, 5.0])
+        assert slow[1] < fast[1]
+        assert slow[0] == pytest.approx(fast[0])  # others unaffected
+
+
+class TestVoluntaryParticipation:
+    @given(star_instances())
+    @settings(max_examples=60, deadline=None)
+    def test_truthful_never_lose_any_links(self, inst):
+        # Stars are regime-free (hub = pure distributor): truthful
+        # utility >= 0 for arbitrary positive link times.
+        w, z = inst
+        r = DLSStar(z).truthful_run(w)
+        assert min(r.utilities) >= -1e-10
+
+
+class TestStrategyproofness:
+    @given(star_instances(),
+           st.integers(min_value=0, max_value=6),
+           st.floats(min_value=0.4, max_value=2.5))
+    @settings(max_examples=80, deadline=None)
+    def test_misreport_never_beats_truth(self, inst, i_raw, factor):
+        w, z = inst
+        w = np.asarray(w)
+        i = i_raw % len(w)
+        mech = DLSStar(z)
+        u_truth = mech.run(w, w).utilities[i]
+        bids = w.copy()
+        bids[i] = factor * w[i]
+        u_lie = mech.run(bids, w).utilities[i]
+        assert u_lie <= u_truth + 1e-9
+
+    @given(star_instances(),
+           st.integers(min_value=0, max_value=6),
+           st.floats(min_value=1.0, max_value=2.5))
+    @settings(max_examples=60, deadline=None)
+    def test_slacking_never_beats_full_speed(self, inst, i_raw, factor):
+        w, z = inst
+        w = np.asarray(w)
+        i = i_raw % len(w)
+        mech = DLSStar(z)
+        u_truth = mech.run(w, w).utilities[i]
+        w_exec = w.copy()
+        w_exec[i] = factor * w[i]
+        assert mech.run(w, w_exec).utilities[i] <= u_truth + 1e-9
+
+
+class TestOptimalityLink:
+    @given(star_instances())
+    @settings(max_examples=40, deadline=None)
+    def test_truthful_run_is_simultaneous_finish(self, inst):
+        from repro.core.dls_star import canonical_star_order
+
+        w, z = inst
+        star = StarNetwork(tuple(w), tuple(z))
+        alpha = np.array(DLSStar(z).truthful_run(w).alpha)
+        # Finish times are evaluated in the canonical (nondecreasing-z)
+        # service order the mechanism actually uses.
+        order = canonical_star_order(z)
+        T = star_finish_times(alpha[order], star.permuted(order))
+        assert np.allclose(T, T[0], rtol=1e-9)
+
+    @given(star_instances(min_m=2, max_m=5))
+    @settings(max_examples=40, deadline=None)
+    def test_canonical_order_is_globally_best_order(self, inst):
+        # Beaumont et al.'s result, verified by enumeration: serving in
+        # nondecreasing z is (weakly) optimal among all service orders.
+        from repro.core.dls_star import star_optimal_makespan
+        from repro.dlt.architectures import star_best_order
+
+        w, z = inst
+        star = StarNetwork(tuple(w), tuple(z))
+        _, best, _ = star_best_order(star)
+        assert star_optimal_makespan(star) <= best + 1e-9
+
+    def test_canonical_order_beats_index_order(self):
+        # The LP counterexample that forced the canonical order: served
+        # slow-link-first, participation is harmful; served fast-first,
+        # everyone participates profitably.
+        from repro.core.dls_star import star_optimal_makespan
+
+        star = StarNetwork((1.0, 0.5), (2.0, 1.0))
+        index_order_t = float(np.max(
+            star_finish_times(allocate_star(star), star)))
+        canonical_t = star_optimal_makespan(star)
+        boundary_t = 1.0 * 1.0 + 0.5  # ship everything to worker 2
+        assert canonical_t < boundary_t < index_order_t

@@ -1,0 +1,74 @@
+"""The O(m) exclusion fast path must match the naive reference exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.fast_exclusion import all_excluded_optimal_makespans
+from repro.core.payments import bonus, bonus_vector, excluded_optimal_makespan
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from tests.conftest import network_strategy
+
+
+class TestAgainstNaiveReference:
+    @given(network_strategy(min_m=2, max_m=12))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_per_index_solves(self, net):
+        fast = all_excluded_optimal_makespans(net)
+        naive = np.array([excluded_optimal_makespan(net, i)
+                          for i in range(net.m)])
+        assert np.allclose(fast, naive, rtol=1e-12, atol=1e-12)
+
+    @given(network_strategy(min_m=2, max_m=10))
+    @settings(max_examples=100, deadline=None)
+    def test_bonus_vector_matches_scalar_bonus(self, net):
+        w_exec = np.asarray(net.w) * 1.3
+        fast = bonus_vector(net, w_exec)
+        alpha = allocate(net)
+        naive = np.array([bonus(net, i, float(w_exec[i]), alpha)
+                          for i in range(net.m)])
+        assert np.allclose(fast, naive, rtol=1e-10, atol=1e-12)
+
+    def test_requires_two_workers(self):
+        with pytest.raises(ValueError):
+            all_excluded_optimal_makespans(
+                BusNetwork((2.0,), 0.5, NetworkKind.CP))
+
+
+class TestSpecialCases:
+    def test_nfe_lone_originator(self):
+        # Removing the only other worker leaves the NFE originator
+        # computing its own data with no communication at all.
+        net = BusNetwork((9.59, 1.91), 2.92, NetworkKind.NCP_NFE)
+        fast = all_excluded_optimal_makespans(net)
+        assert fast[0] == pytest.approx(1.91)
+
+    def test_fe_lone_originator(self):
+        net = BusNetwork((3.0, 4.0), 1.0, NetworkKind.NCP_FE)
+        fast = all_excluded_optimal_makespans(net)
+        # removing P2 leaves the FE originator alone: T = w_1
+        assert fast[1] == pytest.approx(3.0)
+        # removing the originator leaves a CP distributor: T = z + w_2
+        assert fast[0] == pytest.approx(1.0 + 4.0)
+
+    def test_nfe_penultimate_splice(self):
+        # Removing P_{m-1} couples P_{m-2} directly to the z-free
+        # originator link.
+        net = BusNetwork((2.0, 3.0, 4.0, 5.0), 0.5, NetworkKind.NCP_NFE)
+        fast = all_excluded_optimal_makespans(net)
+        assert fast[2] == pytest.approx(excluded_optimal_makespan(net, 2))
+
+
+class TestScale:
+    def test_large_m_fast_and_finite(self):
+        rng = np.random.default_rng(0)
+        w = rng.uniform(1, 10, 4096)
+        net = BusNetwork(tuple(w), 0.05, NetworkKind.NCP_FE)
+        out = all_excluded_optimal_makespans(net)
+        assert out.shape == (4096,)
+        assert np.all(np.isfinite(out))
+        # Exclusions can never beat the full optimum.
+        from repro.dlt.timing import optimal_makespan
+
+        assert np.all(out >= optimal_makespan(net) - 1e-10)

@@ -1,0 +1,58 @@
+"""Tests for the fine policy (F >= sum of compensations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.fines import FinePolicy
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from tests.conftest import network_strategy
+
+
+class TestFineAmount:
+    def test_base_is_projected_compensation(self):
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.NCP_FE)
+        policy = FinePolicy(safety_factor=1.0)
+        alpha = allocate(net)
+        expected = float(alpha @ np.array(net.w))
+        assert policy.compensation_base(net) == pytest.approx(expected)
+        assert policy.fine_amount(net) == pytest.approx(expected)
+
+    def test_safety_factor_scales(self):
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.NCP_FE)
+        assert FinePolicy(3.0).fine_amount(net) == pytest.approx(
+            3.0 * FinePolicy(1.0).fine_amount(net))
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            FinePolicy(0.0)
+
+    @given(network_strategy(min_m=2, max_m=8))
+    @settings(max_examples=60, deadline=None)
+    def test_paper_bound_satisfied_at_factor_geq_one(self, net):
+        # F >= sum_j alpha_j w_j when everyone executes as bid.
+        assert FinePolicy(1.0).satisfies_paper_bound(net)
+        assert FinePolicy(2.5).satisfies_paper_bound(net)
+
+    def test_paper_bound_with_slow_execution(self):
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.NCP_FE)
+        w_slow = np.array(net.w) * 1.8
+        assert not FinePolicy(1.0).satisfies_paper_bound(net, w_exec=w_slow)
+        assert FinePolicy(2.0).satisfies_paper_bound(net, w_exec=w_slow)
+
+    def test_sub_threshold_factor_allowed_for_experiments(self):
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.NCP_FE)
+        assert not FinePolicy(0.5).satisfies_paper_bound(net)
+
+
+class TestRedistribution:
+    def test_even_split(self):
+        assert FinePolicy.informer_reward(6.0, 3) == pytest.approx(2.0)
+
+    def test_single_beneficiary_takes_all(self):
+        assert FinePolicy.informer_reward(5.0, 1) == pytest.approx(5.0)
+
+    def test_rejects_no_beneficiaries(self):
+        with pytest.raises(ValueError):
+            FinePolicy.informer_reward(5.0, 0)

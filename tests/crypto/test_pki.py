@@ -1,0 +1,77 @@
+"""Tests for the PKI registry and equivocation proofs."""
+
+import pytest
+
+from repro.crypto.pki import PKI, Principal
+from repro.crypto.signatures import SignedMessage, SigningKey
+
+
+class TestRegistration:
+    def test_register_returns_working_key(self):
+        pki = PKI()
+        key = pki.register("P1")
+        assert pki.is_registered("P1")
+        assert pki.verify(key.sign({"bid": 2.0}))
+
+    def test_duplicate_registration_rejected(self):
+        pki = PKI()
+        pki.register("P1")
+        with pytest.raises(ValueError, match="already registered"):
+            pki.register("P1")
+
+    def test_unknown_identity_never_verifies(self):
+        pki = PKI()
+        rogue = SigningKey("ghost")
+        assert not pki.verify(rogue.sign({"bid": 2.0}))
+
+    def test_unregistered_same_name_key_fails(self):
+        # An attacker minting its own key under a registered name still
+        # fails: the PKI binds the name to the *registered* secret.
+        pki = PKI()
+        pki.register("P1")
+        imposter = SigningKey("P1")
+        assert not pki.verify(imposter.sign({"bid": 2.0}))
+
+    def test_verify_all(self):
+        pki = PKI()
+        k1, k2 = pki.register("P1"), pki.register("P2")
+        good = [k1.sign({"a": 1}), k2.sign({"b": 2})]
+        assert pki.verify_all(good)
+        bad = good + [SigningKey("P3").sign({"c": 3})]
+        assert not pki.verify_all(bad)
+
+
+class TestEquivocationProof:
+    def test_two_distinct_authentic_messages_prove(self):
+        pki = PKI()
+        key = pki.register("P1")
+        a = key.sign({"bid": 2.0})
+        b = key.sign({"bid": 3.0})
+        assert pki.proves_equivocation(a, b)
+
+    def test_same_message_twice_does_not_prove(self):
+        pki = PKI()
+        key = pki.register("P1")
+        a = key.sign({"bid": 2.0})
+        assert not pki.proves_equivocation(a, a)
+
+    def test_different_signers_do_not_prove(self):
+        pki = PKI()
+        k1, k2 = pki.register("P1"), pki.register("P2")
+        assert not pki.proves_equivocation(k1.sign({"bid": 1.0}),
+                                           k2.sign({"bid": 2.0}))
+
+    def test_forged_second_message_does_not_prove(self):
+        # The heart of Lemma 5.2: without the private key, no one can
+        # manufacture the second contradictory message.
+        pki = PKI()
+        key = pki.register("P1")
+        real = key.sign({"bid": 2.0})
+        forged = SignedMessage("P1", {"bid": 99.0}, real.signature)
+        assert not pki.proves_equivocation(real, forged)
+
+
+class TestPrincipal:
+    def test_value_object(self):
+        assert Principal("P1") == Principal("P1")
+        assert Principal("P1") != Principal("P2")

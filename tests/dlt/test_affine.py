@@ -1,0 +1,133 @@
+"""Tests for the affine cost model extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlt.affine import (
+    AffineBus,
+    affine_finish_times,
+    allocate_affine,
+    optimal_cohort,
+)
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.timing import finish_times
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AffineBus((2.0,), 0.0)
+        with pytest.raises(ValueError):
+            AffineBus((2.0,), 0.5, s_c=-1.0)
+        with pytest.raises(ValueError):
+            AffineBus((2.0,), 0.5, load=0.0)
+        with pytest.raises(ValueError):
+            AffineBus((2.0,), 0.5, kind=NetworkKind.NCP_NFE)
+
+    def test_prefix(self):
+        bus = AffineBus((2.0, 3.0, 4.0), 0.5, s_c=0.1)
+        assert bus.prefix(2).w == (2.0, 3.0)
+        with pytest.raises(ValueError):
+            bus.prefix(0)
+
+
+class TestReductionToLinearModel:
+    @given(st.lists(st.floats(min_value=0.5, max_value=20), min_size=1,
+                    max_size=8),
+           st.floats(min_value=0.05, max_value=2.0))
+    @settings(max_examples=60, deadline=None)
+    def test_zero_overheads_recover_linear_cp(self, w, z):
+        affine = AffineBus(tuple(w), z, s_c=0.0, s_p=0.0, kind=NetworkKind.CP)
+        linear = BusNetwork(tuple(w), z, NetworkKind.CP)
+        a_aff = allocate_affine(affine)
+        a_lin = allocate(linear)
+        assert np.allclose(a_aff, a_lin)
+        assert np.allclose(affine_finish_times(a_aff, affine),
+                           finish_times(a_lin, linear))
+
+    def test_zero_overheads_recover_linear_fe(self):
+        w, z = (2.0, 3.0, 5.0), 0.4
+        affine = AffineBus(w, z, kind=NetworkKind.NCP_FE)
+        linear = BusNetwork(w, z, NetworkKind.NCP_FE)
+        assert np.allclose(affine_finish_times(allocate_affine(affine), affine),
+                           finish_times(allocate(linear), linear))
+
+
+class TestEqualFinish:
+    def test_simultaneous_finish_with_overheads(self):
+        bus = AffineBus((2.0, 3.0, 5.0, 4.0), 0.5, s_c=0.05, s_p=0.1)
+        T = affine_finish_times(allocate_affine(bus), bus)
+        assert np.allclose(T, T[0])
+
+    def test_recursion_holds(self):
+        bus = AffineBus((2.0, 3.0, 4.0), 0.5, s_c=0.08, load=2.0)
+        a = allocate_affine(bus)
+        L = bus.load
+        for i in range(2):
+            assert L * a[i] * bus.w[i] == pytest.approx(
+                bus.s_c + L * a[i + 1] * (bus.z + bus.w[i + 1]))
+
+    def test_overheads_shift_load_to_early_processors(self):
+        plain = AffineBus((2.0, 2.0, 2.0, 2.0), 0.5)
+        loaded = AffineBus((2.0, 2.0, 2.0, 2.0), 0.5, s_c=0.2)
+        a0 = allocate_affine(plain)
+        a1 = allocate_affine(loaded)
+        assert a1[0] > a0[0]
+        assert a1[-1] < a0[-1]
+
+    def test_infeasible_cohort_raises(self):
+        # Huge startups on a tiny load: a large cohort cannot all get
+        # positive shares.
+        bus = AffineBus((1.0,) * 8, 0.5, s_c=5.0, load=0.1)
+        with pytest.raises(ArithmeticError):
+            allocate_affine(bus)
+
+
+class TestOptimalCohort:
+    def test_small_load_uses_few_processors(self):
+        bus = AffineBus((1.0,) * 8, 0.2, s_c=0.3, s_p=0.1, load=0.5)
+        size, alpha, t = optimal_cohort(bus)
+        assert size < 8
+        assert np.count_nonzero(alpha) == size
+
+    def test_large_load_uses_everyone(self):
+        bus = AffineBus((1.0,) * 8, 0.2, s_c=0.3, s_p=0.1, load=200.0)
+        size, alpha, t = optimal_cohort(bus)
+        assert size == 8
+
+    def test_cohort_size_monotone_in_load(self):
+        sizes = []
+        for load in (0.2, 1.0, 5.0, 25.0, 125.0):
+            bus = AffineBus((1.0,) * 8, 0.2, s_c=0.3, s_p=0.1, load=load)
+            sizes.append(optimal_cohort(bus)[0])
+        assert sizes == sorted(sizes)
+
+    def test_zero_overhead_cohort_is_everyone(self):
+        # Back in the linear model, Theorem 2.1 applies: full
+        # participation for any load size.
+        for load in (0.01, 1.0, 100.0):
+            bus = AffineBus((2.0, 3.0, 5.0), 0.4, load=load)
+            assert optimal_cohort(bus)[0] == 3
+
+    def test_optimal_cohort_is_largest_feasible_prefix(self):
+        # The classical structure: alpha_m hits zero exactly where the
+        # m-th processor stops paying for its startup, so the optimal
+        # cohort is the largest prefix with all-positive shares.
+        bus = AffineBus((1.0,) * 8, 0.2, s_c=0.3, s_p=0.1, load=0.5)
+        size, _, t_best = optimal_cohort(bus)
+        assert size < 8
+        # size is feasible, size+1 is not
+        allocate_affine(bus.prefix(size))
+        with pytest.raises(ArithmeticError):
+            allocate_affine(bus.prefix(size + 1))
+
+    def test_optimal_cohort_beats_smaller_cohorts(self):
+        bus = AffineBus((1.0,) * 8, 0.2, s_c=0.3, s_p=0.1, load=0.5)
+        size, _, t_best = optimal_cohort(bus)
+        for smaller in range(1, size):
+            sub = bus.prefix(smaller)
+            t = float(np.max(affine_finish_times(allocate_affine(sub), sub)))
+            assert t_best < t + 1e-12

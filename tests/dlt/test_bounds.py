@@ -1,0 +1,102 @@
+"""Tests for performance bounds and saturation limits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.dlt.bounds import (
+    communication_bound,
+    lower_bound,
+    processor_sharing_bound,
+    saturation_limit,
+    speedup,
+    utilization,
+)
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.timing import optimal_makespan
+from tests.conftest import network_strategy, regime_network_strategy
+
+
+class TestLowerBounds:
+    @given(network_strategy(min_m=1, max_m=10))
+    @settings(max_examples=80, deadline=None)
+    def test_processor_sharing_bound_holds(self, net):
+        assert optimal_makespan(net) >= processor_sharing_bound(net) - 1e-12
+
+    @given(network_strategy(kinds=(NetworkKind.CP,), min_m=1, max_m=10))
+    @settings(max_examples=60, deadline=None)
+    def test_cp_communication_bound_holds(self, net):
+        assert optimal_makespan(net) >= net.z - 1e-12
+        assert communication_bound(net) == net.z
+
+    def test_lower_bound_is_the_tighter_one(self):
+        # Slow workers, fast bus: sharing bound binds.
+        slow = BusNetwork((10.0, 10.0), 0.01, NetworkKind.CP)
+        assert lower_bound(slow) == pytest.approx(processor_sharing_bound(slow))
+        # Fast workers, slow bus: communication binds.
+        fast = BusNetwork((0.1, 0.1), 5.0, NetworkKind.CP)
+        assert lower_bound(fast) == pytest.approx(5.0)
+
+    def test_ncp_comm_bound_excludes_originator_share(self):
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.NCP_FE)
+        alpha = allocate(net)
+        assert communication_bound(net) == pytest.approx(0.5 * (1 - alpha[0]))
+
+
+class TestSpeedup:
+    @given(regime_network_strategy(min_m=2, max_m=10))
+    @settings(max_examples=60, deadline=None)
+    def test_speedup_at_least_one(self, net):
+        assert speedup(net) >= 1.0 - 1e-12
+
+    def test_speedup_grows_with_m_homogeneous(self):
+        values = [speedup(BusNetwork((2.0,) * m, 0.1, NetworkKind.CP))
+                  for m in (1, 2, 4, 8)]
+        assert values == sorted(values)
+
+    def test_speedup_bounded_by_saturation(self):
+        # Homogeneous CP speedup cannot exceed (z + w) / z.
+        w, z = 2.0, 0.5
+        cap = (z + w) / z
+        s = speedup(BusNetwork((w,) * 512, z, NetworkKind.CP))
+        assert s <= cap + 1e-9
+
+
+class TestUtilization:
+    def test_fractions_in_unit_interval(self, kind):
+        net = BusNetwork((2.0, 3.0, 5.0), 0.4, kind)
+        u = utilization(allocate(net), net)
+        assert np.all(u > 0) and np.all(u <= 1 + 1e-12)
+
+    def test_fe_originator_fully_utilized(self):
+        net = BusNetwork((2.0, 3.0, 5.0), 0.4, NetworkKind.NCP_FE)
+        u = utilization(allocate(net), net)
+        assert u[0] == pytest.approx(1.0)  # computes the entire makespan
+
+
+class TestSaturation:
+    def test_cp_limit_is_z(self):
+        assert saturation_limit(2.0, 0.5, NetworkKind.CP) == pytest.approx(0.5)
+
+    def test_fe_limit_is_wz_over_z_plus_w(self):
+        w, z = 2.0, 0.5
+        assert saturation_limit(w, z, NetworkKind.NCP_FE) == pytest.approx(
+            w * z / (z + w))
+
+    def test_nfe_limit_matches_cp(self):
+        assert saturation_limit(2.0, 0.5, NetworkKind.NCP_NFE) == pytest.approx(
+            saturation_limit(2.0, 0.5, NetworkKind.CP))
+
+    def test_makespan_monotone_toward_limit(self):
+        lim = saturation_limit(2.0, 0.5, NetworkKind.CP)
+        prev = np.inf
+        for m in (2, 8, 32, 128):
+            t = optimal_makespan(BusNetwork((2.0,) * m, 0.5, NetworkKind.CP))
+            assert t <= prev + 1e-12
+            assert t >= lim - 1e-12
+            prev = t
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            saturation_limit(0.0, 0.5, NetworkKind.CP)

@@ -1,0 +1,154 @@
+"""Unit and property tests for Algorithms 2.1 / 2.2 and the CP solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.dlt.closed_form import (
+    allocate,
+    allocate_cp,
+    allocate_ncp_fe,
+    allocate_ncp_nfe,
+    chain_ratios,
+)
+from repro.dlt.platform import BusNetwork, NetworkKind
+from tests.conftest import network_strategy, w_values, z_values
+from hypothesis import strategies as st
+
+
+class TestChainRatios:
+    def test_formula(self):
+        # k_j = w_j / (z + w_{j+1})
+        k = chain_ratios(np.array([2.0, 3.0, 5.0]), 1.0)
+        assert k == pytest.approx([2.0 / 4.0, 3.0 / 6.0])
+
+    def test_single_processor_empty(self):
+        assert chain_ratios(np.array([2.0]), 1.0).size == 0
+
+
+class TestAllocateNcpFe:
+    def test_two_processors_by_hand(self):
+        # alpha_1 w_1 = alpha_2 (z + w_2); alpha_1 + alpha_2 = 1
+        # w=(2,3), z=1: alpha_2 = alpha_1/2 -> alpha = (2/3, 1/3)
+        alpha = allocate_ncp_fe([2.0, 3.0], 1.0)
+        assert alpha == pytest.approx([2 / 3, 1 / 3])
+
+    def test_three_processors_recursion(self):
+        w = np.array([2.0, 3.0, 4.0])
+        z = 0.5
+        a = allocate_ncp_fe(w, z)
+        # Eq (7) pairwise
+        for i in range(2):
+            assert a[i] * w[i] == pytest.approx(a[i + 1] * (z + w[i + 1]))
+
+    def test_homogeneous_fast_bus_near_uniform(self):
+        # z -> 0 makes communication free; equal w should split evenly.
+        a = allocate_ncp_fe([3.0] * 5, 1e-9)
+        assert a == pytest.approx([0.2] * 5, abs=1e-6)
+
+    def test_faster_processor_gets_more(self):
+        a = allocate_ncp_fe([1.0, 10.0], 0.5)
+        assert a[0] > a[1]
+
+    def test_single_processor(self):
+        assert allocate_ncp_fe([4.0], 1.0) == pytest.approx([1.0])
+
+    def test_rejects_bad_z(self):
+        with pytest.raises(ValueError):
+            allocate_ncp_fe([1.0, 2.0], 0.0)
+
+    def test_rejects_bad_w(self):
+        with pytest.raises(ValueError):
+            allocate_ncp_fe([1.0, -2.0], 0.5)
+
+
+class TestAllocateNcpNfe:
+    def test_two_processors_by_hand(self):
+        # Eq (9): alpha_1 w_1 = alpha_2 w_2 -> alpha = (w2, w1)/(w1+w2)
+        a = allocate_ncp_nfe([2.0, 3.0], 1.0)
+        assert a == pytest.approx([3 / 5, 2 / 5])
+
+    def test_recursions_8_and_9(self):
+        w = np.array([2.0, 3.0, 4.0, 5.0])
+        z = 0.7
+        a = allocate_ncp_nfe(w, z)
+        m = len(w)
+        for i in range(m - 2):  # Eq (8)
+            assert a[i] * w[i] == pytest.approx(a[i + 1] * (z + w[i + 1]))
+        assert a[m - 2] * w[m - 2] == pytest.approx(a[m - 1] * w[m - 1])  # Eq (9)
+
+    def test_last_link_ignores_z(self):
+        # The originator's fraction depends on z only through the chain,
+        # not through its own (non-existent) communication: with m=2 the
+        # allocation is z-independent.
+        a1 = allocate_ncp_nfe([2.0, 3.0], 0.1)
+        a2 = allocate_ncp_nfe([2.0, 3.0], 10.0)
+        assert a1 == pytest.approx(a2)
+
+    def test_single_processor(self):
+        assert allocate_ncp_nfe([4.0], 1.0) == pytest.approx([1.0])
+
+
+class TestAllocateCp:
+    def test_fractions_match_ncp_fe(self):
+        # Same recursion (Eq. 7) => same fractions; only timings differ.
+        w = [2.0, 3.0, 5.0, 4.0]
+        assert allocate_cp(w, 0.5) == pytest.approx(allocate_ncp_fe(w, 0.5))
+
+
+class TestDispatch:
+    def test_allocate_dispatches_by_kind(self):
+        w = (2.0, 3.0, 5.0)
+        for kind, fn in [
+            (NetworkKind.CP, allocate_cp),
+            (NetworkKind.NCP_FE, allocate_ncp_fe),
+            (NetworkKind.NCP_NFE, allocate_ncp_nfe),
+        ]:
+            net = BusNetwork(w, 0.5, kind)
+            assert allocate(net) == pytest.approx(fn(np.array(w), 0.5))
+
+
+class TestAllocationProperties:
+    @given(network_strategy())
+    @settings(max_examples=150, deadline=None)
+    def test_fractions_normalized_and_positive(self, net):
+        a = allocate(net)
+        assert a.shape == (net.m,)
+        assert np.all(a > 0)
+        assert np.isclose(a.sum(), 1.0, rtol=0, atol=1e-12)
+
+    @given(w_values(2, 8), z_values())
+    @settings(max_examples=100, deadline=None)
+    def test_fe_monotone_in_speed(self, w, z):
+        # Making a processor strictly slower (larger w) never increases
+        # its optimal fraction.
+        a = allocate_ncp_fe(w, z)
+        w2 = list(w)
+        w2[0] = w2[0] * 2.0
+        a2 = allocate_ncp_fe(w2, z)
+        assert a2[0] <= a[0] + 1e-12
+
+    @given(w_values(2, 8), z_values(), st.floats(min_value=0.5, max_value=2.0))
+    @settings(max_examples=100, deadline=None)
+    def test_scale_invariance(self, w, z, s):
+        # Scaling every w and z by the same factor rescales time but not
+        # the optimal fractions.
+        a = allocate_ncp_fe(w, z)
+        b = allocate_ncp_fe([x * s for x in w], z * s)
+        assert np.allclose(a, b, rtol=1e-9)
+
+    def test_large_m_stays_normalized(self):
+        rng = np.random.default_rng(3)
+        w = rng.uniform(1, 10, size=2000)
+        for fn in (allocate_ncp_fe, allocate_ncp_nfe):
+            a = fn(w, 0.05)
+            assert np.isclose(a.sum(), 1.0, atol=1e-9)
+            assert np.all(a >= 0)
+
+    def test_extreme_instances_fail_loudly(self):
+        # The documented float64 domain boundary: chain products that
+        # overflow raise ArithmeticError instead of returning NaNs.
+        w = np.tile([1e200, 1e-200], 4)  # k alternates ~1e400 overflow
+        with np.errstate(over="ignore", invalid="ignore"):
+            with pytest.raises(ArithmeticError, match="degenerate"):
+                allocate_ncp_fe(w, 1e-300)

@@ -1,0 +1,101 @@
+"""Theorem 2.1: the closed form is optimal (certified by independent baselines)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.dlt.closed_form import allocate
+from repro.dlt.optimality import (
+    all_participate,
+    grid_refine_allocation,
+    lp_optimal_allocation,
+    simultaneous_finish_residual,
+)
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.timing import makespan
+from tests.conftest import network_strategy, regime_network_strategy
+
+
+class TestLpBaseline:
+    @given(regime_network_strategy(min_m=1, max_m=10))
+    @settings(max_examples=100, deadline=None)
+    def test_lp_matches_closed_form(self, net):
+        alpha_cf = allocate(net)
+        t_cf = makespan(alpha_cf, net)
+        alpha_lp, t_lp = lp_optimal_allocation(net)
+        assert t_lp == pytest.approx(t_cf, rel=1e-7)
+        assert np.allclose(alpha_lp, alpha_cf, atol=1e-6)
+
+    @given(network_strategy(kinds=(NetworkKind.CP, NetworkKind.NCP_FE),
+                            min_m=1, max_m=10))
+    @settings(max_examples=100, deadline=None)
+    def test_lp_matches_closed_form_any_z_for_cp_and_fe(self, net):
+        # Full participation is optimal for CP and NCP-FE at *any* z
+        # (the bus always has trailing idle time to slot another
+        # transfer into); only NCP-NFE needs the z < w_m regime.
+        alpha_cf = allocate(net)
+        _, t_lp = lp_optimal_allocation(net)
+        assert t_lp == pytest.approx(makespan(alpha_cf, net), rel=1e-7)
+
+    def test_nfe_regime_boundary(self):
+        # For NCP-NFE with z >= w_m, shipping load costs the originator
+        # more than computing it: the optimum leaves the equal-finish
+        # interior and the closed form (Algorithm 2.2) is no longer
+        # optimal.  This documents the theorem's implicit regime.
+        w = (1.0, 1.0)
+        inside = BusNetwork(w, 0.9, NetworkKind.NCP_NFE)   # z <  w_m
+        outside = BusNetwork(w, 2.0, NetworkKind.NCP_NFE)  # z >  w_m
+        _, t_in = lp_optimal_allocation(inside)
+        assert t_in == pytest.approx(makespan(allocate(inside), inside), rel=1e-9)
+        alpha_out, t_out = lp_optimal_allocation(outside)
+        assert t_out < makespan(allocate(outside), outside) - 1e-6
+        # The LP optimum degenerates to "originator keeps everything".
+        assert alpha_out[-1] == pytest.approx(1.0, abs=1e-9)
+
+    def test_lp_allocation_feasible(self):
+        net = BusNetwork((2.0, 5.0, 3.0), 0.7, NetworkKind.NCP_NFE)
+        alpha, t = lp_optimal_allocation(net)
+        assert alpha.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(alpha >= -1e-12)
+        assert makespan(np.clip(alpha, 0, None), net) == pytest.approx(t, rel=1e-9)
+
+
+class TestGridBaseline:
+    def test_grid_converges_near_closed_form(self, kind):
+        net = BusNetwork((2.0, 5.0, 3.0), 0.7, kind)
+        t_cf = makespan(allocate(net), net)
+        _, t_grid = grid_refine_allocation(net)
+        # Derivative-free search is approximate; it must get close and
+        # can never beat the true optimum.
+        assert t_grid >= t_cf - 1e-12
+        assert t_grid <= t_cf * 1.02
+
+
+class TestTheorem21:
+    @given(network_strategy(min_m=1, max_m=10))
+    @settings(max_examples=100, deadline=None)
+    def test_simultaneous_finish_at_optimum(self, net):
+        assert simultaneous_finish_residual(allocate(net), net) < 1e-9
+
+    @given(network_strategy(min_m=1, max_m=10))
+    @settings(max_examples=100, deadline=None)
+    def test_all_processors_participate(self, net):
+        assert all_participate(allocate(net))
+
+    def test_residual_positive_off_optimum(self):
+        net = BusNetwork((2.0, 5.0), 0.7, NetworkKind.CP)
+        assert simultaneous_finish_residual([0.9, 0.1], net) > 0.01
+
+    def test_perturbation_never_improves(self, kind, rng):
+        # Local optimality: random feasible perturbations of the
+        # closed-form allocation never reduce the makespan.
+        net = BusNetwork(tuple(rng.uniform(1, 10, 6)), 0.5, kind)
+        a = allocate(net)
+        base = makespan(a, net)
+        for _ in range(200):
+            d = rng.normal(0, 0.01, 6)
+            d -= d.mean()  # keep sum(alpha) = 1
+            cand = a + d
+            if np.any(cand < 0):
+                continue
+            assert makespan(cand, net) >= base - 1e-12

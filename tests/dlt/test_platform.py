@@ -1,0 +1,188 @@
+"""Unit tests for the bus-network system models."""
+
+import numpy as np
+import pytest
+
+from repro.dlt.platform import (
+    BusNetwork,
+    NetworkKind,
+    Processor,
+    random_network,
+    validate_positive,
+)
+
+
+class TestValidatePositive:
+    def test_accepts_positive_list(self):
+        arr = validate_positive([1.0, 2.5, 3.0], "w")
+        assert arr.dtype == float
+        assert arr.tolist() == [1.0, 2.5, 3.0]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            validate_positive([1.0, 0.0], "w")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="strictly positive"):
+            validate_positive([-1.0], "w")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            validate_positive([1.0, float("nan")], "w")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            validate_positive([float("inf")], "w")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_positive([], "w")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            validate_positive(np.ones((2, 2)), "w")
+
+
+class TestProcessor:
+    def test_processing_time_is_linear(self):
+        p = Processor("P1", 3.0)
+        assert p.processing_time(0.5) == pytest.approx(1.5)
+        assert p.processing_time(0.0) == 0.0
+
+    def test_rejects_nonpositive_w(self):
+        with pytest.raises(ValueError):
+            Processor("P1", 0.0)
+        with pytest.raises(ValueError):
+            Processor("P1", -2.0)
+
+    def test_is_frozen(self):
+        p = Processor("P1", 3.0)
+        with pytest.raises(AttributeError):
+            p.w = 5.0
+
+
+class TestNetworkKind:
+    def test_cp_has_control_processor(self):
+        assert NetworkKind.CP.has_control_processor
+        assert not NetworkKind.NCP_FE.has_control_processor
+        assert not NetworkKind.NCP_NFE.has_control_processor
+
+    def test_front_end_flags(self):
+        assert NetworkKind.CP.originator_has_front_end
+        assert NetworkKind.NCP_FE.originator_has_front_end
+        assert not NetworkKind.NCP_NFE.originator_has_front_end
+
+    def test_originator_positions(self):
+        assert NetworkKind.CP.originator_index(5) is None
+        assert NetworkKind.NCP_FE.originator_index(5) == 0
+        assert NetworkKind.NCP_NFE.originator_index(5) == 4
+
+
+class TestBusNetwork:
+    def test_basic_construction(self, kind):
+        net = BusNetwork((2.0, 3.0), 0.5, kind)
+        assert net.m == 2
+        assert net.z == 0.5
+        assert net.names == ("P1", "P2")
+
+    def test_custom_names(self):
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.CP, names=("a", "b"))
+        assert net.names == ("a", "b")
+        assert [p.name for p in net.processors] == ["a", "b"]
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            BusNetwork((2.0, 3.0), 0.5, NetworkKind.CP, names=("a", "a"))
+
+    def test_rejects_name_count_mismatch(self):
+        with pytest.raises(ValueError, match="names"):
+            BusNetwork((2.0, 3.0), 0.5, NetworkKind.CP, names=("a",))
+
+    def test_rejects_nonpositive_z(self, kind):
+        with pytest.raises(ValueError, match="z"):
+            BusNetwork((2.0,), 0.0, kind)
+        with pytest.raises(ValueError, match="z"):
+            BusNetwork((2.0,), -1.0, kind)
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(TypeError):
+            BusNetwork((2.0,), 0.5, "cp")
+
+    def test_w_array_is_copy(self):
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.CP)
+        arr = net.w_array
+        arr[0] = 99.0
+        assert net.w == (2.0, 3.0)
+
+    def test_with_w_replaces_values_keeps_rest(self):
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.NCP_FE, names=("x", "y"))
+        net2 = net.with_w([4.0, 5.0])
+        assert net2.w == (4.0, 5.0)
+        assert net2.z == net.z and net2.kind == net.kind and net2.names == net.names
+        assert net.w == (2.0, 3.0)  # original untouched
+
+    def test_with_w_rejects_wrong_length(self):
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.CP)
+        with pytest.raises(ValueError):
+            net.with_w([1.0])
+
+    def test_without_removes_and_preserves_order(self):
+        net = BusNetwork((2.0, 3.0, 5.0), 0.5, NetworkKind.NCP_FE)
+        reduced = net.without(1)
+        assert reduced.w == (2.0, 5.0)
+        assert reduced.names == ("P1", "P3")
+        assert reduced.m == 2
+
+    def test_without_last_in_nfe_moves_originator(self):
+        net = BusNetwork((2.0, 3.0, 5.0), 0.5, NetworkKind.NCP_NFE)
+        assert net.originator_index == 2
+        reduced = net.without(2)
+        assert reduced.originator_index == 1  # new last processor
+
+    def test_without_single_processor_fails(self):
+        net = BusNetwork((2.0,), 0.5, NetworkKind.CP)
+        with pytest.raises(ValueError):
+            net.without(0)
+
+    def test_without_bad_index(self):
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.CP)
+        with pytest.raises(IndexError):
+            net.without(5)
+
+    def test_permuted(self):
+        net = BusNetwork((2.0, 3.0, 5.0), 0.5, NetworkKind.CP)
+        p = net.permuted([2, 0, 1])
+        assert p.w == (5.0, 2.0, 3.0)
+        assert p.names == ("P3", "P1", "P2")
+
+    def test_permuted_rejects_non_permutation(self):
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.CP)
+        with pytest.raises(ValueError):
+            net.permuted([0, 0])
+
+    def test_originator_index_property(self):
+        assert BusNetwork((1.0, 2.0), 0.5, NetworkKind.CP).originator_index is None
+        assert BusNetwork((1.0, 2.0), 0.5, NetworkKind.NCP_FE).originator_index == 0
+        assert BusNetwork((1.0, 2.0), 0.5, NetworkKind.NCP_NFE).originator_index == 1
+
+
+class TestRandomNetwork:
+    def test_shapes_and_ranges(self, rng, kind):
+        net = random_network(7, kind, rng, w_low=2.0, w_high=3.0, z=0.7)
+        assert net.m == 7
+        assert all(2.0 <= w <= 3.0 for w in net.w)
+        assert net.z == 0.7
+        assert net.kind is kind
+
+    def test_random_z_range(self, rng):
+        net = random_network(3, NetworkKind.CP, rng, z_low=0.5, z_high=0.6)
+        assert 0.5 <= net.z <= 0.6
+
+    def test_rejects_m_zero(self, rng):
+        with pytest.raises(ValueError):
+            random_network(0, NetworkKind.CP, rng)
+
+    def test_deterministic_for_fixed_seed(self, kind):
+        a = random_network(5, kind, np.random.default_rng(7))
+        b = random_network(5, kind, np.random.default_rng(7))
+        assert a.w == b.w and a.z == b.z

@@ -1,0 +1,97 @@
+"""Tests for schedule construction (the Figures 1-3 data)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.schedule import Segment, build_schedule, render_gantt
+from repro.dlt.timing import finish_times
+from tests.conftest import network_strategy
+
+
+class TestSegment:
+    def test_duration(self):
+        s = Segment("bus", "a1*z", 0, 1.0, 2.5)
+        assert s.duration == pytest.approx(1.5)
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            Segment("bus", "x", 0, 2.0, 1.0)
+
+
+class TestBuildSchedule:
+    @given(network_strategy(min_m=1, max_m=8))
+    @settings(max_examples=100, deadline=None)
+    def test_schedule_agrees_with_equations(self, net):
+        a = allocate(net)
+        sched = build_schedule(a, net)
+        assert np.allclose(sched.processor_finish_times(), finish_times(a, net))
+        assert sched.makespan == pytest.approx(float(np.max(finish_times(a, net))))
+
+    @given(network_strategy(min_m=1, max_m=8))
+    @settings(max_examples=100, deadline=None)
+    def test_one_port_bus_never_overlaps(self, net):
+        sched = build_schedule(allocate(net), net)
+        assert sched.bus_is_one_port()
+
+    def test_cp_ships_every_fraction(self):
+        net = BusNetwork((2.0, 3.0, 4.0), 0.5, NetworkKind.CP)
+        sched = build_schedule(allocate(net), net)
+        assert len(sched.bus_segments) == 3
+
+    def test_fe_skips_originator_fraction(self):
+        net = BusNetwork((2.0, 3.0, 4.0), 0.5, NetworkKind.NCP_FE)
+        sched = build_schedule(allocate(net), net)
+        assert len(sched.bus_segments) == 2
+        assert all(s.processor != 0 for s in sched.bus_segments)
+
+    def test_nfe_skips_last_fraction(self):
+        net = BusNetwork((2.0, 3.0, 4.0), 0.5, NetworkKind.NCP_NFE)
+        sched = build_schedule(allocate(net), net)
+        assert len(sched.bus_segments) == 2
+        assert all(s.processor != 2 for s in sched.bus_segments)
+
+    def test_fe_originator_starts_at_zero(self):
+        net = BusNetwork((2.0, 3.0, 4.0), 0.5, NetworkKind.NCP_FE)
+        sched = build_schedule(allocate(net), net)
+        p1 = [s for s in sched.compute_segments if s.processor == 0][0]
+        assert p1.start == 0.0
+
+    def test_nfe_originator_starts_after_all_sends(self):
+        net = BusNetwork((2.0, 3.0, 4.0), 0.5, NetworkKind.NCP_NFE)
+        sched = build_schedule(allocate(net), net)
+        last_send = max(s.end for s in sched.bus_segments)
+        pm = [s for s in sched.compute_segments if s.processor == 2][0]
+        assert pm.start == pytest.approx(last_send)
+
+    def test_workers_start_exactly_at_reception(self):
+        net = BusNetwork((2.0, 3.0, 4.0), 0.5, NetworkKind.CP)
+        sched = build_schedule(allocate(net), net)
+        bus_end = {s.processor: s.end for s in sched.bus_segments}
+        for c in sched.compute_segments:
+            assert c.start == pytest.approx(bus_end[c.processor])
+
+    def test_mixed_execution_stretches_compute_only(self):
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.CP)
+        a = allocate(net)
+        slow = build_schedule(a, net, w_exec=[2.0, 6.0])
+        fast = build_schedule(a, net)
+        assert slow.bus_segments == fast.bus_segments
+        assert slow.compute_segments[1].duration == pytest.approx(
+            2 * fast.compute_segments[1].duration)
+
+
+class TestRenderGantt:
+    def test_contains_all_rows(self):
+        net = BusNetwork((2.0, 3.0, 4.0), 0.5, NetworkKind.NCP_FE)
+        text = render_gantt(build_schedule(allocate(net), net))
+        for name in ("bus", "P1", "P2", "P3"):
+            assert name in text
+        assert "T=" in text
+
+    def test_empty_schedule(self):
+        net = BusNetwork((2.0,), 0.5, NetworkKind.NCP_FE)
+        sched = build_schedule([0.0], net)
+        assert "empty" in render_gantt(sched)

@@ -1,0 +1,151 @@
+"""Lemmas 5.1-5.2, Corollary 5.1, Theorem 5.1 over the full offence catalogue.
+
+For every modeled deviation:
+
+* the deviant is detected and fined (Lemma 5.2 forward direction);
+* no one else is fined (Lemma 5.2 reverse direction);
+* the deviant ends up strictly worse off than its honest counterfactual
+  (Lemma 5.1 — with the paper's fine bound in force);
+* nobody collects a reward in deviation-free runs (Corollary 5.1).
+"""
+
+import pytest
+
+from repro.agents.behaviors import AgentBehavior, Deviation
+from repro.core.dls_bl_ncp import DLSBLNCP
+from repro.core.fines import FinePolicy
+from repro.dlt.platform import NetworkKind
+
+W = [2.0, 3.0, 5.0, 4.0]
+Z = 0.4
+
+
+def run(behaviors=None, kind=NetworkKind.NCP_FE, **kw):
+    return DLSBLNCP(W, kind, Z, behaviors=behaviors, **kw).run()
+
+
+def originator_idx(kind):
+    return 0 if kind is NetworkKind.NCP_FE else len(W) - 1
+
+
+def deviation_cases(kind):
+    """(case name, behaviors dict, expected fined name) per offence."""
+    lo = originator_idx(kind)
+    lo_name = f"P{lo + 1}"
+    non_lo = 1 if lo != 1 else 2
+    non_lo_name = f"P{non_lo + 1}"
+    return [
+        ("multiple-bids",
+         {non_lo: AgentBehavior(deviations={Deviation.MULTIPLE_BIDS})},
+         non_lo_name),
+        ("short-allocation",
+         {lo: AgentBehavior(deviations={Deviation.SHORT_ALLOCATION},
+                            deviation_params={"victim": non_lo_name,
+                                              "delta_blocks": 3})},
+         lo_name),
+        ("over-allocation",
+         {lo: AgentBehavior(deviations={Deviation.OVER_ALLOCATION},
+                            deviation_params={"victim": non_lo_name,
+                                              "delta_blocks": 3})},
+         lo_name),
+        ("wrong-payments",
+         {non_lo: AgentBehavior(deviations={Deviation.WRONG_PAYMENTS})},
+         non_lo_name),
+        ("contradictory-payments",
+         {non_lo: AgentBehavior(deviations={Deviation.CONTRADICTORY_PAYMENTS})},
+         non_lo_name),
+        ("false-allocation-claim",
+         {non_lo: AgentBehavior(deviations={Deviation.FALSE_ALLOCATION_CLAIM})},
+         non_lo_name),
+        ("false-equivocation-claim",
+         {non_lo: AgentBehavior(deviations={Deviation.FALSE_EQUIVOCATION_CLAIM},
+                                deviation_params={"victim": lo_name})},
+         non_lo_name),
+    ]
+
+
+@pytest.mark.parametrize("kind", [NetworkKind.NCP_FE, NetworkKind.NCP_NFE],
+                         ids=lambda k: k.value)
+class TestLemma52:
+    """Fines hit exactly the deviant."""
+
+    def test_every_offence_detected_and_fined(self, kind):
+        for case, behaviors, expected in deviation_cases(kind):
+            out = run(behaviors, kind)
+            assert list(out.fined) == [expected], case
+
+    def test_no_fines_without_deviation(self, kind):
+        out = run(kind=kind)
+        assert out.fined == {}
+        assert out.verdicts == ()
+
+    def test_misreporting_is_not_an_offence(self, kind):
+        # Lying about capacity is handled by payments, not fines.
+        out = run({1: AgentBehavior(bid_factor=1.7)}, kind)
+        assert out.fined == {}
+        assert out.completed
+
+    def test_slacking_is_not_an_offence(self, kind):
+        out = run({2: AgentBehavior(exec_factor=1.7)}, kind)
+        assert out.fined == {}
+        assert out.completed
+
+
+@pytest.mark.parametrize("kind", [NetworkKind.NCP_FE, NetworkKind.NCP_NFE],
+                         ids=lambda k: k.value)
+class TestLemma51:
+    """With F >= sum of compensations, deviation never pays."""
+
+    def test_deviant_worse_than_honest_counterfactual(self, kind):
+        honest = run(kind=kind, policy=FinePolicy(2.0))
+        for case, behaviors, expected in deviation_cases(kind):
+            out = run(behaviors, kind, policy=FinePolicy(2.0))
+            assert out.utilities[expected] < honest.utilities[expected], case
+
+    def test_deviant_utility_strictly_negative(self, kind):
+        # Stronger: the fine exceeds anything the deviant could earn, so
+        # its net utility is below zero in every terminated case.
+        for case, behaviors, expected in deviation_cases(kind):
+            out = run(behaviors, kind, policy=FinePolicy(2.0))
+            if not out.completed:
+                assert out.utilities[expected] < 0, case
+
+
+@pytest.mark.parametrize("kind", [NetworkKind.NCP_FE, NetworkKind.NCP_NFE],
+                         ids=lambda k: k.value)
+class TestCorollary51:
+    """No rewards without a cheater."""
+
+    def test_honest_run_pays_no_rewards(self, kind):
+        out = run(kind=kind)
+        for v in out.verdicts:
+            assert not v.rewards
+        # Balances == payments exactly; no informer income.
+        for name in out.order:
+            assert out.balances[name] == pytest.approx(out.payments[name])
+
+
+@pytest.mark.parametrize("kind", [NetworkKind.NCP_FE, NetworkKind.NCP_NFE],
+                         ids=lambda k: k.value)
+class TestTheorem51:
+    """Compliance: informers profit, so deviations get reported."""
+
+    def test_informers_strictly_gain_from_reporting(self, kind):
+        honest = run(kind=kind)
+        for case, behaviors, expected in deviation_cases(kind):
+            out = run(behaviors, kind)
+            if out.completed:
+                continue  # payment-phase offences settle with rewards below
+            for name in out.order:
+                if name == expected:
+                    continue
+                # Terminated runs: informers collect fine shares (plus
+                # work compensation), never ending below zero.
+                assert out.utilities[name] >= -1e-9, (case, name)
+
+    def test_reward_share_positive_for_all_non_deviants(self, kind):
+        out = run({1: AgentBehavior(deviations={Deviation.MULTIPLE_BIDS})}, kind)
+        for name in out.order:
+            if name == "P2":
+                continue
+            assert out.balances[name] > 0

@@ -1,0 +1,115 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.network.events import EventQueue
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        q = EventQueue()
+        trace = []
+        q.schedule(2.0, lambda: trace.append("b"))
+        q.schedule(1.0, lambda: trace.append("a"))
+        q.schedule(3.0, lambda: trace.append("c"))
+        q.run()
+        assert trace == ["a", "b", "c"]
+
+    def test_fifo_within_same_time(self):
+        q = EventQueue()
+        trace = []
+        for label in "abc":
+            q.schedule(1.0, lambda l=label: trace.append(l))
+        q.run()
+        assert trace == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(5.0, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [5.0]
+        assert q.now == 5.0
+
+    def test_schedule_in_relative(self):
+        q = EventQueue()
+        trace = []
+        q.schedule(1.0, lambda: q.schedule_in(2.0, lambda: trace.append(q.now)))
+        q.run()
+        assert trace == [3.0]
+
+    def test_rejects_past(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: None)
+        q.step()
+        with pytest.raises(ValueError):
+            q.schedule(1.0, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule_in(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        trace = []
+        ev = q.schedule(1.0, lambda: trace.append("x"))
+        q.schedule(2.0, lambda: trace.append("y"))
+        ev.cancel()
+        q.run()
+        assert trace == ["y"]
+
+    def test_pending_excludes_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        assert q.pending == 2
+        ev.cancel()
+        assert q.pending == 1
+
+
+class TestRunControl:
+    def test_run_returns_count(self):
+        q = EventQueue()
+        for t in range(5):
+            q.schedule(float(t), lambda: None)
+        assert q.run() == 5
+        assert q.processed == 5
+
+    def test_run_until_stops_at_deadline(self):
+        q = EventQueue()
+        trace = []
+        q.schedule(1.0, lambda: trace.append(1))
+        q.schedule(5.0, lambda: trace.append(5))
+        q.run_until(3.0)
+        assert trace == [1]
+        assert q.now == 3.0
+        q.run()
+        assert trace == [1, 5]
+
+    def test_event_budget_guards_loops(self):
+        q = EventQueue()
+
+        def reschedule():
+            q.schedule_in(0.1, reschedule)
+
+        q.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError, match="budget"):
+            q.run(max_events=100)
+
+    def test_self_scheduling_chain(self):
+        # Events scheduled during execution run in the same drain.
+        q = EventQueue()
+        trace = []
+
+        def step(n):
+            trace.append(n)
+            if n < 3:
+                q.schedule_in(1.0, lambda: step(n + 1))
+
+        q.schedule(0.0, lambda: step(0))
+        q.run()
+        assert trace == [0, 1, 2, 3]
+        assert q.now == 3.0

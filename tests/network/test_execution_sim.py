@@ -1,0 +1,68 @@
+"""The operational simulator must agree with the analytic equations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.timing import finish_times, makespan
+from repro.network.execution_sim import simulate_execution
+from tests.conftest import network_strategy
+
+
+class TestAgreementWithEquations:
+    @given(network_strategy(min_m=1, max_m=8))
+    @settings(max_examples=100, deadline=None)
+    def test_optimal_allocation_matches(self, net):
+        alpha = allocate(net)
+        run = simulate_execution(alpha, net)
+        assert np.allclose(run.finish_times, finish_times(alpha, net),
+                           rtol=1e-12, atol=1e-12)
+        assert run.makespan == pytest.approx(makespan(alpha, net))
+
+    @given(network_strategy(min_m=2, max_m=8))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_allocation_matches(self, net):
+        # Agreement must hold off-optimum too (Eqs 1-3 are allocation-
+        # agnostic).
+        rng = np.random.default_rng(net.m)
+        alpha = rng.dirichlet(np.ones(net.m))
+        run = simulate_execution(alpha, net)
+        assert np.allclose(run.finish_times, finish_times(alpha, net),
+                           rtol=1e-12, atol=1e-12)
+
+    @given(network_strategy(min_m=2, max_m=6))
+    @settings(max_examples=60, deadline=None)
+    def test_mixed_execution_values_match(self, net):
+        alpha = allocate(net)
+        w_exec = np.asarray(net.w) * 1.5
+        run = simulate_execution(alpha, net, w_exec=w_exec)
+        assert np.allclose(run.finish_times,
+                           finish_times(alpha, net, w_exec=w_exec))
+
+
+class TestOperationalDetails:
+    def test_comm_done_excludes_untransmitted_fractions(self):
+        net = BusNetwork((2.0, 3.0, 4.0), 1.0, NetworkKind.NCP_FE)
+        alpha = np.array([0.5, 0.3, 0.2])
+        run = simulate_execution(alpha, net)
+        assert run.comm_done == pytest.approx(1.0 * (0.3 + 0.2))
+
+    def test_cp_ships_everything(self):
+        net = BusNetwork((2.0, 3.0), 1.0, NetworkKind.CP)
+        run = simulate_execution(np.array([0.6, 0.4]), net)
+        assert run.comm_done == pytest.approx(1.0)
+
+    def test_event_count_scales_with_m(self):
+        net = BusNetwork(tuple([2.0] * 6), 0.5, NetworkKind.CP)
+        run = simulate_execution(allocate(net), net)
+        # one delivery + one completion per worker
+        assert run.events_processed == 12
+
+    def test_shape_validation(self):
+        net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.CP)
+        with pytest.raises(ValueError):
+            simulate_execution([0.5], net)
+        with pytest.raises(ValueError):
+            simulate_execution([0.5, 0.5], net, w_exec=[1.0])

@@ -1,0 +1,47 @@
+"""Tests for message envelopes and wire-size accounting."""
+
+import pytest
+
+from repro.crypto.signatures import SigningKey
+from repro.network.messages import Message, MessageKind
+
+
+class TestMessage:
+    def test_broadcast_detection(self):
+        m = Message(MessageKind.BID, "P1", ("*",), {"x": 1})
+        assert m.is_broadcast
+        u = Message(MessageKind.LOAD, "P1", ("P2",), {"x": 1})
+        assert not u.is_broadcast
+
+    def test_requires_recipients(self):
+        with pytest.raises(ValueError):
+            Message(MessageKind.BID, "P1", (), {"x": 1})
+
+    def test_size_from_signed_message(self):
+        key = SigningKey("P1")
+        sm = key.sign({"bid": 2.0, "processor": "P1"})
+        m = Message(MessageKind.BID, "P1", ("*",), sm)
+        assert m.size_bytes == sm.size_bytes
+
+    def test_size_from_list_of_signed(self):
+        key = SigningKey("P1")
+        sms = [key.sign({"bid": float(i)}) for i in range(3)]
+        m = Message(MessageKind.BID_VECTOR, "P1", ("referee",), sms)
+        assert m.size_bytes == sum(s.size_bytes for s in sms)
+
+    def test_size_scales_with_payload(self):
+        small = Message(MessageKind.METER, "r", ("*",), {"phi": [1.0]})
+        large = Message(MessageKind.METER, "r", ("*",), {"phi": [1.0] * 50})
+        assert large.size_bytes > small.size_bytes
+
+    def test_opaque_body_gets_nominal_size(self):
+        m = Message(MessageKind.LOAD, "P1", ("P2",), object())
+        assert m.size_bytes == 64
+
+    def test_explicit_size_respected(self):
+        m = Message(MessageKind.LOAD, "P1", ("P2",), {"x": 1}, size_bytes=4096)
+        assert m.size_bytes == 4096
+
+    def test_load_kind_excluded_from_cost_metric(self):
+        assert MessageKind.LOAD.is_load_transfer
+        assert not MessageKind.PAYMENT_VECTOR.is_load_transfer

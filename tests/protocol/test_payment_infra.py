@@ -1,0 +1,61 @@
+"""Tests for the ledger and payment infrastructure."""
+
+import pytest
+
+from repro.protocol.payment_infra import Ledger, PaymentInfrastructure
+
+
+class TestLedger:
+    def test_transfer_moves_money(self):
+        led = Ledger()
+        led.transfer("user", "P1", 5.0, "payment")
+        assert led.balance("user") == -5.0
+        assert led.balance("P1") == 5.0
+
+    def test_total_always_zero(self):
+        led = Ledger()
+        led.transfer("a", "b", 3.0)
+        led.transfer("b", "c", 1.5)
+        led.transfer("c", "a", 0.5)
+        assert led.total == pytest.approx(0.0)
+
+    def test_unknown_account_balance_zero(self):
+        assert Ledger().balance("nobody") == 0.0
+
+    def test_rejects_negative_transfer(self):
+        with pytest.raises(ValueError):
+            Ledger().transfer("a", "b", -1.0)
+
+    def test_history_records_memos(self):
+        led = Ledger()
+        led.transfer("a", "b", 1.0, memo="fine:equivocation")
+        assert led.history[0].memo == "fine:equivocation"
+
+
+class TestPaymentInfrastructure:
+    def test_remit_bills_user(self):
+        infra = PaymentInfrastructure()
+        infra.remit_payments({"P1": 3.0, "P2": 2.0})
+        assert infra.balance("user") == pytest.approx(-5.0)
+        assert infra.balance("P1") == pytest.approx(3.0)
+
+    def test_negative_payment_flows_back(self):
+        infra = PaymentInfrastructure()
+        infra.remit_payments({"P1": -2.0})
+        assert infra.balance("P1") == pytest.approx(-2.0)
+        assert infra.balance("user") == pytest.approx(2.0)
+
+    def test_fine_and_distribution_conserve_money(self):
+        infra = PaymentInfrastructure()
+        infra.collect_fine("P2", 6.0, "equivocation")
+        infra.distribute_from_escrow({"P1": 3.0, "P3": 3.0}, "informer-reward")
+        assert infra.balance("P2") == pytest.approx(-6.0)
+        assert infra.balance("P1") == pytest.approx(3.0)
+        assert infra.balance(PaymentInfrastructure.ESCROW) == pytest.approx(0.0)
+        assert infra.ledger.total == pytest.approx(0.0)
+
+    def test_partial_distribution_leaves_escrow(self):
+        infra = PaymentInfrastructure()
+        infra.collect_fine("P2", 6.0, "x")
+        infra.distribute_from_escrow({"P1": 4.0}, "reward")
+        assert infra.balance(PaymentInfrastructure.ESCROW) == pytest.approx(2.0)

@@ -1,0 +1,40 @@
+"""The REFUSE_REMEDY deviation: stonewalling the referee's mediation."""
+
+import pytest
+
+from repro.agents.behaviors import AgentBehavior, Deviation
+from repro.core.dls_bl_ncp import DLSBLNCP
+from repro.dlt.platform import NetworkKind
+from repro.protocol.phases import Phase
+
+W = [2.0, 3.0, 5.0, 4.0]
+Z = 0.4
+
+
+def run(kind=NetworkKind.NCP_FE, extra=frozenset()):
+    lo = 0 if kind is NetworkKind.NCP_FE else len(W) - 1
+    behaviors = {lo: AgentBehavior(
+        deviations=frozenset({Deviation.SHORT_ALLOCATION}) | extra,
+        deviation_params={"victim": "P2", "delta_blocks": 3})}
+    return DLSBLNCP(W, kind, Z, behaviors=behaviors).run(), f"P{lo + 1}"
+
+
+class TestRefuseRemedy:
+    def test_cooperative_originator_fined_for_under_assignment(self, ncp_kind):
+        out, lo_name = run(ncp_kind)
+        assert out.terminal_phase is Phase.ALLOCATING_LOAD
+        assert out.verdicts[0].fines[0].offence == "under-assignment"
+        assert list(out.fined) == [lo_name]
+
+    def test_stonewalling_originator_fined_for_refused_remedy(self, ncp_kind):
+        out, lo_name = run(ncp_kind, extra=frozenset({Deviation.REFUSE_REMEDY}))
+        assert out.terminal_phase is Phase.ALLOCATING_LOAD
+        assert out.verdicts[0].fines[0].offence == "refused-remedy"
+        assert list(out.fined) == [lo_name]
+
+    def test_same_fine_either_way(self, ncp_kind):
+        # The label differs; the deterrence does not.
+        a, lo = run(ncp_kind)
+        b, _ = run(ncp_kind, extra=frozenset({Deviation.REFUSE_REMEDY}))
+        assert a.fined[lo] == pytest.approx(b.fined[lo])
+        assert a.utilities[lo] == pytest.approx(b.utilities[lo])

@@ -1,0 +1,92 @@
+"""Tests for repeated-engagement market sessions."""
+
+import pytest
+
+from repro.agents.behaviors import AgentBehavior, Deviation, misreport
+from repro.core.fines import FinePolicy
+from repro.dlt.platform import NetworkKind
+from repro.protocol.sessions import MarketSession
+
+W = [2.0, 3.0, 5.0]
+Z = 0.4
+
+
+def session(**kw):
+    return MarketSession(W, NetworkKind.NCP_FE, Z,
+                         policy=FinePolicy(2.0), **kw)
+
+
+class TestBasics:
+    def test_requires_two_processors(self):
+        with pytest.raises(ValueError):
+            MarketSession([2.0], NetworkKind.NCP_FE, Z)
+
+    def test_honest_engagements_accumulate_positively(self):
+        s = session()
+        s.run_schedule(5)
+        assert len(s.records) == 5
+        for name in s.names:
+            assert s.cumulative_utility(name) > 0
+            series = s.earnings_series(name)
+            assert len(series) == 5
+            assert all(b >= a for a, b in zip(series, series[1:]))
+
+    def test_each_engagement_is_independent(self):
+        s = session()
+        a = s.run_engagement().outcome
+        b = s.run_engagement().outcome
+        assert a.payments == b.payments  # same instance, same outcome
+        assert a is not b
+
+    def test_cumulative_matches_sum_of_records(self):
+        s = session()
+        s.run_schedule(4)
+        for name in s.names:
+            total = sum(r.outcome.utilities[name] for r in s.records)
+            assert s.cumulative_utility(name) == pytest.approx(total)
+
+
+class TestSchedules:
+    def test_dict_schedule(self):
+        s = session()
+        s.run_schedule(3, behavior_schedule={
+            1: {0: misreport(1.5)},
+        })
+        # engagement 1 has P1 misreporting; others honest
+        assert s.records[0].outcome.bids["P1"] == pytest.approx(2.0)
+        assert s.records[1].outcome.bids["P1"] == pytest.approx(3.0)
+        assert s.records[2].outcome.bids["P1"] == pytest.approx(2.0)
+
+    def test_callable_schedule(self):
+        s = session()
+        s.run_schedule(4, behavior_schedule=lambda j: (
+            {1: AgentBehavior(deviations={Deviation.MULTIPLE_BIDS})}
+            if j == 2 else None))
+        assert s.records[2].outcome.fined == {
+            "P2": pytest.approx(s.records[2].outcome.fine_amount)}
+        assert s.records[3].outcome.fined == {}
+
+
+class TestLongRunDeterrence:
+    def test_one_deviation_sets_earnings_back_for_many_jobs(self):
+        # The deterrence arithmetic the fine bound buys: after deviating
+        # once in job 0, P2 needs many honest jobs to recover what its
+        # peers earned meanwhile.
+        cheat = session()
+        cheat.run_schedule(8, behavior_schedule={
+            0: {1: AgentBehavior(deviations={Deviation.MULTIPLE_BIDS})}})
+        honest = session()
+        honest.run_schedule(8)
+        gap = honest.cumulative_utility("P2") - cheat.cumulative_utility("P2")
+        per_job = honest.records[0].outcome.utilities["P2"]
+        assert gap > 5 * per_job  # the fine costs > 5 honest jobs' profit
+
+    def test_informers_come_out_ahead(self):
+        cheat = session()
+        cheat.run_schedule(3, behavior_schedule={
+            0: {1: AgentBehavior(deviations={Deviation.MULTIPLE_BIDS})}})
+        honest = session()
+        honest.run_schedule(3)
+        for name in ("P1", "P3"):
+            assert (cheat.cumulative_utility(name)
+                    > honest.cumulative_utility(name))

@@ -1,0 +1,76 @@
+"""Tests for protocol transcripts."""
+
+import pytest
+
+from repro.agents.behaviors import AgentBehavior, Deviation
+from repro.core.dls_bl_ncp import DLSBLNCP
+from repro.dlt.platform import NetworkKind
+from repro.protocol.trace import describe_message, render_transcript, traffic_summary
+
+
+def run_mech(behaviors=None):
+    mech = DLSBLNCP([2.0, 3.0, 5.0], NetworkKind.NCP_FE, 0.4,
+                    behaviors=behaviors)
+    outcome = mech.run()
+    return mech, outcome
+
+
+class TestTranscript:
+    def test_honest_run_covers_all_phases(self):
+        mech, _ = run_mech()
+        text = render_transcript(mech.engine.bus)
+        for marker in ("bid", "load", "meter", "payment-vector", "bill"):
+            assert marker in text
+
+    def test_line_per_message(self):
+        mech, _ = run_mech()
+        text = render_transcript(mech.engine.bus)
+        assert len(text.splitlines()) == len(mech.engine.bus.log) + 1
+
+    def test_terminated_run_shows_claim_and_verdict(self):
+        mech, out = run_mech({1: AgentBehavior(
+            deviations={Deviation.MULTIPLE_BIDS})})
+        assert not out.completed
+        text = render_transcript(mech.engine.bus)
+        assert "claim" in text
+        assert "verdict" in text
+        assert "fined=['P2']" in text
+
+    def test_bid_lines_show_values(self):
+        mech, _ = run_mech()
+        text = render_transcript(mech.engine.bus)
+        assert "bid=2" in text and "bid=5" in text
+
+
+class TestTrafficSummary:
+    def test_summary_totals_match_stats(self):
+        mech, _ = run_mech()
+        bus = mech.engine.bus
+        text = traffic_summary(bus)
+        assert str(bus.stats.control_bytes) in text
+        assert "TOTAL (control)" in text
+
+    def test_only_present_kinds_listed(self):
+        mech, _ = run_mech()
+        text = traffic_summary(mech.engine.bus)
+        assert "claim" not in text  # no disputes in an honest run
+
+
+class TestDescribeMessage:
+    def test_broadcast_marked_all(self):
+        mech, _ = run_mech()
+        first = mech.engine.bus.log[0]
+        line = describe_message(first)
+        assert "ALL" in line
+        assert "P1" in line
+
+    def test_commit_mode_transcript(self):
+        from repro.core.dls_bl_ncp import DLSBLNCP
+        from repro.dlt.platform import NetworkKind
+
+        mech = DLSBLNCP([2.0, 3.0, 5.0], NetworkKind.NCP_FE, 0.4,
+                        bidding_mode="commit")
+        mech.run()
+        text = render_transcript(mech.engine.bus)
+        assert "commitment" in text
+        assert "digest=" in text

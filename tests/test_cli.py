@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestAllocate:
+    def test_prints_table(self, capsys):
+        assert main(["allocate", "--kind", "ncp-fe", "--z", "0.5",
+                     "2", "3", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha_i" in out
+        assert "P3" in out
+
+    def test_default_kind(self, capsys):
+        assert main(["allocate", "--z", "0.5", "2", "3"]) == 0
+        assert "ncp-fe" in capsys.readouterr().out
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["allocate", "--kind", "mesh",
+                                       "--z", "0.5", "2"])
+
+    def test_bad_w_reports_error(self, capsys):
+        rc = main(["allocate", "--z", "0.5", "2", "-3"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSchedule:
+    def test_renders_gantt(self, capsys):
+        assert main(["schedule", "--kind", "cp", "--z", "0.6",
+                     "2", "3", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "bus" in out
+        assert "#" in out and "=" in out
+
+
+class TestMechanism:
+    def test_truthful_round(self, capsys):
+        assert main(["mechanism", "--kind", "cp", "--z", "0.5",
+                     "--bids", "2", "3", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Q_i" in out and "user cost" in out
+
+    def test_exec_override(self, capsys):
+        assert main(["mechanism", "--kind", "cp", "--z", "0.5",
+                     "--bids", "2", "3", "--exec", "2", "6"]) == 0
+        assert "U_i" in capsys.readouterr().out
+
+    def test_exec_length_mismatch(self, capsys):
+        rc = main(["mechanism", "--kind", "cp", "--z", "0.5",
+                   "--bids", "2", "3", "--exec", "2"])
+        assert rc == 2
+
+
+class TestProtocol:
+    def test_honest_run_exit_zero(self, capsys):
+        rc = main(["protocol", "--kind", "ncp-fe", "--z", "0.4",
+                   "2", "3", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "COMPLETED" in out
+        assert "no fines" in out
+
+    def test_deviant_run_exit_one(self, capsys):
+        rc = main(["protocol", "--kind", "ncp-fe", "--z", "0.4",
+                   "2", "3", "5", "--deviant", "1:multiple-bids"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "TERMINATED" in out
+        assert "P2 fined" in out
+
+    def test_cp_rejected(self, capsys):
+        rc = main(["protocol", "--kind", "cp", "--z", "0.4", "2", "3"])
+        assert rc == 2
+
+    def test_bad_deviant_index(self, capsys):
+        rc = main(["protocol", "--kind", "ncp-fe", "--z", "0.4",
+                   "2", "3", "--deviant", "7:multiple-bids"])
+        assert rc == 2
+
+    def test_bad_deviant_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["protocol", "--z", "0.4", "2", "3",
+                                       "--deviant", "1:nonsense"])
+
+
+class TestSurvey:
+    def test_ranks_kinds(self, capsys):
+        assert main(["survey", "--z", "0.5", "2", "3", "5"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("cp", "ncp-fe", "ncp-nfe"):
+            assert kind in out
+
+
+class TestModuleEntry:
+    def test_python_dash_m(self):
+        import subprocess
+        import sys
+
+        r = subprocess.run(
+            [sys.executable, "-m", "repro", "allocate", "--z", "0.5", "2", "3"],
+            capture_output=True, text=True)
+        assert r.returncode == 0
+        assert "alpha_i" in r.stdout

@@ -1,0 +1,109 @@
+"""Tests for the extension CLI subcommands (star/chain/affine/regime,
+protocol --trace/--json)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestStarCommand:
+    def test_runs(self, capsys):
+        assert main(["star", "--links", "0.3", "0.6", "0.4",
+                     "--bids", "2", "3", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "DLS-ST" in out and "user cost" in out
+
+    def test_length_mismatch(self, capsys):
+        assert main(["star", "--links", "0.3", "--bids", "2", "3"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestChainCommand:
+    def test_runs(self, capsys):
+        assert main(["chain", "--hops", "0.1", "0.2",
+                     "--bids", "2", "3", "5"]) == 0
+        assert "DLS-LN" in capsys.readouterr().out
+
+    def test_hop_count_mismatch(self, capsys):
+        assert main(["chain", "--hops", "0.1", "--bids", "2", "3", "5"]) == 2
+
+
+class TestAffineCommand:
+    def test_reports_cohort(self, capsys):
+        assert main(["affine", "--z", "0.2", "--sc", "0.3", "--sp", "0.1",
+                     "--load", "0.5", "1", "1", "1", "1", "1", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal cohort" in out
+
+    def test_zero_overheads_full_cohort(self, capsys):
+        assert main(["affine", "--z", "0.2", "1", "1", "1"]) == 0
+        assert "cohort 3/3" in capsys.readouterr().out
+
+
+class TestRegimeCommand:
+    def test_in_regime_exit_zero(self, capsys):
+        assert main(["regime", "--kind", "ncp-nfe", "--z", "0.5",
+                     "2", "3", "5"]) == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_out_of_regime_exit_one(self, capsys):
+        assert main(["regime", "--kind", "ncp-nfe", "--z", "2.0",
+                     "1", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "False" in out
+
+    def test_cp_always_passes(self):
+        assert main(["regime", "--kind", "cp", "--z", "9.0", "1", "1"]) == 0
+
+
+class TestConsoleScript:
+    def test_repro_command_installed(self):
+        import shutil
+        import subprocess
+
+        exe = shutil.which("repro")
+        if exe is None:
+            pytest.skip("console script not on PATH in this environment")
+        r = subprocess.run([exe, "survey", "--z", "0.5", "2", "3"],
+                           capture_output=True, text=True)
+        assert r.returncode == 0
+        assert "ncp-fe" in r.stdout
+
+    def test_bidding_mode_flag(self, capsys):
+        rc = main(["protocol", "--kind", "ncp-fe", "--z", "0.4",
+                   "2", "3", "5", "--bidding-mode", "commit",
+                   "--deviant", "1:split-bids"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "TERMINATED in phase BIDDING" in out
+
+    def test_split_bids_harmless_under_atomic(self, capsys):
+        rc = main(["protocol", "--kind", "ncp-fe", "--z", "0.4",
+                   "2", "3", "5", "--deviant", "1:split-bids"])
+        assert rc == 0
+
+
+class TestProtocolFlags:
+    def test_trace_prints_transcript(self, capsys):
+        assert main(["protocol", "--kind", "ncp-fe", "--z", "0.4",
+                     "2", "3", "5", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "transcript" in out
+        assert "payment-vector" in out
+        assert "Bus traffic" in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["protocol", "--kind", "ncp-fe", "--z", "0.4",
+                     "2", "3", "5", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["completed"] is True
+        assert data["format"] == "repro/protocol-result/v1"
+
+    def test_json_exit_code_tracks_completion(self, capsys):
+        rc = main(["protocol", "--kind", "ncp-fe", "--z", "0.4",
+                   "2", "3", "5", "--deviant", "1:multiple-bids", "--json"])
+        assert rc == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["completed"] is False

@@ -1,0 +1,89 @@
+"""E27 — cost of the fault-injection layer on the fault-free path.
+
+The fault layer must be free when unused: ``FaultyBus`` with an empty
+plan rebinds its transport methods to the base ``Bus`` implementations
+at construction, so a fault-free run pays only the (one-off) wrapper
+construction.  This benchmark pins that guarantee: driving identical
+traffic through a raw ``Bus`` and an empty-plan ``FaultyBus`` must
+differ by well under 10%.  An *armed* plan that never fires (a
+probability-0 drop rule) is timed alongside to show the price of the
+interception path itself.
+"""
+
+import gc
+import time
+
+from repro.analysis.reporting import format_table
+from repro.network.bus import Bus
+from repro.network.faults import FaultPlan, FaultyBus, MessageFault
+from repro.network.messages import Message, MessageKind
+
+ROUNDS = 400
+REPEATS = 9
+NAMES = tuple(f"P{i + 1}" for i in range(8))
+
+_RAW = "raw Bus"
+_EMPTY = "FaultyBus, empty plan"
+_ARMED = "FaultyBus, armed (inert)"
+
+_FACTORIES = {
+    _RAW: lambda: Bus(0.5),
+    _EMPTY: lambda: FaultyBus(0.5, plan=FaultPlan()),
+    _ARMED: lambda: FaultyBus(0.5, plan=FaultPlan(messages=(
+        MessageFault(action="drop", probability=0.0),))),
+}
+
+
+def _drive(bus) -> None:
+    """A representative control-plane workload: broadcasts, unicasts
+    and load transfers, drained through the event queue."""
+    sink = []
+    for name in NAMES:
+        bus.attach(name, sink.append)
+    for r in range(ROUNDS):
+        src = NAMES[r % len(NAMES)]
+        dst = NAMES[(r + 1) % len(NAMES)]
+        bus.broadcast(Message(MessageKind.BID, src, ("*",), {"b": float(r)}))
+        bus.send(Message(MessageKind.CLAIM, src, (dst,), {"r": r}))
+        bus.transfer_load(src, dst, 0.01, ["blk"])
+    bus.queue.run()
+
+
+def _measure() -> dict[str, float]:
+    """Best-of-N per transport, interleaved A/B/C so allocator and
+    frequency drift hit every contender equally; GC parked so its
+    pauses don't land inside one contender's window."""
+    best = {label: float("inf") for label in _FACTORIES}
+    for label, make in _FACTORIES.items():   # warmup, untimed
+        _drive(make())
+    gc.disable()
+    try:
+        for _ in range(REPEATS):
+            for label, make in _FACTORIES.items():
+                bus = make()
+                t0 = time.perf_counter()
+                _drive(bus)
+                best[label] = min(best[label],
+                                  time.perf_counter() - t0)
+                gc.collect()
+    finally:
+        gc.enable()
+    return best
+
+
+def test_empty_plan_overhead_under_10_percent(report):
+    best = _measure()
+    raw = best[_RAW]
+    rows = [(label, f"{t * 1e3:.2f}", f"{t / raw:.2f}x")
+            for label, t in best.items()]
+    report(format_table(
+        ("transport", f"best of {REPEATS} (ms)", "vs raw"), rows,
+        title=f"Fault-layer overhead: {ROUNDS} rounds x "
+              f"(broadcast + unicast + load) on {len(NAMES)} listeners"))
+
+    # The contract from the fault-model design: an empty plan is a
+    # strict no-op, so the fault-free path must stay within 10%.
+    assert best[_EMPTY] / raw < 1.10
+    # The armed path intercepts every message; it may cost more, but
+    # must stay within the same order of magnitude.
+    assert best[_ARMED] / raw < 3.0

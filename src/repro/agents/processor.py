@@ -227,6 +227,31 @@ class ProcessorAgent:
         net = BusNetwork(tuple(view[n] for n in order), self.z, self.kind, tuple(order))
         return allocate(net)
 
+    def compute_survivor_allocation(self, survivors: list[str]) -> np.ndarray:
+        """Re-solve the closed form over the surviving cohort.
+
+        Used when a worker crashes mid-Processing: the unfinished load
+        is re-divided among *survivors* (allocation order preserved, so
+        the originator keeps its required position in both NCP kinds).
+        """
+        view = self.bid_view(survivors)
+        net = BusNetwork(tuple(view[n] for n in survivors), self.z,
+                         self.kind, tuple(survivors))
+        return allocate(net)
+
+    def bid_snapshot(self, order: list[str]) -> list[SignedMessage]:
+        """First archived signed bid per *order* member this agent holds.
+
+        Unlike :meth:`bid_vector_messages` this is never manipulated —
+        it is the raw archive, re-broadcast by the originator to heal
+        bid views torn by message loss on point-to-point networks.
+        (A lying originator gains nothing: the copies are signed by
+        their original authors, so tampering is detectable and a
+        divergent snapshot is equivocation evidence against it.)
+        """
+        return [self._bid_archive[name][0] for name in order
+                if name in self._bid_archive]
+
     def planned_shipments(self, entitled_blocks: dict[str, int]) -> dict[str, int]:
         """As originator: blocks to actually ship to each recipient.
 

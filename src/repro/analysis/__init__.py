@@ -11,6 +11,8 @@
   individual strategyproofness ends).
 * :mod:`repro.analysis.economics` — the price of truthfulness
   (VCG-style overpayment measurements).
+* :mod:`repro.analysis.resilience` — crash/drop fault sweeps: makespan
+  inflation, welfare loss and retry overhead under the fault layer.
 * :mod:`repro.analysis.reporting` — fixed-width table rendering shared
   by the benchmark harness and the examples.
 """
@@ -33,6 +35,7 @@ from repro.analysis.sensitivity import (
     payment_sensitivity,
     worst_case_condition,
 )
+from repro.analysis.resilience import ResilienceSample, crash_sweep, drop_sweep
 
 __all__ = [
     "CoalitionResult",
@@ -59,4 +62,7 @@ __all__ = [
     "CommunicationSample",
     "fit_loglog_slope",
     "measure_communication",
+    "ResilienceSample",
+    "crash_sweep",
+    "drop_sweep",
 ]

@@ -59,6 +59,23 @@ def _deviation(value: str) -> tuple[int, Deviation]:
             f"expected INDEX:NAME with NAME in {valid}; got {value!r} ({exc})")
 
 
+def _crash_spec(value: str) -> tuple[int, float]:
+    """Parse ``INDEX[:PROGRESS]`` (e.g. ``2:0.5``) for --crash."""
+    try:
+        if ":" in value:
+            idx_str, prog_str = value.split(":", 1)
+            idx, progress = int(idx_str), float(prog_str)
+        else:
+            idx, progress = int(value), 0.0
+        if not 0.0 <= progress <= 1.0:
+            raise ValueError("progress must be in [0, 1]")
+        return idx, progress
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected INDEX[:PROGRESS] with PROGRESS in [0,1]; "
+            f"got {value!r} ({exc})")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -105,6 +122,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the wire-level transcript and traffic summary")
     p.add_argument("--json", action="store_true",
                    help="emit the outcome as JSON instead of tables")
+    p.add_argument("--crash", type=_crash_spec, action="append", default=[],
+                   metavar="INDEX[:PROGRESS]",
+                   help="crash processor INDEX mid-Processing after "
+                        "completing PROGRESS of its assignment "
+                        "(repeatable), e.g. 2:0.5")
+
+    p = sub.add_parser("resilience",
+                       help="protocol under injected crash/drop faults")
+    add_common(p)
+    p.add_argument("--progress", type=float, nargs="+",
+                   default=[0.0, 0.25, 0.5, 0.75],
+                   help="mid-Processing crash progress levels to sweep")
+    p.add_argument("--drop-rates", type=float, nargs="+",
+                   default=[0.0, 0.1, 0.25],
+                   help="unicast drop probabilities to sweep")
+    p.add_argument("--seeds", type=int, default=3,
+                   help="fault-plan seeds per drop rate")
+    p.add_argument("--bidding-mode", choices=("commit", "naive"),
+                   default="commit",
+                   help="point-to-point mode for the drop sweep")
 
     p = sub.add_parser("survey", help="compare the three system models")
     p.add_argument("--z", type=float, required=True)
@@ -186,9 +223,25 @@ def cmd_protocol(args) -> int:
         behaviors[idx] = AgentBehavior(deviations=devs)
     from repro.core.fines import FinePolicy
 
+    fault_plan = None
+    if args.crash:
+        from repro.network.faults import CrashFault, FaultPlan
+        from repro.protocol.phases import Phase
+
+        names = [f"P{i + 1}" for i in range(len(args.w))]
+        crashes = []
+        for idx, progress in args.crash:
+            if not 0 <= idx < len(args.w):
+                print(f"error: crash index {idx} out of range", file=sys.stderr)
+                return 2
+            crashes.append(CrashFault(names[idx], phase=Phase.PROCESSING_LOAD,
+                                      progress=progress))
+        fault_plan = FaultPlan(crashes=tuple(crashes))
+
     mech = DLSBLNCP(list(args.w), args.kind, args.z, behaviors=behaviors,
                     policy=FinePolicy(args.fine_factor),
-                    bidding_mode=args.bidding_mode)
+                    bidding_mode=args.bidding_mode,
+                    fault_plan=fault_plan)
     outcome = mech.run()
     if args.json:
         from repro.io import dumps_result
@@ -204,6 +257,11 @@ def cmd_protocol(args) -> int:
     status = "COMPLETED" if outcome.completed else "TERMINATED"
     print(f"\n{status} in phase {outcome.terminal_phase.name}; "
           f"fine F = {outcome.fine_amount:.6g}")
+    if outcome.degraded:
+        realloc = ", ".join(f"{n}:+{f:.4g}"
+                            for n, f in outcome.reallocations.items())
+        print(f"  DEGRADED: crashed={list(outcome.crashed)}"
+              + (f"; survivors absorbed {realloc}" if realloc else ""))
     if outcome.fined:
         for name, amount in outcome.fined.items():
             print(f"  {name} fined {amount:.6g}")
@@ -217,6 +275,43 @@ def cmd_protocol(args) -> int:
         print()
         print(traffic_summary(mech.engine.bus))
     return 0 if outcome.completed else 1
+
+
+def cmd_resilience(args) -> int:
+    if args.kind is NetworkKind.CP:
+        print("error: resilience sweeps run the NCP protocol "
+              "(ncp-fe / ncp-nfe)", file=sys.stderr)
+        return 2
+    from repro.analysis.resilience import crash_sweep, drop_sweep
+
+    def rows(samples):
+        return [(s.label, s.seed, "yes" if s.completed else "no",
+                 "yes" if s.degraded else "no",
+                 "-" if s.makespan_inflation is None
+                 else f"{100 * s.makespan_inflation:.2f}%",
+                 f"{s.welfare_loss:.4g}", s.retries,
+                 f"{s.reallocated:.4g}")
+                for s in samples]
+
+    header = ("fault", "seed", "done", "degr", "makespan+",
+              "welfare loss", "retries", "re-alloc")
+    crashes = crash_sweep(args.w, args.kind, args.z,
+                          progresses=tuple(args.progress))
+    print(format_table(header, rows(crashes),
+                       title=f"Mid-Processing crash sweep "
+                             f"({args.kind.value}, z={args.z})"))
+    worst = max((s.ledger_error for s in crashes), default=0.0)
+    print(f"  ledger conservation: worst |sum(balances)| = {worst:.3g}\n")
+    drops = drop_sweep(args.w, args.kind, args.z,
+                       rates=tuple(args.drop_rates),
+                       seeds=range(args.seeds),
+                       bidding_mode=args.bidding_mode)
+    print(format_table(header, rows(drops),
+                       title=f"Control-plane drop sweep "
+                             f"({args.bidding_mode} bidding)"))
+    worst = max((s.ledger_error for s in drops), default=0.0)
+    print(f"  ledger conservation: worst |sum(balances)| = {worst:.3g}")
+    return 0
 
 
 def cmd_survey(args) -> int:
@@ -302,6 +397,7 @@ _COMMANDS = {
     "schedule": cmd_schedule,
     "mechanism": cmd_mechanism,
     "protocol": cmd_protocol,
+    "resilience": cmd_resilience,
     "survey": cmd_survey,
     "star": cmd_star,
     "chain": cmd_chain,

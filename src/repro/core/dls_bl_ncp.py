@@ -15,7 +15,13 @@ from repro.agents.processor import ProcessorAgent
 from repro.core.fines import FinePolicy
 from repro.crypto.pki import PKI
 from repro.dlt.platform import NetworkKind
-from repro.protocol.engine import ProtocolEngine, ProtocolResult
+from repro.network.faults import FaultPlan
+from repro.protocol.engine import (
+    PhaseDeadlines,
+    ProtocolEngine,
+    ProtocolResult,
+    RetryPolicy,
+)
 
 __all__ = ["NCPOutcome", "DLSBLNCP"]
 
@@ -40,6 +46,12 @@ class DLSBLNCP:
         Fine policy (``F = safety_factor * sum alpha_j b_j``).
     num_blocks:
         Load-division granularity.
+    fault_plan:
+        Optional :class:`repro.network.faults.FaultPlan`; ``None`` (or
+        an empty plan) runs on the reliable bus, byte-identical to a
+        build without the fault layer.
+    deadlines / retry:
+        Timeout and retransmission policy for fault-tolerant runs.
 
     Example
     -------
@@ -62,6 +74,9 @@ class DLSBLNCP:
         num_blocks: int = 120,
         names: list[str] | None = None,
         bidding_mode: str = "atomic",
+        fault_plan: FaultPlan | None = None,
+        deadlines: PhaseDeadlines | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         w_true = [float(w) for w in w_true]
         m = len(w_true)
@@ -89,6 +104,7 @@ class DLSBLNCP:
             pki=self.pki, user_key=self.user_key,
             policy=policy, num_blocks=num_blocks,
             bidding_mode=bidding_mode,
+            fault_plan=fault_plan, deadlines=deadlines, retry=retry,
         )
 
     @property

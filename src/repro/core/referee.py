@@ -199,6 +199,26 @@ class Referee:
                                 [Fine(target, fine, offence)], participants)
 
     # ------------------------------------------------------------------
+    # Fault (not offence): unresponsive processors
+    # ------------------------------------------------------------------
+
+    def judge_unresponsive(self, unresponsive: str,
+                           survivors: list[str]) -> RefereeVerdict:
+        """A processor stopped responding past its deadline (crash-stop).
+
+        A crash is a *fault*, not a strategic deviation — the offence
+        catalogue does not cover it, so no fine is imposed and nothing
+        is redistributed.  The verdict does **not** terminate the
+        protocol: the engine degrades gracefully instead, re-allocating
+        the unfinished load over *survivors*.  The case string records
+        who was declared dead so the verdict broadcast doubles as the
+        membership change announcement.
+        """
+        del survivors  # recorded by the engine's reallocation, not here
+        return RefereeVerdict(case=f"unresponsive:{unresponsive}",
+                              fines=(), terminates=False)
+
+    # ------------------------------------------------------------------
     # Offence (ii) + (iv): allocation disputes
     # ------------------------------------------------------------------
 

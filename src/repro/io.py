@@ -117,6 +117,9 @@ def protocol_result_to_dict(result: ProtocolResult) -> dict:
         "fine_amount": result.fine_amount,
         "makespan_realized": result.makespan_realized,
         "user_cost": result.user_cost,
+        "degraded": result.degraded,
+        "crashed": list(result.crashed),
+        "reallocations": dict(result.reallocations),
         "verdicts": [
             {
                 "case": v.case,
@@ -133,6 +136,7 @@ def protocol_result_to_dict(result: ProtocolResult) -> dict:
             "bytes": result.traffic.bytes,
             "control_messages": result.traffic.control_messages,
             "control_bytes": result.traffic.control_bytes,
+            "retries": result.traffic.retries,
         },
     }
 

@@ -16,12 +16,24 @@ The paper's system model (Sections 2 and 4) assumes:
 kernel; :mod:`repro.network.bus` implements the bus with one-port load
 transfers and atomic broadcast on top of it, with per-message count and
 byte accounting (the raw data behind Theorem 5.4's Θ(m²) communication
-complexity measurement).
+complexity measurement).  :mod:`repro.network.faults` is the controlled
+breach of the reliability assumptions: a seed-reproducible
+:class:`FaultPlan` (crash-stop, message drop/delay/duplication, load
+stalls, meter outages) executed by :class:`FaultyBus`, a wrapper that
+is a strict no-op when the plan is empty.
 """
 
 from repro.network.events import Event, EventQueue
 from repro.network.messages import Message, MessageKind
 from repro.network.bus import Bus, TrafficStats
+from repro.network.faults import (
+    CrashFault,
+    FaultPlan,
+    FaultRecord,
+    FaultyBus,
+    MessageFault,
+    StallFault,
+)
 
 __all__ = [
     "Event",
@@ -30,4 +42,10 @@ __all__ = [
     "MessageKind",
     "Bus",
     "TrafficStats",
+    "CrashFault",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultyBus",
+    "MessageFault",
+    "StallFault",
 ]

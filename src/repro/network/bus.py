@@ -41,12 +41,17 @@ class TrafficStats:
     bytes: int = 0
     by_kind: Counter = field(default_factory=Counter)
     bytes_by_kind: Counter = field(default_factory=Counter)
+    retries: int = 0
 
     def record(self, msg: Message) -> None:
         self.messages += 1
         self.bytes += msg.size_bytes
         self.by_kind[msg.kind] += 1
         self.bytes_by_kind[msg.kind] += msg.size_bytes
+
+    def record_retry(self, count: int = 1) -> None:
+        """Count *count* retransmission attempts (ack/retry recovery)."""
+        self.retries += count
 
     @property
     def control_bytes(self) -> int:
@@ -76,6 +81,8 @@ class Bus:
         self.log: list[Message] = []
         self._endpoints: dict[str, Callable[[Message], None]] = {}
         self._port_free_at = 0.0
+        # in-flight deliveries per recipient, so detach can cancel them
+        self._pending: dict[str, list] = {}
 
     # -- membership ---------------------------------------------------------
 
@@ -86,11 +93,30 @@ class Bus:
         self._endpoints[name] = handler
 
     def detach(self, name: str) -> None:
+        """Remove an endpoint and cancel its in-flight deliveries.
+
+        A detached endpoint must not receive events already scheduled
+        for it on the queue (it has left the bus); pending deliveries
+        are cancelled rather than delivered into the void.
+        """
         self._endpoints.pop(name, None)
+        for ev in self._pending.pop(name, ()):
+            self.queue.cancel(ev)
 
     @property
     def endpoints(self) -> tuple[str, ...]:
         return tuple(self._endpoints)
+
+    def enter_phase(self, phase) -> None:
+        """Protocol-phase hook; the plain bus ignores it.
+
+        :class:`repro.network.faults.FaultyBus` overrides this to
+        activate phase-triggered faults.
+        """
+
+    def _require_sender(self, sender: str) -> None:
+        if sender not in self._endpoints:
+            raise KeyError(f"unknown sender {sender!r}; attached: {self.endpoints}")
 
     # -- control-plane messaging -------------------------------------------
 
@@ -98,21 +124,30 @@ class Bus:
         """Reliable atomic broadcast to every endpoint except the sender."""
         if not msg.is_broadcast:
             raise ValueError("broadcast() requires recipients == ('*',)")
+        self._require_sender(msg.sender)
         self._record(msg)
         for name, handler in list(self._endpoints.items()):
             if name != msg.sender:
                 handler(msg)
 
-    def send(self, msg: Message) -> None:
-        """Unicast/multicast to the named recipients (must be attached)."""
+    def send(self, msg: Message) -> tuple[str, ...]:
+        """Unicast/multicast to the named recipients (must be attached).
+
+        Returns the recipients the transport delivered to, which on the
+        reliable bus is all of them.  Fault-injecting transports return
+        the subset that actually got the message — the transport-level
+        "ack" the engine's retry path keys off.
+        """
         if msg.is_broadcast:
             raise ValueError("use broadcast() for '*' recipients")
         missing = [r for r in msg.recipients if r not in self._endpoints]
         if missing:
             raise KeyError(f"unknown recipients {missing}; attached: {self.endpoints}")
+        self._require_sender(msg.sender)
         self._record(msg)
         for r in msg.recipients:
             self._endpoints[r](msg)
+        return msg.recipients
 
     # -- data plane (one-port load transfers) --------------------------------
 
@@ -127,15 +162,22 @@ class Bus:
             raise ValueError(f"units must be non-negative, got {units}")
         if recipient not in self._endpoints:
             raise KeyError(f"unknown recipient {recipient!r}")
+        self._require_sender(sender)
         start = max(self._port_free_at, self.queue.now)
         done = start + units * self.z
         self._port_free_at = done
         msg = Message(MessageKind.LOAD, sender, (recipient,), body,
                       size_bytes=max(1, int(round(units * 1024))))
         self._record(msg)
-        handler = self._endpoints[recipient]
-        self.queue.schedule(done, lambda: handler(msg), label=f"load->{recipient}")
+        self._deliver_at(done, recipient, msg, label=f"load->{recipient}")
         return done
+
+    def _deliver_at(self, time: float, recipient: str, msg: Message,
+                    *, label: str = "") -> None:
+        """Schedule a delivery, tracked so detach can cancel it."""
+        handler = self._endpoints[recipient]
+        ev = self.queue.schedule(time, lambda: handler(msg), label=label)
+        self._pending.setdefault(recipient, []).append(ev)
 
     @property
     def port_free_at(self) -> float:

@@ -81,6 +81,16 @@ class EventQueue:
             raise ValueError(f"delay must be non-negative, got {delay}")
         return self.schedule(self._now + delay, action, label=label)
 
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent).
+
+        The entry stays in the heap and is skipped when popped, so
+        cancellation never perturbs the (time, seq) order of the
+        surviving events — a property the chaos-seed determinism tests
+        pin down.
+        """
+        event.cancel()
+
     def step(self) -> Event | None:
         """Execute the next live event; return it (or None if drained)."""
         while self._heap:

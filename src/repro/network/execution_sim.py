@@ -69,10 +69,17 @@ def simulate_execution(alpha, network: BusNetwork, w_exec=None) -> SimulatedRun:
     for i in range(m):
         attach(i)
 
+    # The shipping side of the bus: the originating worker for NCP
+    # systems, the (non-worker) control processor for CP.  The bus now
+    # validates senders, so the source must be a real endpoint.
+    source = network.names[originator] if originator is not None else "control-processor"
+    if originator is None:
+        bus.attach(source, lambda msg: None)
+
     for i in range(m):
         if i == originator:
             continue  # the originator's own fraction never crosses the bus
-        bus.transfer_load("originator", network.names[i], alpha[i], i)
+        bus.transfer_load(source, network.names[i], alpha[i], i)
     comm_done = bus.port_free_at
 
     if originator is not None:

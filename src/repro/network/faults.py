@@ -1,0 +1,386 @@
+"""Deterministic fault injection for the simulated bus.
+
+The paper assumes a reliable atomic-broadcast bus and always-live
+processors; :mod:`repro.network.bus` enforces exactly that.  This
+module is the controlled breach of those assumptions: a declarative,
+seed-reproducible :class:`FaultPlan` describes what goes wrong and
+when, and :class:`FaultyBus` applies it while preserving the
+event-queue determinism the golden tests rely on.
+
+Fault catalogue
+---------------
+* **crash-stop** (:class:`CrashFault`) — an endpoint dies at entry to a
+  protocol phase or at a simulated time and never speaks or listens
+  again.  A processor crashing mid-Processing leaves part of its
+  assignment unfinished (``progress``), which the protocol engine
+  re-allocates over the survivors.
+* **message faults** (:class:`MessageFault`) — drop, delay or
+  duplicate *unicast* control messages matching a filter.  Atomic
+  broadcast stays reliable (it is a property of the shared physical
+  medium, per the paper); crash-stop is the only fault that silences a
+  broadcast listener.  Probabilistic rules draw from the plan's seeded
+  RNG in simulation order, so the same seed reproduces the same run
+  bit-for-bit.
+* **load-transfer stall** (:class:`StallFault`) — a bulk transfer
+  occupies the one-port bus for longer than ``units * z``.
+* **meter outage** (``FaultPlan.meter_outages``) — the tamper-proof
+  meter of a processor is unreadable; the engine falls back to the
+  bid-asserted execution value for that reading.
+
+Determinism contract
+--------------------
+With an empty plan the wrapper is a strict no-op: ``FaultyBus`` rebinds
+its transport methods to the base-class implementations, so message
+logs, traffic stats and event schedules are byte-identical to a plain
+:class:`~repro.network.bus.Bus`.  With a non-empty plan, every random
+decision comes from ``random.Random(plan.seed)`` consumed in the
+(deterministic) order the simulation asks, so a (plan, workload) pair
+fully determines the run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.network.bus import Bus
+from repro.network.events import EventQueue
+from repro.network.messages import Message, MessageKind
+
+if TYPE_CHECKING:  # the network layer stays import-independent of protocol/
+    from repro.protocol.phases import Phase
+
+__all__ = [
+    "CrashFault",
+    "MessageFault",
+    "StallFault",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultyBus",
+]
+
+DROP = "drop"
+DELAY = "delay"
+DUPLICATE = "duplicate"
+_ACTIONS = (DROP, DELAY, DUPLICATE)
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Crash-stop of one endpoint.
+
+    Exactly one of ``phase`` / ``at_time`` should be given.  ``phase``
+    kills the endpoint at entry to that protocol phase (a BIDDING crash
+    is a silent bidder; an ALLOCATING_LOAD crash receives nothing and
+    computes nothing).  ``at_time`` kills it at a simulated instant;
+    the engine maps an instant inside the Processing window to a
+    mid-Processing crash.  ``progress`` is the fraction of the assigned
+    work completed before dying when the crash lands mid-Processing.
+    """
+
+    name: str
+    phase: Phase | None = None
+    at_time: float | None = None
+    progress: float = 0.0
+
+    def __post_init__(self) -> None:
+        if (self.phase is None) == (self.at_time is None):
+            raise ValueError("specify exactly one of phase / at_time")
+        if not 0.0 <= self.progress <= 1.0:
+            raise ValueError(f"progress must be in [0, 1], got {self.progress}")
+        if self.at_time is not None and self.at_time < 0:
+            raise ValueError(f"at_time must be >= 0, got {self.at_time}")
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Drop / delay / duplicate unicast control messages.
+
+    ``kind`` / ``sender`` / ``recipient`` are match filters (``None``
+    matches anything; load transfers are never matched — stalls cover
+    the data plane).  ``probability`` is evaluated per matching
+    (message, recipient) pair against the plan's seeded RNG;
+    ``max_applications`` bounds how often the rule fires (``None`` =
+    unbounded).
+    """
+
+    action: str = DROP
+    kind: MessageKind | None = None
+    sender: str | None = None
+    recipient: str | None = None
+    probability: float = 1.0
+    delay: float = 0.0
+    max_applications: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"action must be one of {_ACTIONS}, got {self.action!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.action == DELAY and self.delay <= 0:
+            raise ValueError("delay faults need delay > 0")
+
+    def matches(self, msg: Message, recipient: str) -> bool:
+        if msg.kind is MessageKind.LOAD:
+            return False
+        if self.kind is not None and msg.kind is not self.kind:
+            return False
+        if self.sender is not None and msg.sender != self.sender:
+            return False
+        return self.recipient is None or recipient == self.recipient
+
+
+@dataclass(frozen=True)
+class StallFault:
+    """Stretch matching load transfers on the one-port bus.
+
+    The transfer occupies the port for ``units * z * factor +
+    extra_time`` instead of ``units * z`` — a congested or flaky data
+    path that slows the schedule without losing the blocks.
+    """
+
+    sender: str | None = None
+    recipient: str | None = None
+    factor: float = 1.0
+    extra_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if self.extra_time < 0.0:
+            raise ValueError(f"extra_time must be >= 0, got {self.extra_time}")
+
+    def matches(self, sender: str, recipient: str) -> bool:
+        if self.sender is not None and sender != self.sender:
+            return False
+        return self.recipient is None or recipient == self.recipient
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong in one run, declaratively.
+
+    The plan is immutable and seed-reproducible; construct one per run
+    (the :class:`FaultyBus` holds the mutable application state).
+    """
+
+    seed: int = 0
+    crashes: tuple[CrashFault, ...] = ()
+    messages: tuple[MessageFault, ...] = ()
+    stalls: tuple[StallFault, ...] = ()
+    meter_outages: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        named = [c.name for c in self.crashes]
+        if len(set(named)) != len(named):
+            raise ValueError(f"multiple crash faults for one endpoint: {named}")
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing (strict no-op guarantee)."""
+        return not (self.crashes or self.messages or self.stalls
+                    or self.meter_outages)
+
+    def crash_for(self, name: str) -> CrashFault | None:
+        for c in self.crashes:
+            if c.name == name:
+                return c
+        return None
+
+    def meter_out(self, name: str) -> bool:
+        return name in self.meter_outages
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One applied fault, for experiment accounting."""
+
+    time: float
+    kind: str        # "drop" | "delay" | "duplicate" | "stall" | "crash" | "lost-to-crashed"
+    detail: str
+
+
+class FaultyBus(Bus):
+    """A :class:`Bus` that executes a :class:`FaultPlan`.
+
+    Crashed endpoints stay attached (their traffic history remains
+    addressable) but are deaf and mute: broadcasts skip them, unicasts
+    to them are reported undelivered, messages *from* them are
+    suppressed, and load shipped to them occupies the port but is lost.
+    """
+
+    def __init__(self, z: float, *, plan: FaultPlan | None = None,
+                 queue: EventQueue | None = None) -> None:
+        super().__init__(z, queue=queue)
+        self.plan = plan or FaultPlan()
+        self.fault_log: list[FaultRecord] = []
+        self._rng = random.Random(self.plan.seed)
+        self._crashed: set[str] = set()
+        self._applications: dict[int, int] = {}
+        self._phase: Phase | None = None
+        if self.plan.empty:
+            # Strict no-op when disabled: rebind the hot-path methods to
+            # the base implementations so the wrapper costs one extra
+            # instance-dict lookup, nothing more.
+            base = super()
+            self.broadcast = base.broadcast          # type: ignore[method-assign]
+            self.send = base.send                    # type: ignore[method-assign]
+            self.transfer_load = base.transfer_load  # type: ignore[method-assign]
+
+    # -- crash bookkeeping ---------------------------------------------------
+
+    def enter_phase(self, phase: Phase) -> None:
+        """Activate crash faults whose trigger phase has been reached."""
+        self._phase = phase
+        for c in self.plan.crashes:
+            if c.phase is not None and c.phase.value <= phase.value:
+                self._mark_crashed(c.name)
+
+    def _mark_crashed(self, name: str) -> None:
+        if name not in self._crashed:
+            self._crashed.add(name)
+            self.fault_log.append(FaultRecord(self.queue.now, "crash", name))
+            # In-flight deliveries die with the endpoint.
+            for ev in self._pending.pop(name, ()):
+                self.queue.cancel(ev)
+
+    def _check_timed_crashes(self) -> None:
+        for c in self.plan.crashes:
+            if c.at_time is not None and self.queue.now >= c.at_time:
+                self._mark_crashed(c.name)
+
+    def is_crashed(self, name: str) -> bool:
+        self._check_timed_crashes()
+        return name in self._crashed
+
+    @property
+    def crashed(self) -> tuple[str, ...]:
+        return tuple(sorted(self._crashed))
+
+    # -- faulty control plane ------------------------------------------------
+
+    def broadcast(self, msg: Message) -> None:
+        """Atomic broadcast; only crash-stop can silence a listener."""
+        if not msg.is_broadcast:
+            raise ValueError("broadcast() requires recipients == ('*',)")
+        self._require_sender(msg.sender)
+        self._check_timed_crashes()
+        if msg.sender in self._crashed:
+            self.fault_log.append(FaultRecord(
+                self.queue.now, "lost-to-crashed", f"broadcast from {msg.sender}"))
+            return
+        self._record(msg)
+        for name, handler in list(self._endpoints.items()):
+            if name == msg.sender:
+                continue
+            if name in self._crashed:
+                self.fault_log.append(FaultRecord(
+                    self.queue.now, "lost-to-crashed", f"{msg.kind.value}->{name}"))
+                continue
+            handler(msg)
+
+    def send(self, msg: Message) -> tuple[str, ...]:
+        """Unicast with the plan's drop/delay/duplicate rules applied.
+
+        Returns the recipients delivered *now*; delayed recipients will
+        still hear the message later but are reported undelivered, which
+        is what triggers the engine's retry path (a late original plus a
+        retransmission is harmless — agents de-duplicate payloads).
+        """
+        if msg.is_broadcast:
+            raise ValueError("use broadcast() for '*' recipients")
+        missing = [r for r in msg.recipients if r not in self._endpoints]
+        if missing:
+            raise KeyError(f"unknown recipients {missing}; attached: {self.endpoints}")
+        self._require_sender(msg.sender)
+        self._check_timed_crashes()
+        if msg.sender in self._crashed:
+            self.fault_log.append(FaultRecord(
+                self.queue.now, "lost-to-crashed", f"send from {msg.sender}"))
+            return ()
+        self._record(msg)
+        delivered: list[str] = []
+        for r in msg.recipients:
+            if r in self._crashed:
+                self.fault_log.append(FaultRecord(
+                    self.queue.now, "lost-to-crashed", f"{msg.kind.value}->{r}"))
+                continue
+            fate = self._fate(msg, r)
+            if fate is None or fate.action == DUPLICATE:
+                self._endpoints[r](msg)
+                delivered.append(r)
+                if fate is not None:
+                    self._endpoints[r](msg)
+                    self.fault_log.append(FaultRecord(
+                        self.queue.now, DUPLICATE, f"{msg.kind.value}->{r}"))
+            elif fate.action == DROP:
+                self.fault_log.append(FaultRecord(
+                    self.queue.now, DROP, f"{msg.kind.value}->{r}"))
+            else:  # DELAY
+                copy = replace(msg, recipients=(r,))
+                self._deliver_at(self.queue.now + fate.delay, r, copy,
+                                 label=f"delayed-{msg.kind.value}->{r}")
+                self.fault_log.append(FaultRecord(
+                    self.queue.now, DELAY, f"{msg.kind.value}->{r} +{fate.delay:g}"))
+        return tuple(delivered)
+
+    def _fate(self, msg: Message, recipient: str) -> MessageFault | None:
+        """First applicable message fault for this (message, recipient).
+
+        The RNG is consumed for every probabilistic rule that *matches*,
+        whether or not it fires, so the draw sequence depends only on
+        the message schedule — the determinism the golden tests demand.
+        """
+        for idx, rule in enumerate(self.plan.messages):
+            if not rule.matches(msg, recipient):
+                continue
+            used = self._applications.get(idx, 0)
+            if rule.max_applications is not None and used >= rule.max_applications:
+                continue
+            fires = rule.probability >= 1.0 or self._rng.random() < rule.probability
+            if fires:
+                self._applications[idx] = used + 1
+                return rule
+        return None
+
+    # -- faulty data plane ---------------------------------------------------
+
+    def transfer_load(self, sender: str, recipient: str, units: float, body) -> float:
+        """One-port transfer with stalls applied; lost if the recipient died."""
+        if units < 0:
+            raise ValueError(f"units must be non-negative, got {units}")
+        if recipient not in self._endpoints:
+            raise KeyError(f"unknown recipient {recipient!r}")
+        self._require_sender(sender)
+        self._check_timed_crashes()
+        duration = units * self.z
+        for stall in self.plan.stalls:
+            if stall.matches(sender, recipient):
+                stalled = duration * stall.factor + stall.extra_time
+                self.fault_log.append(FaultRecord(
+                    self.queue.now, "stall",
+                    f"load {sender}->{recipient} {duration:g}->{stalled:g}"))
+                duration = stalled
+                break
+        start = max(self._port_free_at, self.queue.now)
+        done = start + duration
+        self._port_free_at = done
+        msg = Message(MessageKind.LOAD, sender, (recipient,), body,
+                      size_bytes=max(1, int(round(units * 1024))))
+        self._record(msg)
+        if recipient in self._crashed:
+            self.fault_log.append(FaultRecord(
+                self.queue.now, "lost-to-crashed", f"load->{recipient}"))
+        else:
+            self._deliver_at(done, recipient, msg, label=f"load->{recipient}")
+        return done
+
+    # -- accounting ----------------------------------------------------------
+
+    def fault_counts(self) -> dict[str, int]:
+        """Applied-fault tally by kind (drops, delays, stalls, ...)."""
+        counts: dict[str, int] = {}
+        for rec in self.fault_log:
+            counts[rec.kind] = counts.get(rec.kind, 0) + 1
+        return counts

@@ -24,6 +24,7 @@ class MessageKind(Enum):
 
     BID = "bid"                      # Bidding: S_Pi(b_i, P_i), all-to-all broadcast
     COMMITMENT = "commitment"        # Bidding without atomic broadcast (footnote 1)
+    COHORT = "cohort"                # Bidding recovery: originator's signed bid-set sync
     LOAD = "load"                    # Allocating: load blocks, originator -> worker
     CLAIM = "claim"                  # any phase: evidence submitted to the referee
     BID_VECTOR = "bid-vector"        # Allocating disputes: full signed bid vector

@@ -17,15 +17,22 @@ ledger — the roles the paper assigns to tamper-proof infrastructure.
 
 from repro.protocol.phases import Phase
 from repro.protocol.payment_infra import Ledger, PaymentInfrastructure
-from repro.protocol.engine import ProtocolEngine, ProtocolResult
+from repro.protocol.engine import (
+    PhaseDeadlines,
+    ProtocolEngine,
+    ProtocolResult,
+    RetryPolicy,
+)
 from repro.protocol.sessions import EngagementRecord, MarketSession
 
 __all__ = [
     "Phase",
     "Ledger",
     "PaymentInfrastructure",
+    "PhaseDeadlines",
     "ProtocolEngine",
     "ProtocolResult",
+    "RetryPolicy",
     "EngagementRecord",
     "MarketSession",
 ]

@@ -29,7 +29,7 @@ verdicts on the ledger.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -43,14 +43,58 @@ from repro.dlt.closed_form import allocate
 from repro.dlt.platform import BusNetwork, NetworkKind
 from repro.dlt.timing import makespan
 from repro.network.bus import Bus, TrafficStats
+from repro.network.faults import FaultPlan, FaultyBus
 from repro.network.messages import Message, MessageKind
 from repro.protocol.payment_infra import PaymentInfrastructure
 from repro.protocol.phases import Phase
 
-__all__ = ["ProtocolResult", "ProtocolEngine"]
+__all__ = ["PhaseDeadlines", "RetryPolicy", "ProtocolResult", "ProtocolEngine"]
 
 REFEREE = "referee"
 USER = "user"
+
+
+@dataclass(frozen=True)
+class PhaseDeadlines:
+    """Per-phase timeout budgets, in simulated time.
+
+    ``bidding`` / ``payments`` bound how long the engine keeps retrying
+    undelivered control messages in the respective phase;
+    ``processing_grace`` is how long past a worker's *bid-asserted*
+    finishing time the referee waits before declaring it unresponsive
+    (the referee holds no private ``w~``, so the bid is the only
+    finishing estimate available to it).
+    """
+
+    bidding: float = 1.0
+    payments: float = 1.0
+    processing_grace: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in ("bidding", "payments", "processing_grace"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded ack/retry recovery for unicast control messages.
+
+    After a send, recipients the transport did not acknowledge are
+    retried with doubling backoff (``backoff``, ``2*backoff``, ...)
+    until delivered, ``max_attempts`` total attempts are spent, or the
+    phase deadline would be crossed.  Backoff elapses on the simulated
+    clock, so recovery delays show up in realized makespans.
+    """
+
+    max_attempts: int = 4
+    backoff: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff <= 0:
+            raise ValueError("backoff must be > 0")
 
 
 @dataclass(frozen=True)
@@ -64,6 +108,13 @@ class ProtocolResult:
     Eq. (10) extended with the fine/reward flows of Section 4.
     Abstaining processors appear with alpha/payment/utility 0 and are
     absent from ``participants``.
+
+    Fault-tolerant runs add three fields: ``degraded`` is True when the
+    run survived a crash (mid-run re-allocation or a payments-phase
+    silence), ``crashed`` names the processors declared unresponsive,
+    and ``reallocations`` maps each survivor to the extra load fraction
+    it absorbed from the crashed workers.  All three keep their empty
+    defaults on fault-free runs.
     """
 
     completed: bool
@@ -81,6 +132,9 @@ class ProtocolResult:
     fine_amount: float
     makespan_realized: float | None
     traffic: TrafficStats
+    degraded: bool = False
+    crashed: tuple[str, ...] = ()
+    reallocations: dict[str, float] = field(default_factory=dict)
 
     def utility(self, name: str) -> float:
         return self.utilities[name]
@@ -129,6 +183,17 @@ class ProtocolEngine:
         * ``"naive"`` — point-to-point without commitments (the
           ablation): split bids poison honest views undetected and only
           surface downstream, after work has been wasted.
+    fault_plan:
+        Optional :class:`repro.network.faults.FaultPlan`.  ``None`` or
+        an empty plan keeps the engine on the plain reliable
+        :class:`Bus` — message logs and results are byte-identical to a
+        build without the fault layer.  A non-empty plan swaps in a
+        :class:`FaultyBus` and arms the crash-tolerance machinery:
+        per-phase deadlines, ack/retry recovery, and survivor
+        re-allocation.
+    deadlines / retry:
+        Timeout and retransmission policy (defaults are sensible for
+        unit loads); only consulted when a fault plan is armed.
     """
 
     BIDDING_MODES = ("atomic", "commit", "naive")
@@ -144,6 +209,9 @@ class ProtocolEngine:
         policy: FinePolicy | None = None,
         num_blocks: int = 120,
         bidding_mode: str = "atomic",
+        fault_plan: FaultPlan | None = None,
+        deadlines: PhaseDeadlines | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if bidding_mode not in self.BIDDING_MODES:
             raise ValueError(f"bidding_mode must be one of {self.BIDDING_MODES}, "
@@ -168,7 +236,13 @@ class ProtocolEngine:
         self.num_blocks = int(num_blocks)
         self.referee = Referee(pki, self.policy)
         self.infra = PaymentInfrastructure(USER)
-        self.bus = Bus(self.z)
+        self.deadlines = deadlines or PhaseDeadlines()
+        self.retry = retry or RetryPolicy()
+        # An empty plan must leave zero trace: stay on the plain Bus so
+        # even the bus *type* matches the fault-free build.
+        armed = fault_plan is not None and not fault_plan.empty
+        self._fault_plan = fault_plan if armed else None
+        self.bus = FaultyBus(self.z, plan=fault_plan) if armed else Bus(self.z)
         self.order = names
         self._received: dict[str, list] = {n: [] for n in names}
         self._attach_endpoints()
@@ -191,6 +265,9 @@ class ProtocolEngine:
                                           self._bulletin or None)
                 else:
                     agent.observe_bid(msg.body)
+            elif msg.kind is MessageKind.COHORT:
+                for sm in msg.body:
+                    agent.observe_bid(sm)
             elif msg.kind is MessageKind.LOAD and msg.recipients == (agent.name,):
                 self._received[agent.name].extend(msg.body)
         return handle
@@ -214,10 +291,18 @@ class ProtocolEngine:
         """Execute the protocol once and settle the ledger."""
         blocks = divide_load(self.user_key, 1.0, self.num_blocks)
         verdicts: list[RefereeVerdict] = []
+        faults = self._fault_plan
 
         # ---- Phase 1: Bidding -------------------------------------------
+        self.bus.enter_phase(Phase.BIDDING)
         participants = [a for a in self.agents if not a.behavior.abstain]
+        if faults:
+            # A processor crashed before or at Bidding is a silent
+            # bidder — indistinguishable from abstention to its peers.
+            participants = [a for a in participants
+                            if not self._crashed_by_bidding(a.name)]
         active = [a.name for a in participants]
+        reached_originator = {self.originator.name}
         if self.bidding_mode == "atomic":
             for agent in participants:
                 msgs = agent.make_bid_messages()
@@ -241,13 +326,24 @@ class ProtocolEngine:
                     {"processor": agent.name, "bid": agent.bid}))
                 p2p = agent.make_p2p_bid_messages(active)
                 for peer, (sm, nonce) in p2p.items():
-                    self.bus.send(Message(
+                    delivered = self._send_with_retry(Message(
                         MessageKind.BID, agent.name, (peer,),
                         {"sm": sm, "nonce": nonce},
                         size_bytes=sm.size_bytes + len(nonce),
-                    ))
+                    ), window=self.deadlines.bidding)
+                    if peer == self.originator.name and delivered:
+                        reached_originator.add(agent.name)
 
-        if self.originator.behavior.abstain or len(active) < 2:
+        if faults and self.bidding_mode != "atomic":
+            # A bid that never reached the originator within the retry
+            # budget leaves that processor out of the engagement: the
+            # originator cuts the load by its own archive, so to it the
+            # silent bidder abstained.
+            participants = [a for a in participants
+                            if a.name in reached_originator]
+            active = [a.name for a in participants]
+
+        if self.originator.name not in active or len(active) < 2:
             # Without the data holder, or with a single bidder, there is
             # no engagement: everyone walks away with utility 0.
             return self._result(False, Phase.BIDDING, verdicts, active={},
@@ -259,6 +355,16 @@ class ProtocolEngine:
         net_bids = BusNetwork(tuple(bids[n] for n in active), self.z,
                               self.kind, tuple(active))
         fine = self.policy.fine_amount(net_bids)
+
+        if faults and self.bidding_mode != "atomic":
+            # Heal bid views torn by message loss: the originator
+            # re-broadcasts its signed-bid archive.  Recipients verify
+            # every signature, so the sync adds no trust in the
+            # originator — a tampered snapshot is equivocation evidence
+            # against whoever signed the divergent copy.
+            self.bus.broadcast(Message(
+                MessageKind.COHORT, self.originator.name, ("*",),
+                self.originator.bid_snapshot(active)))
 
         if self.bidding_mode == "commit":
             violation = self._first_commitment_claim(participants)
@@ -290,6 +396,7 @@ class ProtocolEngine:
                                 fine=fine, realized=None, participants=active)
 
         # ---- Phase 2: Allocating Load ------------------------------------
+        self.bus.enter_phase(Phase.ALLOCATING_LOAD)
         alpha = allocate(net_bids)
         alpha_map = dict(zip(active, map(float, alpha)))
         # Entitlements as the *originator* computes them (identical to
@@ -299,18 +406,34 @@ class ProtocolEngine:
         plan = self.originator.planned_shipments(dict(entitled))
 
         cursor = 0
+        slices: dict[str, tuple] = {}
+        delivered_at: dict[str, float] = {}
         for name in active:
             count = plan[name]
             slice_ = blocks[cursor : cursor + count]
             cursor += count
+            slices[name] = slice_
             if name == self.originator.name:
                 self._received[name] = list(slice_)
                 continue
             units = count / self.num_blocks
-            self.bus.transfer_load(self.originator.name, name, units, slice_)
+            delivered_at[name] = self.bus.transfer_load(
+                self.originator.name, name, units, slice_)
         self.bus.queue.run()
+        # Compute-start times implied by the executed schedule; equal to
+        # the Eq. (1)-(3) analytics on a reliable bus, but shifted by
+        # retry backoffs and stalls when faults are armed.
+        ready = {
+            name: (delivered_at[name] if name != self.originator.name
+                   else (0.0 if self.kind is NetworkKind.NCP_FE
+                         else self.bus.port_free_at))
+            for name in active
+        }
 
-        claimant_agent = self._first_allocation_dispute(participants, entitled)
+        crashed_now = ({n for n in active if self.bus.is_crashed(n)}
+                       if faults else set())
+        claimant_agent = self._first_allocation_dispute(
+            participants, entitled, skip=crashed_now)
         if claimant_agent is not None:
             work_done = self._work_commenced_before(
                 claimant_agent.name, active, alpha_map)
@@ -348,44 +471,97 @@ class ProtocolEngine:
                                 costs=costs, participants=active)
 
         # ---- Phase 3: Processing Load -------------------------------------
+        self.bus.enter_phase(Phase.PROCESSING_LOAD)
+        w_exec = {a.name: a.exec_value for a in participants}
+        if faults:
+            mid = self._mid_run_crashes(active, alpha_map, w_exec, ready)
+            if mid:
+                return self._run_degraded(
+                    verdicts, active=active, bids=bids, net_bids=net_bids,
+                    fine=fine, alpha_map=alpha_map, slices=slices,
+                    ready=ready, w_exec=w_exec, mid=mid)
         # Tamper-proof meters: the engine (not the agent) records the
-        # actually elapsed per-assignment time phi_i = alpha_i * w~_i.
-        phi = {a.name: alpha_map[a.name] * a.exec_value for a in participants}
+        # actually elapsed per-assignment time phi_i = alpha_i * w~_i —
+        # falling back to the bid-asserted value where a meter is out.
+        w_obs = {n: self._metered_w(n, w_exec, bids) for n in active}
+        phi = {n: alpha_map[n] * w_obs[n] for n in active}
         self.bus.broadcast(Message(MessageKind.METER, REFEREE, ("*",),
                                    {n: phi[n] for n in active}))
-        w_exec = {a.name: a.exec_value for a in participants}
-        realized = makespan(alpha, net_bids,
-                            w_exec=np.array([w_exec[n] for n in active]))
+        if faults:
+            # Retry backoffs and stalls shifted the physical schedule;
+            # read the realized makespan off the event clock instead of
+            # the closed-form timing.
+            realized = max(ready[n] + alpha_map[n] * w_exec[n]
+                           for n in active)
+        else:
+            realized = makespan(alpha, net_bids,
+                                w_exec=np.array([w_exec[n] for n in active]))
 
         # ---- Phase 4: Computing Payments -----------------------------------
-        submissions: dict[str, list] = {}
-        for agent in participants:
-            msgs = agent.payment_vector_messages(active, alpha, phi)
-            submissions[agent.name] = msgs
-            for sm in msgs:
-                self.bus.send(Message(MessageKind.PAYMENT_VECTOR, agent.name,
-                                      (REFEREE,), sm))
+        self.bus.enter_phase(Phase.COMPUTING_PAYMENTS)
+        # Processors that finished their work but crashed before this
+        # round: no payment vector, no fine (a fault, not an offence),
+        # full payment for the completed, metered work.
+        late = ([n for n in active if self.bus.is_crashed(n)]
+                if faults else [])
+        for name in late:
+            verdict = self.referee.judge_unresponsive(
+                name, [n for n in active if n not in late])
+            verdicts.append(verdict)
+            self._apply_verdict(verdict)
 
+        submissions: dict[str, list] = {}
+        silenced: list[str] = []
+        for agent in participants:
+            if agent.name in late:
+                continue
+            msgs = agent.payment_vector_messages(active, alpha, phi)
+            arrived = []
+            for sm in msgs:
+                got = self._send_with_retry(
+                    Message(MessageKind.PAYMENT_VECTOR, agent.name,
+                            (REFEREE,), sm),
+                    window=self.deadlines.payments)
+                if got:
+                    arrived.append(sm)
+            if len(arrived) == len(msgs):
+                submissions[agent.name] = arrived
+            elif faults:
+                # The transport, not the agent, ate the vector (retry
+                # budget exhausted): fold into the unresponsive path
+                # rather than fining an agent for a network fault.
+                silenced.append(agent.name)
+            elif arrived:
+                submissions[agent.name] = arrived
+        for name in silenced:
+            verdict = self.referee.judge_unresponsive(
+                name, [n for n in active
+                       if n not in late and n not in silenced])
+            verdicts.append(verdict)
+            self._apply_verdict(verdict)
+
+        unheard = frozenset(late) | frozenset(silenced)
         verdict = self.referee.judge_payment_vectors(
             submissions,
-            participants=active,
+            participants=[n for n in active if n not in unheard],
             order=active,
             bids=bids,
-            w_exec=w_exec,
+            w_exec=w_obs,
             kind=self.kind,
             z=self.z,
             fine=fine,
             bid_vectors={a.name: a.bid_vector_messages(active)
-                         for a in participants},
+                         for a in participants if a.name not in unheard},
         )
         if verdict.fines:
             verdicts.append(verdict)
             self._apply_verdict(verdict)
 
-        # Settlement: the (referee-verified or recomputed) payments.
+        # Settlement: the (referee-verified or recomputed) payments,
+        # from the broadcast meter readings.
         from repro.core.payments import payments as compute_payments
 
-        q = compute_payments(net_bids, np.array([w_exec[n] for n in active]))
+        q = compute_payments(net_bids, np.array([w_obs[n] for n in active]))
         payments_map = dict(zip(active, map(float, q)))
         self.bus.send(Message(MessageKind.BILL, REFEREE, (USER,),
                               {"total": float(sum(q))}))
@@ -396,7 +572,246 @@ class ProtocolEngine:
                             bids=bids, alpha=alpha_map, phi=phi,
                             payments=payments_map, fine=fine,
                             realized=realized, costs=costs,
-                            participants=active)
+                            participants=active,
+                            degraded=bool(late or silenced),
+                            crashed=tuple(late) + tuple(silenced))
+
+    # ------------------------------------------------------------------
+    # fault tolerance
+    # ------------------------------------------------------------------
+
+    def _send_with_retry(self, msg: Message, *, window: float) -> tuple[str, ...]:
+        """Unicast with bounded ack/retry recovery.
+
+        On the reliable bus this is exactly one :meth:`Bus.send` (the
+        fault-free wire trace is untouched).  Under an armed fault
+        plan, recipients the transport did not acknowledge are retried
+        with doubling backoff on the simulated clock, bounded by
+        ``retry.max_attempts`` and the phase *window*.  Every
+        retransmission is counted in ``TrafficStats.retries``.
+        Returns the recipients that acknowledged delivery.
+        """
+        delivered = set(self.bus.send(msg))
+        if self._fault_plan is None:
+            return tuple(msg.recipients)
+        remaining = [r for r in msg.recipients if r not in delivered]
+        deadline = self.bus.queue.now + window
+        backoff = self.retry.backoff
+        attempts = 1
+        while remaining and attempts < self.retry.max_attempts:
+            # Dead peers never ack; retrying them wastes the budget.
+            remaining = [r for r in remaining if not self.bus.is_crashed(r)]
+            if not remaining or self.bus.queue.now + backoff > deadline + 1e-12:
+                break
+            self.bus.queue.run_until(self.bus.queue.now + backoff)
+            self.bus.stats.record_retry(len(remaining))
+            got = self.bus.send(replace(msg, recipients=tuple(remaining)))
+            remaining = [r for r in remaining if r not in got]
+            attempts += 1
+            backoff *= 2.0
+        return tuple(r for r in msg.recipients if r not in remaining)
+
+    def _crashed_by_bidding(self, name: str) -> bool:
+        """Whether *name*'s crash fault silences it from the start."""
+        c = self._fault_plan.crash_for(name)
+        if c is None:
+            return False
+        if c.phase is not None:
+            return c.phase.value <= Phase.BIDDING.value
+        return c.at_time <= 0.0
+
+    def _metered_w(self, name: str, w_exec: dict[str, float],
+                   bids: dict[str, float]) -> float:
+        """Observed per-unit time: the meter, or the bid when it is out."""
+        if self._fault_plan is not None and self._fault_plan.meter_out(name):
+            return bids[name]
+        return w_exec[name]
+
+    def _mid_run_crashes(self, active: list[str], alpha_map: dict[str, float],
+                         w_exec: dict[str, float],
+                         ready: dict[str, float]) -> dict[str, float]:
+        """Processors that die with work in hand: name -> fraction done.
+
+        Phase-triggered crashes at Allocating-Load die with nothing
+        done; mid-Processing crashes complete their declared
+        ``progress``.  Timed crashes are mapped onto each worker's
+        actual compute window ``[ready, ready + alpha*w~]`` — a crash
+        after the window closes is a payments-phase silence handled
+        downstream, not here.
+        """
+        out: dict[str, float] = {}
+        for name in active:
+            c = self._fault_plan.crash_for(name)
+            if c is None:
+                continue
+            if c.phase is not None:
+                if c.phase is Phase.ALLOCATING_LOAD:
+                    out[name] = 0.0
+                elif c.phase is Phase.PROCESSING_LOAD:
+                    out[name] = float(c.progress)
+                continue
+            t = float(c.at_time)
+            if t <= 0:
+                continue  # silent bidder, already excluded
+            start = ready[name]
+            duration = alpha_map[name] * w_exec[name]
+            if t >= start + duration:
+                continue  # finished before dying
+            done = 0.0 if duration <= 0 else (t - start) / duration
+            out[name] = max(0.0, min(1.0, done))
+        return out
+
+    def _run_degraded(
+        self,
+        verdicts: list[RefereeVerdict],
+        *,
+        active: list[str],
+        bids: dict[str, float],
+        net_bids: BusNetwork,
+        fine: float,
+        alpha_map: dict[str, float],
+        slices: dict[str, tuple],
+        ready: dict[str, float],
+        w_exec: dict[str, float],
+        mid: dict[str, float],
+    ) -> ProtocolResult:
+        """Graceful degradation after mid-run crash-stops.
+
+        The referee declares each silent worker ``UNRESPONSIVE`` once
+        its *bid-asserted* finishing time plus the grace period passes
+        (it holds no private values, so the bid is its only estimate).
+        If the originator survives, it re-solves the closed form over
+        the survivors and ships the crashed workers' unfinished blocks
+        as real one-port transfers — the recovery traffic and the
+        inflated makespan are measured, not modelled.
+
+        Settlement is the documented emergency scheme, conserving the
+        double-entry ledger: survivors receive their regular mechanism
+        payment plus reimbursement at their own bid rate for the extra
+        load; a crashed worker is paid for its metered completed work
+        at its bid rate, with no bonus and no fine (a crash is a fault,
+        not a strategic deviation — fining it would make the mechanism
+        punish hardware failure).
+        """
+        faults = self._fault_plan
+        assert faults is not None
+        crashed = [n for n in active if n in mid]
+        survivors = [n for n in active if n not in mid]
+
+        # Detection: latest bid-asserted finish among the dead + grace.
+        expected = max(ready[c] + alpha_map[c] * bids[c] for c in crashed)
+        t_detect = max(expected + self.deadlines.processing_grace,
+                       self.bus.queue.now)
+        self.bus.queue.run_until(t_detect)
+        for c in crashed:
+            verdict = self.referee.judge_unresponsive(c, survivors)
+            verdicts.append(verdict)
+            self._apply_verdict(verdict)
+
+        originator_down = self.originator.name in mid
+        if originator_down or not survivors:
+            # The data holder died (or nobody is left): the unfinished
+            # load is unrecoverable.  Survivors complete their own
+            # fractions but the engagement cannot settle — no payments
+            # flow, the ledger stays trivially conserved, and the
+            # processors bear their processing cost as sunk.
+            phi = {n: mid.get(n, 1.0) * alpha_map[n] * w_exec[n]
+                   for n in active}
+            return self._result(False, Phase.PROCESSING_LOAD, verdicts,
+                                active=bids, bids=bids, alpha=alpha_map,
+                                phi=phi, payments={}, fine=fine,
+                                realized=None, costs=dict(phi),
+                                participants=active, degraded=True,
+                                crashed=tuple(crashed))
+
+        # Survivor re-allocation: re-solve the closed form over the
+        # surviving cohort (allocation order preserved, so the
+        # originator keeps its NCP-FE/NFE position) and re-ship the
+        # unfinished blocks.
+        beta = self.originator.compute_survivor_allocation(survivors)
+        pool: list = []
+        for c in crashed:
+            entitled_c = len(slices[c])
+            done_blocks = int(round(mid[c] * entitled_c))
+            pool.extend(slices[c][done_blocks:])
+        extra_counts = dict(zip(survivors, quantize_blocks(beta, len(pool))))
+
+        cursor = 0
+        extra_done: dict[str, float] = {}
+        for name in survivors:
+            count = extra_counts[name]
+            if count == 0:
+                continue
+            chunk = tuple(pool[cursor : cursor + count])
+            cursor += count
+            if name == self.originator.name:
+                self._received[name].extend(chunk)
+                extra_done[name] = self.bus.queue.now
+                continue
+            extra_done[name] = self.bus.transfer_load(
+                self.originator.name, name, count / self.num_blocks, chunk)
+        comm_done = self.bus.port_free_at
+        self.bus.queue.run()
+        reallocations = {n: extra_counts[n] / self.num_blocks
+                         for n in survivors if extra_counts[n]}
+
+        # Realized makespan: each survivor finishes its original
+        # fraction, then (once the extra blocks arrive — for an NFE
+        # originator, once its own re-transmissions end) the grafted
+        # remainder.
+        finish = []
+        for name in survivors:
+            own = ready[name] + alpha_map[name] * w_exec[name]
+            extra = reallocations.get(name, 0.0)
+            if extra:
+                if (name == self.originator.name
+                        and self.kind is NetworkKind.NCP_NFE):
+                    start2 = max(own, comm_done)
+                else:
+                    start2 = max(own, extra_done[name])
+                finish.append(start2 + extra * w_exec[name])
+            else:
+                finish.append(own)
+        realized = max(finish)
+
+        # Meters over what actually ran (bid-asserted where a meter is
+        # out), then the emergency settlement.
+        phi: dict[str, float] = {}
+        costs: dict[str, float] = {}
+        for n in active:
+            w_o = self._metered_w(n, w_exec, bids)
+            frac = mid.get(n)
+            if frac is not None:
+                phi[n] = frac * alpha_map[n] * w_o
+                costs[n] = frac * alpha_map[n] * w_exec[n]
+            else:
+                total_n = alpha_map[n] + reallocations.get(n, 0.0)
+                phi[n] = total_n * w_o
+                costs[n] = total_n * w_exec[n]
+        self.bus.broadcast(Message(MessageKind.METER, REFEREE, ("*",),
+                                   {n: phi[n] for n in active}))
+
+        from repro.core.payments import payments as compute_payments
+
+        w_obs = np.array([self._metered_w(n, w_exec, bids) for n in active])
+        q = compute_payments(net_bids, w_obs)
+        base = dict(zip(active, map(float, q)))
+        payments_map = {}
+        for n in survivors:
+            payments_map[n] = base[n] + reallocations.get(n, 0.0) * bids[n]
+        for c in crashed:
+            payments_map[c] = mid[c] * alpha_map[c] * bids[c]
+        self.bus.send(Message(MessageKind.BILL, REFEREE, (USER,),
+                              {"total": float(sum(payments_map.values()))}))
+        self.infra.remit_payments(payments_map)
+
+        return self._result(True, Phase.COMPLETE, verdicts, active=bids,
+                            bids=bids, alpha=alpha_map, phi=phi,
+                            payments=payments_map, fine=fine,
+                            realized=realized, costs=costs,
+                            participants=active, degraded=True,
+                            crashed=tuple(crashed),
+                            reallocations=reallocations)
 
     # ------------------------------------------------------------------
     # phase helpers
@@ -456,7 +871,8 @@ class ProtocolEngine:
         return None
 
     def _first_allocation_dispute(self, participants: list[ProcessorAgent],
-                                  entitled: dict[str, int]):
+                                  entitled: dict[str, int],
+                                  skip: set[str] = frozenset()):
         """The first recipient disputing its assignment, in order.
 
         Each recipient checks against its *own* redundantly computed
@@ -467,13 +883,16 @@ class ProtocolEngine:
         """
         active = [a.name for a in participants]
         for agent in participants:
-            if agent.name == self.originator.name:
-                continue
+            if agent.name == self.originator.name or agent.name in skip:
+                continue  # crashed endpoints cannot dispute anything
             received = len(self._received[agent.name])
             if self.bidding_mode == "atomic":
                 own_entitled = entitled[agent.name]
             else:
-                own_alpha = agent.compute_allocation(active)
+                try:
+                    own_alpha = agent.compute_allocation(active)
+                except KeyError:
+                    continue  # lost bids left the view incomplete
                 own_entitled = quantize_blocks(own_alpha, self.num_blocks)[
                     active.index(agent.name)]
             if agent.disputes_assignment(received, own_entitled):
@@ -529,6 +948,9 @@ class ProtocolEngine:
         realized: float | None,
         participants: list[str],
         costs: dict[str, float] | None = None,
+        degraded: bool = False,
+        crashed: tuple[str, ...] = (),
+        reallocations: dict[str, float] | None = None,
     ) -> ProtocolResult:
         costs = costs or {}
         costs = {n: costs.get(n, 0.0) for n in self.order}
@@ -551,4 +973,7 @@ class ProtocolEngine:
             fine_amount=fine,
             makespan_realized=realized,
             traffic=self.bus.stats,
+            degraded=degraded,
+            crashed=tuple(crashed),
+            reallocations=dict(reallocations or {}),
         )

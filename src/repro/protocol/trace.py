@@ -41,6 +41,8 @@ def describe_message(msg: Message) -> str:
         detail = f"total={body.get('total'):.6g}"
     elif msg.kind is MessageKind.COMMITMENT:
         detail = f"digest={body.get('digest', '')[:16]}..."
+    elif msg.kind is MessageKind.COHORT:
+        detail = f"{len(body)} signed bids (view sync)"
     else:  # pragma: no cover - future kinds
         detail = ""
     return (f"[{msg.kind.value:>14}] {msg.sender:>8} -> {dst:<8} "
@@ -62,6 +64,10 @@ def traffic_summary(bus: Bus) -> str:
         for kind in MessageKind
         if bus.stats.by_kind[kind]
     ]
+    if bus.stats.retries:
+        # Only faulty runs have retries; fault-free summaries must stay
+        # byte-identical to the pre-fault-layer output.
+        rows.append(("(retries)", bus.stats.retries, 0))
     rows.append(("TOTAL (control)", bus.stats.control_messages,
                  bus.stats.control_bytes))
     return format_table(("kind", "messages", "bytes"), rows,

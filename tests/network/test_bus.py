@@ -134,3 +134,46 @@ class TestAccounting:
         bus.send(Message(MessageKind.CLAIM, "P2", ("P1",), {"c": 1}))
         kinds = [m.kind for m in bus.log]
         assert kinds == [MessageKind.BID, MessageKind.LOAD, MessageKind.CLAIM]
+
+
+class TestSenderValidation:
+    def test_broadcast_requires_attached_sender(self):
+        bus, _ = make_bus()
+        with pytest.raises(KeyError, match="unknown sender"):
+            bus.broadcast(Message(MessageKind.BID, "ghost", ("*",), {"b": 1}))
+
+    def test_send_requires_attached_sender(self):
+        bus, _ = make_bus()
+        with pytest.raises(KeyError, match="unknown sender"):
+            bus.send(Message(MessageKind.CLAIM, "ghost", ("P1",), {"c": 1}))
+
+    def test_transfer_requires_attached_sender(self):
+        bus, _ = make_bus()
+        with pytest.raises(KeyError, match="unknown sender"):
+            bus.transfer_load("ghost", "P1", 0.5, ["block"])
+
+    def test_send_returns_ack_of_all_recipients(self):
+        bus, _ = make_bus()
+        got = bus.send(Message(MessageKind.CLAIM, "P1", ("P2", "P3"), {}))
+        assert got == ("P2", "P3")
+
+
+class TestDetachInFlight:
+    def test_detach_cancels_pending_load_delivery(self):
+        # Regression: a detached endpoint must not receive deliveries
+        # already scheduled for it (previously the queued closure fired
+        # into the stale handler).
+        bus, inboxes = make_bus()
+        bus.transfer_load("P1", "P2", 1.0, ["block"])
+        bus.detach("P2")
+        bus.queue.run()
+        assert inboxes["P2"] == []
+
+    def test_other_deliveries_survive_detach(self):
+        bus, inboxes = make_bus()
+        bus.transfer_load("P1", "P2", 1.0, ["b2"])
+        bus.transfer_load("P1", "P3", 1.0, ["b3"])
+        bus.detach("P2")
+        bus.queue.run()
+        assert inboxes["P2"] == []
+        assert len(inboxes["P3"]) == 1

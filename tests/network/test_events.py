@@ -113,3 +113,77 @@ class TestRunControl:
         q.run()
         assert trace == [0, 1, 2, 3]
         assert q.now == 3.0
+
+
+class TestCancel:
+    def test_cancelled_event_is_skipped(self):
+        q = EventQueue()
+        trace = []
+        ev = q.schedule(1.0, lambda: trace.append("x"))
+        q.schedule(2.0, lambda: trace.append("y"))
+        q.cancel(ev)
+        q.run()
+        assert trace == ["y"]
+
+    def test_cancel_is_idempotent(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.cancel(ev)
+        q.cancel(ev)
+        ev.cancel()
+        assert q.run() == 0
+
+    def test_cancel_does_not_perturb_survivor_order(self):
+        # All at the same timestamp: FIFO among survivors must hold no
+        # matter which entries were cancelled.
+        q = EventQueue()
+        trace = []
+        events = [q.schedule(1.0, lambda i=i: trace.append(i))
+                  for i in range(6)]
+        q.cancel(events[0])
+        q.cancel(events[3])
+        q.run()
+        assert trace == [1, 2, 4, 5]
+
+    def test_cancel_mid_drain(self):
+        # An event may cancel a later-scheduled one while draining.
+        q = EventQueue()
+        trace = []
+        victim = q.schedule(2.0, lambda: trace.append("victim"))
+        q.schedule(1.0, lambda: q.cancel(victim))
+        q.schedule(3.0, lambda: trace.append("after"))
+        q.run()
+        assert trace == ["after"]
+
+    def test_chaos_seeded_interleaving_is_deterministic(self):
+        # Property test: under a random interleaving of schedule/cancel
+        # operations (including time ties), the executed order must
+        # equal a reference model — surviving events sorted by
+        # (time, insertion seq) — and re-running the same seed must
+        # reproduce it exactly.
+        import random
+
+        def run_chaos(seed):
+            rng = random.Random(seed)
+            q = EventQueue()
+            trace = []
+            live = []
+            for i in range(200):
+                if live and rng.random() < 0.3:
+                    ev = live.pop(rng.randrange(len(live)))
+                    q.cancel(ev)
+                else:
+                    t = rng.choice([1.0, 2.0, 3.0])  # force ties
+                    ev = q.schedule(t, lambda i=i: trace.append(i),
+                                    label=str(i))
+                    live.append(ev)
+            expected = [int(e.label) for e in
+                        sorted(live, key=lambda e: (e.time, e.seq))]
+            q.run()
+            return trace, expected
+
+        for seed in range(10):
+            trace, expected = run_chaos(seed)
+            assert trace == expected, f"seed {seed} diverged from model"
+            again, _ = run_chaos(seed)
+            assert again == trace, f"seed {seed} not reproducible"

@@ -36,8 +36,12 @@ class TestReadmeSnippets:
             exec(block, namespace)
         outcome = namespace.get("outcome")
         assert outcome is not None
-        # the last snippet's outcome: P1 short-ships and is fined
-        assert list(outcome.fined) == ["P1"]
+        # the last snippet's outcome: P3 crashes mid-Processing and the
+        # run degrades instead of dying
+        assert outcome.completed and outcome.degraded
+        assert outcome.crashed == ("P3",)
+        assert set(outcome.reallocations) == {"P1", "P2", "P4"}
+        assert abs(sum(outcome.balances.values())) < 1e-9
         from repro.protocol.phases import Phase
 
-        assert outcome.terminal_phase is Phase.ALLOCATING_LOAD
+        assert outcome.terminal_phase is Phase.COMPLETE

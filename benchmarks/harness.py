@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Perf-trajectory harness entry point (CI smoke: ``--quick``).
+
+Thin wrapper over :mod:`repro.perf.bench` so the benchmark job can run
+``python benchmarks/harness.py --quick`` without installing the package:
+the repo's ``src/`` layout is put on ``sys.path`` when ``repro`` is not
+already importable.  See that module for the kernel definitions and the
+BENCH_protocol.json schema.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.perf.bench import main
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.perf.bench import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

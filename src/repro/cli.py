@@ -170,6 +170,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("regime", help="diagnose the DLT regime for an instance")
     add_common(p)
 
+    p = sub.add_parser("bench",
+                       help="time the hot kernels and refresh "
+                            "BENCH_protocol.json")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: same kernel sizes, fewer reps")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip the regression gate against the baseline")
+    p.add_argument("--tolerance", type=float, default=0.25,
+                   help="allowed slowdown vs baseline (default 0.25)")
+    p.add_argument("--output", default=None,
+                   help="report path (default <repo>/BENCH_protocol.json)")
+
     return parser
 
 
@@ -392,6 +404,19 @@ def cmd_regime(args) -> int:
     return 0 if rep.mechanism_guarantees_hold else 1
 
 
+def cmd_bench(args) -> int:
+    from repro.perf.bench import main as bench_main
+
+    argv = ["--tolerance", str(args.tolerance)]
+    if args.quick:
+        argv.append("--quick")
+    if args.no_check:
+        argv.append("--no-check")
+    if args.output:
+        argv += ["--output", args.output]
+    return bench_main(argv)
+
+
 _COMMANDS = {
     "allocate": cmd_allocate,
     "schedule": cmd_schedule,
@@ -403,6 +428,7 @@ _COMMANDS = {
     "chain": cmd_chain,
     "affine": cmd_affine,
     "regime": cmd_regime,
+    "bench": cmd_bench,
 }
 
 

@@ -52,6 +52,16 @@ class DLSBLNCP:
         build without the fault layer.
     deadlines / retry:
         Timeout and retransmission policy for fault-tolerant runs.
+    redundancy:
+        ``"memoized"`` (default) shares one content-addressed
+        computation cache across the participants; ``"independent"``
+        recomputes everything from scratch (the paper's literal
+        procedure).  Results are bit-identical either way.
+    pki_seed:
+        Optional determinism hook forwarded to :class:`PKI`: a seeded
+        registry mints the same keys in every run, so two separately
+        constructed mechanisms produce byte-identical wire traces —
+        what the memoized-vs-independent equivalence tests compare.
 
     Example
     -------
@@ -77,6 +87,8 @@ class DLSBLNCP:
         fault_plan: FaultPlan | None = None,
         deadlines: PhaseDeadlines | None = None,
         retry: RetryPolicy | None = None,
+        redundancy: str = "memoized",
+        pki_seed: int | None = None,
     ) -> None:
         w_true = [float(w) for w in w_true]
         m = len(w_true)
@@ -92,7 +104,7 @@ class DLSBLNCP:
                 raise ValueError(f"need {m} behaviors, got {len(behaviors)}")
             table = list(behaviors)
 
-        self.pki = PKI()
+        self.pki = PKI(seed=pki_seed)
         self.user_key = self.pki.register("user")
         agents = []
         for name, w, behavior in zip(names, w_true, table):
@@ -105,6 +117,7 @@ class DLSBLNCP:
             policy=policy, num_blocks=num_blocks,
             bidding_mode=bidding_mode,
             fault_plan=fault_plan, deadlines=deadlines, retry=retry,
+            redundancy=redundancy,
         )
 
     @property

@@ -35,7 +35,7 @@ from repro.core.fines import FinePolicy
 from repro.core.payments import payments as compute_payments
 from repro.crypto.blocks import LoadBlock, quantize_blocks, verify_blocks
 from repro.crypto.pki import PKI
-from repro.crypto.signatures import SignedMessage, canonical_bytes
+from repro.crypto.signatures import SignedMessage
 from repro.dlt.closed_form import allocate
 from repro.dlt.platform import BusNetwork, NetworkKind
 
@@ -95,11 +95,20 @@ class Referee:
         The trusted key registry used to authenticate evidence.
     policy:
         Fine magnitude / redistribution policy.
+    memo:
+        Optional shared :class:`repro.perf.cache.ComputationCache`.
+        The referee's recomputations (the alpha check in allocation
+        disputes, the correct ``Q`` in payment verification) are pure
+        functions of authenticated inputs, so when the engine runs
+        memoized the referee reuses the same content-addressed results
+        the honest agents computed.  ``None`` recomputes from scratch.
     """
 
-    def __init__(self, pki: PKI, policy: FinePolicy | None = None) -> None:
+    def __init__(self, pki: PKI, policy: FinePolicy | None = None,
+                 *, memo=None) -> None:
         self.pki = pki
         self.policy = policy or FinePolicy()
+        self.memo = memo
 
     # ------------------------------------------------------------------
     # helpers
@@ -308,7 +317,7 @@ class Referee:
 
         w = np.array([c_bids[name] for name in order])
         net = BusNetwork(tuple(w), z, kind, tuple(order))
-        alpha = allocate(net)
+        alpha = self.memo.allocation(net) if self.memo is not None else allocate(net)
         idx = order.index(claimant)
         entitled = quantize_blocks(alpha, num_blocks)[idx]
 
@@ -378,7 +387,7 @@ class Referee:
             if not authentic:
                 fines.append(Fine(name, fine, "missing-payment-vector"))
                 continue
-            payloads = {canonical_bytes(m.payload) for m in authentic}
+            payloads = {m.canonical for m in authentic}
             if len(payloads) > 1:
                 fines.append(Fine(name, fine, "contradictory-payment-vectors"))
                 continue
@@ -388,11 +397,21 @@ class Referee:
             except (KeyError, TypeError, ValueError):
                 fines.append(Fine(name, fine, "malformed-payment-vector"))
 
-        w = np.array([bids[name] for name in order])
-        net = BusNetwork(tuple(w), z, kind, tuple(order))
+        w = tuple(float(bids[name]) for name in order)
         exec_arr = np.array([w_exec[name] for name in order])
-        correct = compute_payments(net, exec_arr)
+        if self.memo is not None:
+            net = self.memo.network(w, z, kind, tuple(order))
+            correct = self.memo.payments(net, exec_arr)
+        else:
+            correct = compute_payments(BusNetwork(w, z, kind, tuple(order)),
+                                       exec_arr)
+        # Exact-match fast path: honest vectors round-trip through the
+        # same float list, so equality short-circuits the tolerance
+        # check; only mismatching vectors pay the allclose cost.
+        correct_list = [float(x) for x in correct]
         for name, q in vectors.items():
+            if q == correct_list:
+                continue
             if len(q) != len(order) or not np.allclose(q, correct, rtol=1e-9, atol=1e-9):
                 fines.append(Fine(name, fine, "incorrect-payments"))
 
@@ -419,5 +438,5 @@ class Referee:
                     continue
                 if sm.payload.get("processor") != sm.signer:
                     continue
-                seen.setdefault(sm.signer, set()).add(canonical_bytes(sm.payload))
+                seen.setdefault(sm.signer, set()).add(sm.canonical)
         return {name for name, payloads in seen.items() if len(payloads) > 1}

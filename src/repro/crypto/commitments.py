@@ -44,14 +44,20 @@ def _digest(payload: Any, nonce: bytes) -> str:
     return hashlib.sha256(canonical_bytes(payload) + nonce).hexdigest()
 
 
-def commit(committer: str, payload: Any) -> tuple[Commitment, bytes]:
+def commit(
+    committer: str, payload: Any, *, nonce: bytes | None = None
+) -> tuple[Commitment, bytes]:
     """Commit to *payload*; returns (commitment, opening nonce).
 
     The committer publishes the commitment, keeps the nonce, and later
     reveals ``(payload, nonce)`` — here the reveal rides along with the
-    signed bid message.
+    signed bid message.  ``nonce`` lets the committer supply its own
+    (e.g. one derived deterministically from its signing secret, see
+    :meth:`SigningKey.commitment_nonce`); by default a fresh random
+    nonce is drawn.
     """
-    nonce = secrets.token_bytes(16)
+    if nonce is None:
+        nonce = secrets.token_bytes(16)
     return Commitment(committer, _digest(payload, nonce)), nonce
 
 

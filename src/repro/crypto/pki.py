@@ -7,14 +7,25 @@ register once, receive their private :class:`SigningKey`, and anyone may
 ask the PKI to verify a :class:`SignedMessage` against the registered
 identity.  The PKI never reveals keys, so verification-by-oracle is
 observationally the same as verifying with a public key.
+
+Verification is memoized through a
+:class:`repro.perf.sigcache.SignatureCache` keyed by
+``(signer, message digest)``: the protocol asks every participant to
+verify the *same* broadcast messages, so the oracle computes each
+verdict once and serves repeats from the cache.  The memo is
+semantically invisible — the digest covers payload *and* signature, so
+any forged variant keys separately — and it is invalidated per signer
+by :meth:`PKI.rotate`, the only operation that can change a verdict.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any
 
 from repro.crypto.signatures import SignedMessage, SigningKey
+from repro.perf.sigcache import SignatureCache
 
 __all__ = ["Principal", "PKI"]
 
@@ -32,21 +43,57 @@ class PKI:
     This is infrastructure, not a participant: it holds no protocol
     state, makes no allocation or payment decisions, and is assumed
     tamper-proof like the network (Section 4's system model).
+
+    Parameters
+    ----------
+    seed:
+        Optional determinism hook: when given, registered keys derive
+        their secrets from ``(seed, name)`` instead of the OS entropy
+        pool, so two separately constructed runs mint *identical* keys
+        — which is what lets the equivalence tests demand byte-identical
+        wire traces across runs.  Production use leaves it ``None``.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, seed: int | None = None) -> None:
         self._keys: dict[str, SigningKey] = {}
+        self._seed = seed
+        self._rotations: dict[str, int] = {}
+        self.signature_cache = SignatureCache()
+
+    def _mint_key(self, name: str) -> SigningKey:
+        if self._seed is None:
+            return SigningKey(name)
+        generation = self._rotations.get(name, 0)
+        secret = hashlib.sha256(
+            f"pki:{self._seed}:{name}:{generation}".encode()).digest()
+        return SigningKey(name, secret)
 
     def register(self, name: str) -> SigningKey:
         """Register *name* and hand back its private signing key.
 
         Duplicate registration is rejected: a second registration under
-        an existing identity would be an impersonation channel.
+        an existing identity would be an impersonation channel.  Use
+        :meth:`rotate` for a deliberate key replacement.
         """
         if name in self._keys:
             raise ValueError(f"identity {name!r} already registered")
-        key = SigningKey(name)
+        key = self._mint_key(name)
         self._keys[name] = key
+        return key
+
+    def rotate(self, name: str) -> SigningKey:
+        """Replace *name*'s key, invalidating its cached verdicts.
+
+        Re-keying changes what verifies, so every memoized verdict for
+        the signer is dropped: messages signed under the old key stop
+        verifying, exactly as they would against a fresh oracle.
+        """
+        if name not in self._keys:
+            raise ValueError(f"identity {name!r} is not registered")
+        self._rotations[name] = self._rotations.get(name, 0) + 1
+        key = self._mint_key(name)
+        self._keys[name] = key
+        self.signature_cache.invalidate(name)
         return key
 
     def is_registered(self, name: str) -> bool:
@@ -57,13 +104,37 @@ class PKI:
 
         Unknown identities never verify.  Messages failing verification
         are discarded by honest processors per the Bidding phase rules.
+        Repeat queries for the same (signer, digest) are served from the
+        verification cache.
         """
         key = self._keys.get(signed.signer)
-        return key is not None and key.verify(signed)
+        if key is None:
+            return False
+        # Object-level fast path: the same SignedMessage instance is
+        # verified by every broadcast recipient, so the verdict rides
+        # on the object, keyed by the verifying key's *identity* —
+        # rotation mints a new key object, which misses here and falls
+        # through to the (invalidated) digest cache.
+        cached = signed._verified
+        if cached is not None and cached[0] is key:
+            self.signature_cache.stats.hits += 1
+            return cached[1]
+        verdict = self.signature_cache.verify(key, signed)
+        object.__setattr__(signed, "_verified", (key, verdict))
+        return verdict
 
     def verify_all(self, messages: list[SignedMessage]) -> bool:
-        """Convenience: all messages verify."""
-        return all(self.verify(m) for m in messages)
+        """All messages verify; stops at the first failure.
+
+        The explicit short-circuit matters on the dispute paths, where
+        bid vectors are ``O(m)`` long and a manipulated entry should
+        not cost ``m`` verifications to reject; passing messages warm
+        the shared verification cache for later queries.
+        """
+        for m in messages:
+            if not self.verify(m):
+                return False
+        return True
 
     def proves_equivocation(self, a: SignedMessage, b: SignedMessage) -> bool:
         """Do *a* and *b* prove their signer sent contradictory messages?
@@ -73,11 +144,9 @@ class PKI:
         the "multiple, inconsistent bids" and "contradictory payment
         vectors" offences.
         """
-        from repro.crypto.signatures import canonical_bytes
-
         return (
             a.signer == b.signer
             and self.verify(a)
             and self.verify(b)
-            and canonical_bytes(a.payload) != canonical_bytes(b.payload)
+            and a.canonical != b.canonical
         )

@@ -18,7 +18,7 @@ import hashlib
 import hmac
 import json
 import secrets
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = ["canonical_bytes", "SigningKey", "SignedMessage"]
@@ -37,18 +37,56 @@ def canonical_bytes(message: Any) -> bytes:
         raise TypeError(f"message is not canonically serializable: {exc}") from exc
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SignedMessage:
     """``S_beta(m)``: a message, the claimed signer, and the signature.
 
     The ``signer`` field is the *claimed* identity; only verification
     against the PKI's registered key confirms it.  ``payload`` keeps the
     original structured message so protocol code never re-parses bytes.
+
+    The canonical encoding and its content digest are computed lazily
+    and cached on the instance: one signed message is typically
+    canonicalized ``O(m)`` times per protocol run (every recipient
+    archives, de-duplicates and verifies the same broadcast object), so
+    the hot paths key off :attr:`canonical` / :attr:`digest` instead of
+    re-serializing the payload.  Neither cache field participates in
+    equality; the message identity stays (signer, payload, signature).
     """
 
     signer: str
     payload: Any
     signature: bytes
+    _canonical: bytes | None = field(default=None, repr=False, compare=False)
+    _digest: bytes | None = field(default=None, repr=False, compare=False)
+    # (verifying key object, verdict) — the PKI's per-object fast path.
+    # Keyed by key *identity*, so rotating a key (a new SigningKey
+    # object) naturally invalidates it; never part of equality.
+    _verified: tuple | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def canonical(self) -> bytes:
+        """Cached :func:`canonical_bytes` of the payload."""
+        c = self._canonical
+        if c is None:
+            c = canonical_bytes(self.payload)
+            object.__setattr__(self, "_canonical", c)
+        return c
+
+    @property
+    def digest(self) -> bytes:
+        """Content address of this signed message.
+
+        SHA-256 over the canonical payload and the signature, so two
+        messages share a digest iff they carry the same payload *and*
+        the same MAC — the key shape the PKI's verification cache and
+        the agents' archive de-duplication both rely on.
+        """
+        d = self._digest
+        if d is None:
+            d = hashlib.sha256(self.canonical + b"\x00" + self.signature).digest()
+            object.__setattr__(self, "_digest", d)
+        return d
 
     @property
     def size_bytes(self) -> int:
@@ -57,7 +95,7 @@ class SignedMessage:
         Used by the bus accounting layer for the Theorem 5.4
         communication-complexity measurements.
         """
-        return len(canonical_bytes(self.payload)) + len(self.signature) + len(self.signer)
+        return len(self.canonical) + len(self.signature) + len(self.signer)
 
 
 class SigningKey:
@@ -79,10 +117,21 @@ class SigningKey:
     def name(self) -> str:
         return self._name
 
-    def sign(self, message: Any) -> SignedMessage:
-        """Produce ``S_name(message)``."""
-        mac = hmac.new(self._secret, canonical_bytes(message), hashlib.sha256)
-        return SignedMessage(self._name, message, mac.digest())
+    def sign(self, message: Any, *, canonical: bytes | None = None) -> SignedMessage:
+        """Produce ``S_name(message)``.
+
+        The canonical encoding computed for the MAC is handed to the
+        :class:`SignedMessage` so downstream consumers (wire sizing,
+        verification, archive de-dup) never re-serialize the payload.
+
+        ``canonical``, when given, MUST equal
+        ``canonical_bytes(message)``; callers that already hold the
+        encoding (the shared payment-payload cache does) pass it to
+        skip the re-serialization.
+        """
+        canon = canonical_bytes(message) if canonical is None else canonical
+        mac = hmac.new(self._secret, canon, hashlib.sha256)
+        return SignedMessage(self._name, message, mac.digest(), canon)
 
     def verify(self, signed: SignedMessage) -> bool:
         """Check *signed* against this key (used by the PKI registry).
@@ -92,9 +141,23 @@ class SigningKey:
         """
         if signed.signer != self._name:
             return False
-        expected = hmac.new(self._secret, canonical_bytes(signed.payload),
+        expected = hmac.new(self._secret, signed.canonical,
                             hashlib.sha256).digest()
         return hmac.compare_digest(expected, signed.signature)
+
+    def commitment_nonce(self, message: Any) -> bytes:
+        """Deterministic commitment nonce bound to this key's secret.
+
+        RFC-6979 style: ``HMAC(secret, canonical(message))`` truncated
+        to 16 bytes.  Hiding against anyone without the secret (the
+        property hash commitments need), yet reproducible run-to-run —
+        so engagements with seeded keys produce bit-identical
+        commitment digests.
+        """
+        mac = hmac.new(self._secret,
+                       b"commit-nonce|" + canonical_bytes(message),
+                       hashlib.sha256)
+        return mac.digest()[:16]
 
     def __repr__(self) -> str:  # never leak the secret
         return f"SigningKey(name={self._name!r})"

@@ -30,18 +30,66 @@ from typing import Callable
 from repro.network.events import EventQueue
 from repro.network.messages import Message, MessageKind
 
-__all__ = ["TrafficStats", "Bus"]
+__all__ = ["TrafficStats", "FanOutDelivery", "Bus"]
+
+
+class FanOutDelivery:
+    """One deferred fan-out, delivered by a *single* queue event.
+
+    The seed scheduled one :class:`~repro.network.events.Event` per
+    recipient; a fan-out is now one event holding the recipient list.
+    Per-recipient semantics are preserved by resolving each recipient at
+    fire time: :meth:`drop` (called when an endpoint detaches or
+    crashes) removes a single recipient without cancelling the others,
+    and the event as a whole is cancelled only when nobody is left.
+    """
+
+    __slots__ = ("_endpoints", "msg", "recipients", "event")
+
+    def __init__(self, endpoints: dict[str, Callable[[Message], None]],
+                 msg: Message, recipients: tuple[str, ...]) -> None:
+        self._endpoints = endpoints  # live view of the bus's endpoint table
+        self.msg = msg
+        self.recipients = list(recipients)
+        self.event = None  # set by Bus right after scheduling
+
+    def drop(self, name: str) -> None:
+        """Remove *name* from the fan-out (idempotent)."""
+        try:
+            self.recipients.remove(name)
+        except ValueError:
+            return
+        if not self.recipients and self.event is not None:
+            self.event.cancel()
+
+    def __call__(self) -> None:
+        for r in self.recipients:
+            handler = self._endpoints.get(r)
+            if handler is not None:
+                handler(self.msg)
 
 
 @dataclass
 class TrafficStats:
-    """Running communication-cost accounting (Theorem 5.4's metric)."""
+    """Running communication-cost accounting (Theorem 5.4's metric).
+
+    Besides the wire counters, carries the perf layer's cache counters
+    for the engagement (filled in by the protocol engine when it
+    settles): ``memo_hits`` / ``memo_misses`` count digest-keyed
+    allocation/exclusion/payment lookups, ``sig_cache_hits`` /
+    ``sig_cache_misses`` count signature-verification lookups.  All
+    four stay zero on transports never driven by an engine.
+    """
 
     messages: int = 0
     bytes: int = 0
     by_kind: Counter = field(default_factory=Counter)
     bytes_by_kind: Counter = field(default_factory=Counter)
     retries: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    sig_cache_hits: int = 0
+    sig_cache_misses: int = 0
 
     def record(self, msg: Message) -> None:
         self.messages += 1
@@ -81,8 +129,10 @@ class Bus:
         self.log: list[Message] = []
         self._endpoints: dict[str, Callable[[Message], None]] = {}
         self._port_free_at = 0.0
-        # in-flight deliveries per recipient, so detach can cancel them
-        self._pending: dict[str, list] = {}
+        # in-flight fan-outs per recipient, so detach can drop them
+        self._pending: dict[str, list[FanOutDelivery]] = {}
+        # broadcast fan-out snapshot, rebuilt lazily after attach/detach
+        self._listeners: tuple[tuple[str, Callable[[Message], None]], ...] | None = None
 
     # -- membership ---------------------------------------------------------
 
@@ -91,17 +141,27 @@ class Bus:
         if name in self._endpoints:
             raise ValueError(f"endpoint {name!r} already attached")
         self._endpoints[name] = handler
+        self._listeners = None
 
     def detach(self, name: str) -> None:
         """Remove an endpoint and cancel its in-flight deliveries.
 
         A detached endpoint must not receive events already scheduled
-        for it on the queue (it has left the bus); pending deliveries
-        are cancelled rather than delivered into the void.
+        for it on the queue (it has left the bus); it is dropped from
+        pending fan-outs rather than delivered into the void (a fan-out
+        whose last recipient leaves is cancelled outright).
         """
         self._endpoints.pop(name, None)
-        for ev in self._pending.pop(name, ()):
-            self.queue.cancel(ev)
+        self._listeners = None
+        for delivery in self._pending.pop(name, ()):
+            delivery.drop(name)
+
+    def _fanout_pairs(self) -> tuple[tuple[str, Callable[[Message], None]], ...]:
+        """Cached (name, handler) snapshot for broadcast fan-outs."""
+        pairs = self._listeners
+        if pairs is None:
+            pairs = self._listeners = tuple(self._endpoints.items())
+        return pairs
 
     @property
     def endpoints(self) -> tuple[str, ...]:
@@ -126,8 +186,9 @@ class Bus:
             raise ValueError("broadcast() requires recipients == ('*',)")
         self._require_sender(msg.sender)
         self._record(msg)
-        for name, handler in list(self._endpoints.items()):
-            if name != msg.sender:
+        sender = msg.sender
+        for name, handler in self._fanout_pairs():
+            if name != sender:
                 handler(msg)
 
     def send(self, msg: Message) -> tuple[str, ...]:
@@ -169,15 +230,24 @@ class Bus:
         msg = Message(MessageKind.LOAD, sender, (recipient,), body,
                       size_bytes=max(1, int(round(units * 1024))))
         self._record(msg)
-        self._deliver_at(done, recipient, msg, label=f"load->{recipient}")
+        self._deliver_at(done, (recipient,), msg, label=f"load->{recipient}")
         return done
 
-    def _deliver_at(self, time: float, recipient: str, msg: Message,
-                    *, label: str = "") -> None:
-        """Schedule a delivery, tracked so detach can cancel it."""
-        handler = self._endpoints[recipient]
-        ev = self.queue.schedule(time, lambda: handler(msg), label=label)
-        self._pending.setdefault(recipient, []).append(ev)
+    def _deliver_at(self, time: float, recipients: tuple[str, ...], msg: Message,
+                    *, label: str = "") -> FanOutDelivery:
+        """Schedule one queue event delivering *msg* to *recipients*.
+
+        The whole fan-out is a single :class:`FanOutDelivery`; each
+        recipient's entry in ``_pending`` points at the shared delivery
+        so ``detach`` (and FaultyBus crashes) drop individuals without
+        disturbing the rest.
+        """
+        delivery = FanOutDelivery(self._endpoints, msg, recipients)
+        delivery.event = self.queue.schedule(time, delivery, label=label)
+        pending = self._pending
+        for r in recipients:
+            pending.setdefault(r, []).append(delivery)
+        return delivery
 
     @property
     def port_free_at(self) -> float:

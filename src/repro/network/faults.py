@@ -241,9 +241,10 @@ class FaultyBus(Bus):
         if name not in self._crashed:
             self._crashed.add(name)
             self.fault_log.append(FaultRecord(self.queue.now, "crash", name))
-            # In-flight deliveries die with the endpoint.
-            for ev in self._pending.pop(name, ()):
-                self.queue.cancel(ev)
+            # In-flight deliveries die with the endpoint; the rest of
+            # each fan-out is unaffected.
+            for delivery in self._pending.pop(name, ()):
+                delivery.drop(name)
 
     def _check_timed_crashes(self) -> None:
         for c in self.plan.crashes:
@@ -271,10 +272,12 @@ class FaultyBus(Bus):
                 self.queue.now, "lost-to-crashed", f"broadcast from {msg.sender}"))
             return
         self._record(msg)
-        for name, handler in list(self._endpoints.items()):
-            if name == msg.sender:
+        sender = msg.sender
+        crashed = self._crashed
+        for name, handler in self._fanout_pairs():
+            if name == sender:
                 continue
-            if name in self._crashed:
+            if name in crashed:
                 self.fault_log.append(FaultRecord(
                     self.queue.now, "lost-to-crashed", f"{msg.kind.value}->{name}"))
                 continue
@@ -301,6 +304,7 @@ class FaultyBus(Bus):
             return ()
         self._record(msg)
         delivered: list[str] = []
+        delayed: dict[float, list[str]] = {}
         for r in msg.recipients:
             if r in self._crashed:
                 self.fault_log.append(FaultRecord(
@@ -318,11 +322,18 @@ class FaultyBus(Bus):
                 self.fault_log.append(FaultRecord(
                     self.queue.now, DROP, f"{msg.kind.value}->{r}"))
             else:  # DELAY
-                copy = replace(msg, recipients=(r,))
-                self._deliver_at(self.queue.now + fate.delay, r, copy,
-                                 label=f"delayed-{msg.kind.value}->{r}")
+                delayed.setdefault(fate.delay, []).append(r)
                 self.fault_log.append(FaultRecord(
                     self.queue.now, DELAY, f"{msg.kind.value}->{r} +{fate.delay:g}"))
+        # Recipients sharing a delay ride one fan-out event.  Fates were
+        # already decided (and logged) above in recipient order, so the
+        # RNG draw sequence and fault-log order are unchanged; delivery
+        # order within a group matches the old per-recipient seq order.
+        for delay, group in delayed.items():
+            recipients = tuple(group)
+            copy = replace(msg, recipients=recipients)
+            self._deliver_at(self.queue.now + delay, recipients, copy,
+                             label=f"delayed-{msg.kind.value}->{','.join(group)}")
         return tuple(delivered)
 
     def _fate(self, msg: Message, recipient: str) -> MessageFault | None:
@@ -373,7 +384,7 @@ class FaultyBus(Bus):
             self.fault_log.append(FaultRecord(
                 self.queue.now, "lost-to-crashed", f"load->{recipient}"))
         else:
-            self._deliver_at(done, recipient, msg, label=f"load->{recipient}")
+            self._deliver_at(done, (recipient,), msg, label=f"load->{recipient}")
         return done
 
     # -- accounting ----------------------------------------------------------

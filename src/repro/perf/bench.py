@@ -1,0 +1,260 @@
+"""Perf-trajectory harness: timed kernels and the BENCH_protocol.json report.
+
+The repository tracks its own performance the way it tracks numerical
+results: a small set of named kernels is timed (best-of-N wall clock),
+compared against the seed measurements and against the checked-in
+baseline, and the outcome is written to ``BENCH_protocol.json`` at the
+repo root so future PRs inherit a machine-readable trajectory.
+
+Kernels
+-------
+``protocol_m64`` / ``protocol_m512``
+    One full honest DLS-BL-NCP engagement (construction included) on
+    the same instance family as ``benchmarks/test_scaling.py``:
+    ``numpy.random.default_rng(5)`` uniform ``w`` in [1, 10], NCP-FE,
+    ``z = 0.2``.
+``allocation_m512_x100`` / ``payments_m512_x20``
+    The closed-form allocation and payment kernels alone, m = 512,
+    looped (100x / 20x) inside the timed region so one measurement is
+    milliseconds rather than microseconds — a 25% regression gate on a
+    30 microsecond kernel would trip on scheduler noise alone.
+``des_20k_events``
+    Schedule-and-drain throughput of the event queue (20k events).
+
+Seed reference
+--------------
+``SEED_TIMINGS`` are measurements of the same kernels at the seed
+commit (fec0be7, pre-``repro.perf``), taken on the same machine and
+with the same best-of-N methodology as :func:`run_bench`.  They are the
+denominator of the ``speedup_vs_seed`` column, not a regression gate —
+the gate compares against the *checked-in* ``BENCH_protocol.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "SEED_TIMINGS",
+    "SEED_COMMIT",
+    "REPORT_NAME",
+    "run_bench",
+    "check_regression",
+    "write_report",
+    "repo_root",
+    "main",
+]
+
+SEED_COMMIT = "fec0be7"
+REPORT_NAME = "BENCH_protocol.json"
+
+# Seed-commit wall-clock seconds (same machine/methodology as run_bench;
+# the committed scaling benchmark recorded protocol m=64 at 0.0925 s).
+# The looped kernels scale the seed's single-call measurement by the
+# loop count (loop overhead is negligible at these sizes).
+SEED_TIMINGS = {
+    "protocol_m64": 0.08478,
+    "protocol_m512": 4.63648,
+    "allocation_m512_x100": 0.0029400,
+    "payments_m512_x20": 0.0246800,
+    "des_20k_events": 0.10828,
+}
+
+
+def repo_root() -> Path:
+    """Repository root: nearest ancestor holding pyproject.toml.
+
+    Falls back to the current directory so the harness still runs (and
+    writes its report locally) from an installed copy.
+    """
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        if (parent / "pyproject.toml").exists():
+            return parent
+    return Path.cwd()
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _protocol_kernel(m: int):
+    from repro.core.dls_bl_ncp import DLSBLNCP
+    from repro.dlt.platform import NetworkKind
+
+    rng = np.random.default_rng(5)
+    w = rng.uniform(1.0, 10.0, m)
+    return lambda: DLSBLNCP(w, NetworkKind.NCP_FE, 0.2).run()
+
+
+def _allocation_kernel(m: int, loops: int):
+    from repro.dlt.closed_form import allocate
+    from repro.dlt.platform import BusNetwork, NetworkKind
+
+    rng = np.random.default_rng(7)
+    net = BusNetwork(tuple(rng.uniform(1.0, 10.0, m)), 0.2, NetworkKind.NCP_FE)
+
+    def run() -> None:
+        for _ in range(loops):
+            allocate(net)
+
+    return run
+
+
+def _payments_kernel(m: int, loops: int):
+    from repro.core.payments import payments as compute_payments
+    from repro.dlt.platform import BusNetwork, NetworkKind
+
+    rng = np.random.default_rng(7)
+    net = BusNetwork(tuple(rng.uniform(1.0, 10.0, m)), 0.2, NetworkKind.NCP_FE)
+    w_exec = net.w_array
+
+    def run() -> None:
+        for _ in range(loops):
+            compute_payments(net, w_exec)
+
+    return run
+
+
+def _des_kernel(events: int):
+    from repro.network.events import EventQueue
+
+    def run() -> None:
+        q = EventQueue()
+        sink = [].append
+        for i in range(events):
+            q.schedule(float(i % 97), lambda: sink(1), label="bench")
+        q.run()
+
+    return run
+
+
+def run_bench(*, quick: bool = False) -> dict[str, float]:
+    """Time every kernel; returns {kernel: best-of-N seconds}.
+
+    ``quick`` keeps the kernel sizes (so numbers stay comparable with
+    the checked-in baseline) but halves the repetitions — the CI smoke
+    configuration.
+    """
+    # The cheap kernels get generous best-of rounds — they cost
+    # milliseconds each, and the regression gate needs the minimum to
+    # survive ambient machine noise.
+    timings = {
+        "protocol_m64": _best_of(_protocol_kernel(64), 4 if quick else 6),
+        "protocol_m512": _best_of(_protocol_kernel(512), 2 if quick else 3),
+        "allocation_m512_x100": _best_of(_allocation_kernel(512, 100),
+                                         8 if quick else 12),
+        "payments_m512_x20": _best_of(_payments_kernel(512, 20),
+                                      8 if quick else 12),
+        "des_20k_events": _best_of(_des_kernel(20_000), 4 if quick else 5),
+    }
+    return timings
+
+
+def check_regression(
+    head: dict[str, float],
+    baseline: dict[str, float],
+    *,
+    tolerance: float = 0.25,
+) -> list[str]:
+    """Kernels slower than ``(1 + tolerance) *`` the baseline timing.
+
+    Only kernels present in both mappings are compared, so adding a new
+    kernel never fails the gate on its first run.
+    """
+    failures = []
+    for name, base in baseline.items():
+        now = head.get(name)
+        if now is None or base <= 0:
+            continue
+        if now > base * (1.0 + tolerance):
+            failures.append(
+                f"{name}: {now:.6f}s vs baseline {base:.6f}s "
+                f"(+{(now / base - 1.0) * 100.0:.1f}%, limit "
+                f"+{tolerance * 100.0:.0f}%)")
+    return failures
+
+
+def write_report(path: Path, head: dict[str, float], *, quick: bool) -> dict:
+    """Compose and write the BENCH_protocol.json document; returns it."""
+    report = {
+        "schema": 1,
+        "units": "seconds (best-of-N wall clock)",
+        "quick": quick,
+        "seed_commit": SEED_COMMIT,
+        "seed": SEED_TIMINGS,
+        "head": {k: round(v, 7) for k, v in head.items()},
+        "speedup_vs_seed": {
+            k: round(SEED_TIMINGS[k] / v, 2)
+            for k, v in head.items()
+            if k in SEED_TIMINGS and v > 0
+        },
+    }
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point shared by ``repro bench`` and ``benchmarks/harness.py``.
+
+    Runs the kernels, prints a table, compares against the checked-in
+    ``BENCH_protocol.json`` (when one exists) and rewrites it.  Exits
+    non-zero iff a kernel regressed beyond the tolerance.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="time the protocol/allocation/payments/DES kernels "
+                    "and refresh BENCH_protocol.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: same kernel sizes, fewer reps")
+    parser.add_argument("--no-check", action="store_true",
+                        help="skip the regression gate against the "
+                             "checked-in baseline")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed slowdown vs baseline (default 0.25)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help=f"report path (default <repo>/{REPORT_NAME})")
+    args = parser.parse_args(argv)
+
+    out_path = args.output or repo_root() / REPORT_NAME
+    baseline: dict[str, float] = {}
+    if out_path.exists():
+        try:
+            baseline = json.loads(out_path.read_text()).get("head", {})
+        except (ValueError, OSError):
+            baseline = {}
+
+    head = run_bench(quick=args.quick)
+    report = write_report(out_path, head, quick=args.quick)
+
+    width = max(len(k) for k in head)
+    print(f"{'kernel':<{width}}  {'head (s)':>12}  {'seed (s)':>12}  {'speedup':>8}")
+    for name, t in head.items():
+        seed = SEED_TIMINGS.get(name)
+        seed_s = f"{seed:.6f}" if seed is not None else "-"
+        speed = report["speedup_vs_seed"].get(name)
+        speed_s = f"{speed:.2f}x" if speed is not None else "-"
+        print(f"{name:<{width}}  {t:>12.6f}  {seed_s:>12}  {speed_s:>8}")
+    print(f"report: {out_path}")
+
+    if not args.no_check and baseline:
+        failures = check_regression(head, baseline, tolerance=args.tolerance)
+        if failures:
+            print("PERFORMANCE REGRESSION:")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print(f"regression gate: ok (+{args.tolerance * 100:.0f}% tolerance, "
+              f"{len(baseline)} kernels)")
+    return 0

@@ -1,0 +1,59 @@
+"""Signature-verification cache keyed by ``(signer, message digest)``.
+
+During Bidding every one of the ``m`` processors receives — and, per
+the protocol, verifies — every other processor's broadcast bid, so the
+seed implementation performed ``O(m^2)`` HMAC computations over ``m``
+distinct messages.  Verification is a pure function of (registered key,
+payload, signature), and :attr:`SignedMessage.digest` covers both the
+payload and the signature, so the verdict can be computed once per
+distinct message and shared by every subsequent verifier.
+
+Correctness notes:
+
+* the digest includes the *signature*, so a forged message carrying a
+  genuine payload with a wrong MAC keys differently from the authentic
+  one and gets its own (negative) verdict;
+* verdicts depend on the registered key, so :meth:`invalidate` must be
+  called whenever a signer's key changes (``PKI.rotate`` does);
+* a *miss* performs the ordinary constant-time HMAC comparison — the
+  cache only ever removes repeat work, never the first verification.
+"""
+
+from __future__ import annotations
+
+from repro.perf.cache import CacheStats
+
+__all__ = ["SignatureCache"]
+
+
+class SignatureCache:
+    """Per-signer memo of verification verdicts."""
+
+    __slots__ = ("stats", "_by_signer")
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+        self._by_signer: dict[str, dict[bytes, bool]] = {}
+
+    def verify(self, key, signed) -> bool:
+        """Cached ``key.verify(signed)``; *key* is the registered key."""
+        per = self._by_signer.get(signed.signer)
+        if per is None:
+            per = self._by_signer[signed.signer] = {}
+        digest = signed.digest
+        verdict = per.get(digest)
+        if verdict is None:
+            verdict = key.verify(signed)
+            per[digest] = verdict
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return verdict
+
+    def invalidate(self, signer: str) -> int:
+        """Drop every cached verdict for *signer*; returns how many."""
+        dropped = self._by_signer.pop(signer, None)
+        return len(dropped) if dropped else 0
+
+    def __len__(self) -> int:
+        return sum(len(per) for per in self._by_signer.values())

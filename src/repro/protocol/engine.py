@@ -31,6 +31,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+import gc
+
 import numpy as np
 
 from repro.agents.processor import ProcessorAgent
@@ -38,13 +40,14 @@ from repro.core.fines import FinePolicy
 from repro.core.referee import Referee, RefereeVerdict
 from repro.crypto.blocks import divide_load, quantize_blocks
 from repro.crypto.pki import PKI
-from repro.crypto.signatures import SigningKey
+from repro.crypto.signatures import SignedMessage, SigningKey
 from repro.dlt.closed_form import allocate
 from repro.dlt.platform import BusNetwork, NetworkKind
 from repro.dlt.timing import makespan
 from repro.network.bus import Bus, TrafficStats
 from repro.network.faults import FaultPlan, FaultyBus
 from repro.network.messages import Message, MessageKind
+from repro.perf import REDUNDANCY_MODES, ComputationCache
 from repro.protocol.payment_infra import PaymentInfrastructure
 from repro.protocol.phases import Phase
 
@@ -194,6 +197,20 @@ class ProtocolEngine:
     deadlines / retry:
         Timeout and retransmission policy (defaults are sensible for
         unit loads); only consulted when a fault plan is armed.
+    redundancy:
+        How the mechanism's redundant computations are executed:
+
+        * ``"memoized"`` (default) — one shared content-addressed
+          :class:`~repro.perf.cache.ComputationCache` is injected into
+          every agent and the referee.  Results are keyed by a digest
+          of each party's *own* inputs, so identical views share one
+          computation while divergent views (split bids, manipulated
+          archives) miss and compute independently — the memo is
+          semantically invisible, and the equivalence property tests
+          pin that down bit-for-bit.
+        * ``"independent"`` — every party recomputes from scratch, the
+          paper's literal procedure.  The escape hatch exists so those
+          equivalence tests have a ground truth to compare against.
     """
 
     BIDDING_MODES = ("atomic", "commit", "naive")
@@ -212,10 +229,15 @@ class ProtocolEngine:
         fault_plan: FaultPlan | None = None,
         deadlines: PhaseDeadlines | None = None,
         retry: RetryPolicy | None = None,
+        redundancy: str = "memoized",
     ) -> None:
         if bidding_mode not in self.BIDDING_MODES:
             raise ValueError(f"bidding_mode must be one of {self.BIDDING_MODES}, "
                              f"got {bidding_mode!r}")
+        if redundancy not in REDUNDANCY_MODES:
+            raise ValueError(f"redundancy must be one of {REDUNDANCY_MODES}, "
+                             f"got {redundancy!r}")
+        self.redundancy = redundancy
         self.bidding_mode = bidding_mode
         self._bulletin: dict = {}
         if kind is NetworkKind.CP:
@@ -234,8 +256,15 @@ class ProtocolEngine:
         self.user_key = user_key
         self.policy = policy or FinePolicy()
         self.num_blocks = int(num_blocks)
-        self.referee = Referee(pki, self.policy)
+        self.memo = ComputationCache() if redundancy == "memoized" else None
+        for agent in agents:
+            agent.memo = self.memo
+        self.referee = Referee(pki, self.policy, memo=self.memo)
         self.infra = PaymentInfrastructure(USER)
+        # Per-engagement deltas: the PKI (and its verification cache)
+        # may outlive this engine, so snapshot the counters now.
+        sig = pki.signature_cache.stats
+        self._sig_base = (sig.hits, sig.misses)
         self.deadlines = deadlines or PhaseDeadlines()
         self.retry = retry or RetryPolicy()
         # An empty plan must leave zero trace: stay on the plain Bus so
@@ -258,18 +287,31 @@ class ProtocolEngine:
         self.bus.attach(USER, lambda msg: None)
 
     def _agent_handler(self, agent: ProcessorAgent):
+        # The BID branch runs O(m^2) times per engagement (every agent
+        # sees every bid), so the handler pre-binds everything it can
+        # and dispatches the common case — a plain signed bid — with a
+        # single type check before anything else.
+        observe = agent.observe_bid
+        name = agent.name
+        name_tuple = (name,)
+        BID, COHORT, LOAD = MessageKind.BID, MessageKind.COHORT, MessageKind.LOAD
+
         def handle(msg: Message) -> None:
-            if msg.kind is MessageKind.BID:
-                if isinstance(msg.body, dict) and "nonce" in msg.body:
-                    agent.observe_p2p_bid(msg.body["sm"], msg.body["nonce"],
+            kind = msg.kind
+            if kind is BID:
+                body = msg.body
+                if body.__class__ is SignedMessage:
+                    observe(body)
+                elif isinstance(body, dict) and "nonce" in body:
+                    agent.observe_p2p_bid(body["sm"], body["nonce"],
                                           self._bulletin or None)
                 else:
-                    agent.observe_bid(msg.body)
-            elif msg.kind is MessageKind.COHORT:
+                    observe(body)
+            elif kind is COHORT:
                 for sm in msg.body:
-                    agent.observe_bid(sm)
-            elif msg.kind is MessageKind.LOAD and msg.recipients == (agent.name,):
-                self._received[agent.name].extend(msg.body)
+                    observe(sm)
+            elif kind is LOAD and msg.recipients == name_tuple:
+                self._received[name].extend(msg.body)
         return handle
 
     @property
@@ -288,7 +330,27 @@ class ProtocolEngine:
     # ------------------------------------------------------------------
 
     def run(self) -> ProtocolResult:
-        """Execute the protocol once and settle the ledger."""
+        """Execute the protocol once and settle the ledger.
+
+        The engagement runs with the cyclic garbage collector paused
+        (restored on exit): the all-to-all bid exchange archives
+        ``O(m^2)`` long-lived containers, and letting generational
+        collections repeatedly trace that growing graph mid-run costs
+        more than the whole protocol at large ``m``.  Nothing in the
+        run frees cyclic garbage, so pausing is observationally safe;
+        the cycles an engagement leaves behind are collected by the
+        next ordinary collection after it returns.
+        """
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            return self._execute()
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    def _execute(self) -> ProtocolResult:
         blocks = divide_load(self.user_key, 1.0, self.num_blocks)
         verdicts: list[RefereeVerdict] = []
         faults = self._fault_plan
@@ -397,7 +459,8 @@ class ProtocolEngine:
 
         # ---- Phase 2: Allocating Load ------------------------------------
         self.bus.enter_phase(Phase.ALLOCATING_LOAD)
-        alpha = allocate(net_bids)
+        alpha = (self.memo.allocation(net_bids) if self.memo is not None
+                 else allocate(net_bids))
         alpha_map = dict(zip(active, map(float, alpha)))
         # Entitlements as the *originator* computes them (identical to
         # everyone's under atomic broadcast; possibly divergent views
@@ -504,18 +567,31 @@ class ProtocolEngine:
         # full payment for the completed, metered work.
         late = ([n for n in active if self.bus.is_crashed(n)]
                 if faults else [])
+        late_set = frozenset(late)
         for name in late:
             verdict = self.referee.judge_unresponsive(
-                name, [n for n in active if n not in late])
+                name, [n for n in active if n not in late_set])
             verdicts.append(verdict)
             self._apply_verdict(verdict)
 
         submissions: dict[str, list] = {}
         silenced: list[str] = []
+        # Every agent derives the same w~ vector from the broadcast
+        # meters whenever all alpha_j > 0 (the per-agent fallback to
+        # its own bid view never fires), so it is computed once here —
+        # elementwise float division, bit-identical to the per-agent
+        # derivation — instead of m times in Python.
+        if np.all(alpha > 0):
+            phi_arr = np.fromiter((phi[n] for n in active), dtype=float,
+                                  count=len(active))
+            shared_exec = phi_arr / alpha
+        else:
+            shared_exec = None
         for agent in participants:
-            if agent.name in late:
+            if agent.name in late_set:
                 continue
-            msgs = agent.payment_vector_messages(active, alpha, phi)
+            msgs = agent.payment_vector_messages(active, alpha, phi,
+                                                 w_exec=shared_exec)
             arrived = []
             for sm in msgs:
                 got = self._send_with_retry(
@@ -533,14 +609,13 @@ class ProtocolEngine:
                 silenced.append(agent.name)
             elif arrived:
                 submissions[agent.name] = arrived
+        unheard = late_set | frozenset(silenced)
         for name in silenced:
             verdict = self.referee.judge_unresponsive(
-                name, [n for n in active
-                       if n not in late and n not in silenced])
+                name, [n for n in active if n not in unheard])
             verdicts.append(verdict)
             self._apply_verdict(verdict)
 
-        unheard = frozenset(late) | frozenset(silenced)
         verdict = self.referee.judge_payment_vectors(
             submissions,
             participants=[n for n in active if n not in unheard],
@@ -561,7 +636,9 @@ class ProtocolEngine:
         # from the broadcast meter readings.
         from repro.core.payments import payments as compute_payments
 
-        q = compute_payments(net_bids, np.array([w_obs[n] for n in active]))
+        exec_arr = np.array([w_obs[n] for n in active])
+        q = (self.memo.payments(net_bids, exec_arr) if self.memo is not None
+             else compute_payments(net_bids, exec_arr))
         payments_map = dict(zip(active, map(float, q)))
         self.bus.send(Message(MessageKind.BILL, REFEREE, (USER,),
                               {"total": float(sum(q))}))
@@ -794,7 +871,8 @@ class ProtocolEngine:
         from repro.core.payments import payments as compute_payments
 
         w_obs = np.array([self._metered_w(n, w_exec, bids) for n in active])
-        q = compute_payments(net_bids, w_obs)
+        q = (self.memo.payments(net_bids, w_obs) if self.memo is not None
+             else compute_payments(net_bids, w_obs))
         base = dict(zip(active, map(float, q)))
         payments_map = {}
         for n in survivors:
@@ -882,8 +960,10 @@ class ProtocolEngine:
         the divergence surfaces.
         """
         active = [a.name for a in participants]
+        index_of = {name: i for i, name in enumerate(active)}
+        originator_name = self.originator.name
         for agent in participants:
-            if agent.name == self.originator.name or agent.name in skip:
+            if agent.name == originator_name or agent.name in skip:
                 continue  # crashed endpoints cannot dispute anything
             received = len(self._received[agent.name])
             if self.bidding_mode == "atomic":
@@ -894,7 +974,7 @@ class ProtocolEngine:
                 except KeyError:
                     continue  # lost bids left the view incomplete
                 own_entitled = quantize_blocks(own_alpha, self.num_blocks)[
-                    active.index(agent.name)]
+                    index_of[agent.name]]
             if agent.disputes_assignment(received, own_entitled):
                 return agent
         return None
@@ -954,6 +1034,13 @@ class ProtocolEngine:
     ) -> ProtocolResult:
         costs = costs or {}
         costs = {n: costs.get(n, 0.0) for n in self.order}
+        stats = self.bus.stats
+        if self.memo is not None:
+            stats.memo_hits = self.memo.stats.hits
+            stats.memo_misses = self.memo.stats.misses
+        sig = self.pki.signature_cache.stats
+        stats.sig_cache_hits = sig.hits - self._sig_base[0]
+        stats.sig_cache_misses = sig.misses - self._sig_base[1]
         balances = {n: self.infra.balance(n) for n in self.order}
         balances[USER] = self.infra.balance(USER)
         utilities = {n: balances[n] - costs[n] for n in self.order}

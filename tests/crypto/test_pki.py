@@ -75,3 +75,55 @@ class TestPrincipal:
     def test_value_object(self):
         assert Principal("P1") == Principal("P1")
         assert Principal("P1") != Principal("P2")
+
+
+class TestVerificationCache:
+    def test_repeat_verification_served_from_cache(self):
+        pki = PKI()
+        key = pki.register("P1")
+        sm = key.sign({"bid": 2.0})
+        stats = pki.signature_cache.stats
+        assert pki.verify(sm)
+        assert stats.misses == 1
+        assert pki.verify(sm)
+        assert pki.verify(sm)
+        assert stats.hits == 2 and stats.misses == 1
+
+    def test_rotation_invalidates_cached_verdicts(self):
+        # The satellite requirement: re-keying a name must not let a
+        # stale cached verdict survive — under either cache layer.
+        pki = PKI()
+        key = pki.register("P1")
+        sm = key.sign({"bid": 2.0})
+        assert pki.verify(sm)          # warm object + digest caches
+        assert pki.verify(sm)          # object-level fast path
+        # A structurally equal copy exercises the digest cache alone
+        # (no cached verdict rides on this fresh object).
+        copy = SignedMessage(sm.signer, sm.payload, sm.signature)
+        assert pki.verify(copy)
+        new_key = pki.rotate("P1")
+        assert not pki.verify(sm)      # object-cache path invalidated
+        assert not pki.verify(SignedMessage(sm.signer, sm.payload,
+                                            sm.signature))  # digest path
+        assert pki.verify(new_key.sign({"bid": 2.0}))
+
+    def test_forged_variant_keys_separately(self):
+        pki = PKI()
+        key = pki.register("P1")
+        sm = key.sign({"bid": 2.0})
+        assert pki.verify(sm)
+        forged = SignedMessage("P1", {"bid": 9.9}, sm.signature)
+        assert not pki.verify(forged)  # cached True must not leak over
+
+    def test_verify_all_short_circuits_on_first_failure(self):
+        pki = PKI()
+        k1, k2 = pki.register("P1"), pki.register("P2")
+        good1 = k1.sign({"a": 1})
+        bad = SignedMessage("P1", {"a": 2}, good1.signature)
+        never = k2.sign({"b": 3})
+        stats = pki.signature_cache.stats
+        assert not pki.verify_all([good1, bad, never])
+        # good1 (miss) + bad (miss) were checked; `never` was not.
+        assert stats.lookups == 2
+        assert pki.verify(never)       # first real verification: a miss
+        assert stats.misses == 3

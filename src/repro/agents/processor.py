@@ -30,6 +30,7 @@ from repro.crypto.pki import PKI
 from repro.crypto.signatures import SignedMessage, SigningKey
 from repro.dlt.closed_form import allocate
 from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.network.messages import Message, MessageKind
 
 __all__ = ["ProcessorAgent"]
 
@@ -217,6 +218,41 @@ class ProcessorAgent:
                 return
         self._equivocation_seen = True
         archive.append(sm)
+
+    def bus_handler(self, inbox: list, bulletin: dict):
+        """Build this agent's bus message handler (the Endpoint duty).
+
+        *inbox* is the shared list where received load blocks land (the
+        engine holds the same reference, so it must be mutated in
+        place); *bulletin* is the shared commitment board, consulted at
+        call time so commitments published after attachment are seen.
+
+        The BID branch runs O(m^2) times per engagement (every agent
+        sees every bid), so the handler pre-binds everything it can and
+        dispatches the common case — a plain signed bid — with a single
+        type check before anything else.
+        """
+        observe = self.observe_bid
+        name_tuple = (self.name,)
+        BID, COHORT, LOAD = MessageKind.BID, MessageKind.COHORT, MessageKind.LOAD
+
+        def handle(msg: Message) -> None:
+            kind = msg.kind
+            if kind is BID:
+                body = msg.body
+                if body.__class__ is SignedMessage:
+                    observe(body)
+                elif isinstance(body, dict) and "nonce" in body:
+                    self.observe_p2p_bid(body["sm"], body["nonce"],
+                                         bulletin or None)
+                else:
+                    observe(body)
+            elif kind is COHORT:
+                for sm in msg.body:
+                    observe(sm)
+            elif kind is LOAD and msg.recipients == name_tuple:
+                inbox.extend(msg.body)
+        return handle
 
     def detect_equivocations(self) -> list[tuple[str, tuple[SignedMessage, SignedMessage]]]:
         """Equivocators this agent can prove, with the two-message evidence.

@@ -120,6 +120,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(paper footnote 1); default atomic broadcast")
     p.add_argument("--trace", action="store_true",
                    help="print the wire-level transcript and traffic summary")
+    p.add_argument("--trace-json", nargs="?", const="-", default=None,
+                   metavar="FILE",
+                   help="dump the structured per-phase trace spans as a "
+                        "JSON document to FILE ('-' or no value: stdout)")
     p.add_argument("--json", action="store_true",
                    help="emit the outcome as JSON instead of tables")
     p.add_argument("--crash", type=_crash_spec, action="append", default=[],
@@ -255,6 +259,17 @@ def cmd_protocol(args) -> int:
                     bidding_mode=args.bidding_mode,
                     fault_plan=fault_plan)
     outcome = mech.run()
+    if args.trace_json is not None:
+        import json
+
+        from repro.protocol.trace import spans_to_dict
+
+        doc = json.dumps(spans_to_dict(outcome.spans), indent=2)
+        if args.trace_json == "-":
+            print(doc)
+        else:
+            with open(args.trace_json, "w", encoding="utf-8") as fh:
+                fh.write(doc + "\n")
     if args.json:
         from repro.io import dumps_result
 
@@ -280,12 +295,18 @@ def cmd_protocol(args) -> int:
     else:
         print("  no fines")
     if args.trace:
-        from repro.protocol.trace import render_transcript, traffic_summary
+        from repro.protocol.trace import (
+            render_spans,
+            render_transcript,
+            traffic_summary,
+        )
 
         print()
         print(render_transcript(mech.engine.bus))
         print()
         print(traffic_summary(mech.engine.bus))
+        print()
+        print(render_spans(outcome.spans))
     return 0 if outcome.completed else 1
 
 

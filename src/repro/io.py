@@ -138,6 +138,7 @@ def protocol_result_to_dict(result: ProtocolResult) -> dict:
             "control_bytes": result.traffic.control_bytes,
             "retries": result.traffic.retries,
         },
+        "spans": [s.to_dict() for s in result.spans],
     }
 
 

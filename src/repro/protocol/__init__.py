@@ -3,10 +3,16 @@
 * :mod:`repro.protocol.phases` — phase enumeration and shared helpers.
 * :mod:`repro.protocol.payment_infra` — the assumed payment
   infrastructure (accounts, billing, fine collection).
-* :mod:`repro.protocol.engine` — the orchestrator that runs the four
-  phases (Bidding → Allocating Load → Processing Load → Computing
-  Payments) over the simulated bus, with the referee adjudicating any
-  signalled conflicts.
+* :mod:`repro.protocol.context` — the :class:`EngagementContext`
+  record every layer shares, plus the :class:`PhaseRunner` /
+  :class:`PhaseOutcome` contracts.
+* :mod:`repro.protocol.runners` — one runner per paper phase (Bidding
+  → Allocating Load → Processing Load → Computing Payments), each a
+  pure function of the context.
+* :mod:`repro.protocol.engine` — the coordinator that attaches
+  endpoints to the bus, drives the runner loop, records per-phase
+  :class:`~repro.protocol.trace.PhaseSpan` observability, and settles
+  the ledger, with the referee adjudicating any signalled conflicts.
 
 The engine is deliberately *not* trusted with mechanism decisions: all
 allocations and payments are computed redundantly by the agents (or by
@@ -17,22 +23,39 @@ ledger — the roles the paper assigns to tamper-proof infrastructure.
 
 from repro.protocol.phases import Phase
 from repro.protocol.payment_infra import Ledger, PaymentInfrastructure
-from repro.protocol.engine import (
+from repro.protocol.context import (
+    EngagementContext,
     PhaseDeadlines,
-    ProtocolEngine,
-    ProtocolResult,
+    PhaseOutcome,
+    PhaseRunner,
     RetryPolicy,
 )
+from repro.protocol.engine import ProtocolEngine, ProtocolResult
+from repro.protocol.runners import (
+    AllocationRunner,
+    BiddingRunner,
+    PaymentsRunner,
+    ProcessingRunner,
+)
+from repro.protocol.trace import PhaseSpan
 from repro.protocol.sessions import EngagementRecord, MarketSession
 
 __all__ = [
     "Phase",
     "Ledger",
     "PaymentInfrastructure",
+    "EngagementContext",
     "PhaseDeadlines",
+    "PhaseOutcome",
+    "PhaseRunner",
+    "PhaseSpan",
     "ProtocolEngine",
     "ProtocolResult",
     "RetryPolicy",
+    "AllocationRunner",
+    "BiddingRunner",
+    "PaymentsRunner",
+    "ProcessingRunner",
     "EngagementRecord",
     "MarketSession",
 ]

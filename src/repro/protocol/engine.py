@@ -1,216 +1,98 @@
-"""The DLS-BL-NCP protocol orchestrator.
+"""The DLS-BL-NCP protocol coordinator.
 
-Runs the four phases of Section 4 over the simulated bus:
-
-1. **Bidding** — all-to-all broadcast of signed bids (processors may
-   abstain: no bid, utility 0); agents monitor for equivocation and
-   signal the referee.
-2. **Allocating Load** — every participant redundantly computes
-   ``alpha(b)``; the originator ships user-signed blocks over the
-   one-port bus; each recipient checks its assignment and may dispute.
-3. **Processing Load** — agents execute at their chosen (>= true) rate;
-   tamper-proof meters record ``phi_i``; the referee broadcasts the
-   readings.
-4. **Computing Payments** — every participant redundantly computes the
-   payment vector ``Q`` and submits it signed; the referee verifies all
-   vectors agree (recomputing on disagreement), fines wrong-doers, and
-   forwards ``Q`` to the payment infrastructure, which bills the user.
+Runs the four phases of Section 4 over the simulated bus.  The phase
+logic lives in one :class:`~repro.protocol.context.PhaseRunner` per
+paper phase (:mod:`repro.protocol.runners`), each reading and writing
+a shared :class:`~repro.protocol.context.EngagementContext`; the
+engine here owns only the three things the runners cannot: transport
+attachment (wiring every endpoint's own ``bus_handler`` to the bus),
+the runner loop (entering each phase, invoking its runner, recording a
+:class:`~repro.protocol.trace.PhaseSpan`, following ``next_phase``
+until a runner terminates the engagement), and settlement — one
+:meth:`~ProtocolEngine.settle` shared by every path: completion,
+early-termination fines, and crash degradation alike.
 
 Any fine raised in phases 1-2 terminates the protocol immediately
 (processors that had commenced work are compensated ``alpha_i w~_i``
-out of the collected fines).  Payment-phase fines do not void the
-completed computation: the referee's recomputed ``Q`` settles, with
-fines and informer rewards applied on top.
-
-The engine itself is untrusted plumbing: it never decides allocations
-or payments, it only delivers messages, reads meters, and executes
-verdicts on the ledger.
+out of the collected fines); payment-phase fines do not void the
+completed computation.  The engine itself is untrusted plumbing: it
+never decides allocations or payments, it only delivers messages,
+reads meters, and executes verdicts on the ledger.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-
 import gc
-
-import numpy as np
 
 from repro.agents.processor import ProcessorAgent
 from repro.core.fines import FinePolicy
-from repro.core.referee import Referee, RefereeVerdict
-from repro.crypto.blocks import divide_load, quantize_blocks
+from repro.core.referee import Referee
+from repro.crypto.blocks import divide_load
 from repro.crypto.pki import PKI
-from repro.crypto.signatures import SignedMessage, SigningKey
-from repro.dlt.closed_form import allocate
-from repro.dlt.platform import BusNetwork, NetworkKind
-from repro.dlt.timing import makespan
-from repro.network.bus import Bus, TrafficStats
+from repro.crypto.signatures import SigningKey
+from repro.dlt.platform import NetworkKind
+from repro.network.bus import Bus
 from repro.network.faults import FaultPlan, FaultyBus
 from repro.network.messages import Message, MessageKind
 from repro.perf import REDUNDANCY_MODES, ComputationCache
+from repro.protocol.context import (
+    REFEREE,
+    USER,
+    EngagementContext,
+    PhaseDeadlines,
+    RetryPolicy,
+)
 from repro.protocol.payment_infra import PaymentInfrastructure
 from repro.protocol.phases import Phase
+from repro.protocol.results import ProtocolResult
+from repro.protocol.runners import (
+    AllocationRunner,
+    BiddingRunner,
+    PaymentsRunner,
+    ProcessingRunner,
+)
+from repro.protocol.trace import PhaseSpan
 
 __all__ = ["PhaseDeadlines", "RetryPolicy", "ProtocolResult", "ProtocolEngine"]
 
-REFEREE = "referee"
-USER = "user"
-
-
-@dataclass(frozen=True)
-class PhaseDeadlines:
-    """Per-phase timeout budgets, in simulated time.
-
-    ``bidding`` / ``payments`` bound how long the engine keeps retrying
-    undelivered control messages in the respective phase;
-    ``processing_grace`` is how long past a worker's *bid-asserted*
-    finishing time the referee waits before declaring it unresponsive
-    (the referee holds no private ``w~``, so the bid is the only
-    finishing estimate available to it).
-    """
-
-    bidding: float = 1.0
-    payments: float = 1.0
-    processing_grace: float = 0.25
-
-    def __post_init__(self) -> None:
-        for name in ("bidding", "payments", "processing_grace"):
-            if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be >= 0")
-
-
-@dataclass(frozen=True)
-class RetryPolicy:
-    """Bounded ack/retry recovery for unicast control messages.
-
-    After a send, recipients the transport did not acknowledge are
-    retried with doubling backoff (``backoff``, ``2*backoff``, ...)
-    until delivered, ``max_attempts`` total attempts are spent, or the
-    phase deadline would be crossed.  Backoff elapses on the simulated
-    clock, so recovery delays show up in realized makespans.
-    """
-
-    max_attempts: int = 4
-    backoff: float = 0.01
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ValueError("max_attempts must be >= 1")
-        if self.backoff <= 0:
-            raise ValueError("backoff must be > 0")
-
-
-@dataclass(frozen=True)
-class ProtocolResult:
-    """Complete record of one DLS-BL-NCP run.
-
-    ``balances`` are final ledger positions (payments + rewards +
-    compensations - fines); ``costs`` are the processing costs actually
-    incurred (``alpha_i w~_i`` for work performed, 0 otherwise);
-    ``utilities`` are ``balances - costs`` — the quasi-linear utility of
-    Eq. (10) extended with the fine/reward flows of Section 4.
-    Abstaining processors appear with alpha/payment/utility 0 and are
-    absent from ``participants``.
-
-    Fault-tolerant runs add three fields: ``degraded`` is True when the
-    run survived a crash (mid-run re-allocation or a payments-phase
-    silence), ``crashed`` names the processors declared unresponsive,
-    and ``reallocations`` maps each survivor to the extra load fraction
-    it absorbed from the crashed workers.  All three keep their empty
-    defaults on fault-free runs.
-    """
-
-    completed: bool
-    terminal_phase: Phase
-    verdicts: tuple[RefereeVerdict, ...]
-    order: tuple[str, ...]
-    participants: tuple[str, ...]
-    bids: dict[str, float]
-    alpha: dict[str, float]
-    phi: dict[str, float]
-    payments: dict[str, float]
-    balances: dict[str, float]
-    costs: dict[str, float]
-    utilities: dict[str, float]
-    fine_amount: float
-    makespan_realized: float | None
-    traffic: TrafficStats
-    degraded: bool = False
-    crashed: tuple[str, ...] = ()
-    reallocations: dict[str, float] = field(default_factory=dict)
-
-    def utility(self, name: str) -> float:
-        return self.utilities[name]
-
-    @property
-    def fined(self) -> dict[str, float]:
-        """Total fines per processor across all verdicts."""
-        out: dict[str, float] = {}
-        for v in self.verdicts:
-            for f in v.fines:
-                out[f.who] = out.get(f.who, 0.0) + f.amount
-        return out
-
-    @property
-    def user_cost(self) -> float:
-        """What the user ultimately paid (negative ledger balance)."""
-        return -self.balances.get(USER, 0.0)
+# Runners are stateless (state lives on the context): one each suffices.
+_RUNNERS = {
+    Phase.BIDDING: BiddingRunner(),
+    Phase.ALLOCATING_LOAD: AllocationRunner(),
+    Phase.PROCESSING_LOAD: ProcessingRunner(),
+    Phase.COMPUTING_PAYMENTS: PaymentsRunner(),
+}
 
 
 class ProtocolEngine:
     """Wire together agents, bus, referee and ledger, then run.
 
-    Parameters
-    ----------
-    agents:
-        The strategic processors, in allocation order (``P_1`` first;
-        the originator position is implied by *kind*).
-    kind:
-        ``NCP_FE`` or ``NCP_NFE`` — DLS-BL-NCP is defined for networks
-        *without* control processors (use :class:`repro.core.DLSBL`
-        for the CP system).
-    z:
-        Per-unit bus communication time.
-    num_blocks:
-        Granularity of the user's load division.
-    bidding_mode:
-        How bids travel (paper §4 + footnote 1):
+    *agents* are the strategic processors in allocation order (``P_1``
+    first; the originator position is implied by *kind*, which must be
+    ``NCP_FE`` or ``NCP_NFE`` — use :class:`repro.core.DLSBL` for the
+    CP system); *z* is the per-unit bus communication time and
+    *num_blocks* the granularity of the user's load division.
 
-        * ``"atomic"`` (default) — the bus provides reliable atomic
-          broadcast; equivocation requires two broadcasts and is caught
-          immediately.
-        * ``"commit"`` — no atomic broadcast: bids go point-to-point,
-          preceded by a published hash commitment.  Split bids fail the
-          commitment check at the victim and are fined in the Bidding
-          phase.
-        * ``"naive"`` — point-to-point without commitments (the
-          ablation): split bids poison honest views undetected and only
-          surface downstream, after work has been wasted.
-    fault_plan:
-        Optional :class:`repro.network.faults.FaultPlan`.  ``None`` or
-        an empty plan keeps the engine on the plain reliable
-        :class:`Bus` — message logs and results are byte-identical to a
-        build without the fault layer.  A non-empty plan swaps in a
-        :class:`FaultyBus` and arms the crash-tolerance machinery:
-        per-phase deadlines, ack/retry recovery, and survivor
-        re-allocation.
-    deadlines / retry:
-        Timeout and retransmission policy (defaults are sensible for
-        unit loads); only consulted when a fault plan is armed.
-    redundancy:
-        How the mechanism's redundant computations are executed:
+    *bidding_mode* selects how bids travel (paper §4 + footnote 1):
+    ``"atomic"`` (default) reliable atomic broadcast; ``"commit"``
+    point-to-point preceded by a published hash commitment; ``"naive"``
+    point-to-point without commitments (the ablation — split bids
+    poison honest views undetected and only surface downstream).
 
-        * ``"memoized"`` (default) — one shared content-addressed
-          :class:`~repro.perf.cache.ComputationCache` is injected into
-          every agent and the referee.  Results are keyed by a digest
-          of each party's *own* inputs, so identical views share one
-          computation while divergent views (split bids, manipulated
-          archives) miss and compute independently — the memo is
-          semantically invisible, and the equivalence property tests
-          pin that down bit-for-bit.
-        * ``"independent"`` — every party recomputes from scratch, the
-          paper's literal procedure.  The escape hatch exists so those
-          equivalence tests have a ground truth to compare against.
+    *fault_plan*: ``None`` or an empty plan keeps the engine on the
+    plain reliable :class:`Bus` (logs and results byte-identical to a
+    build without the fault layer); a non-empty plan swaps in a
+    :class:`FaultyBus` and arms the crash-tolerance machinery —
+    *deadlines* / *retry* timeouts, ack/retry recovery, and survivor
+    re-allocation.
+
+    *redundancy*: ``"memoized"`` (default) injects one shared
+    content-addressed :class:`~repro.perf.cache.ComputationCache` into
+    every agent and the referee — keyed by a digest of each party's
+    *own* inputs, so the memo is semantically invisible;
+    ``"independent"`` recomputes everything from scratch (the paper's
+    literal procedure, kept so the equivalence property tests have a
+    ground truth to compare against).
     """
 
     BIDDING_MODES = ("atomic", "commit", "naive")
@@ -276,43 +158,15 @@ class ProtocolEngine:
         self._received: dict[str, list] = {n: [] for n in names}
         self._attach_endpoints()
 
-    # ------------------------------------------------------------------
-    # wiring
-    # ------------------------------------------------------------------
+    # ---- wiring --------------------------------------------------------
 
     def _attach_endpoints(self) -> None:
         for agent in self.agents:
-            self.bus.attach(agent.name, self._agent_handler(agent))
+            self.bus.attach(agent.name,
+                            agent.bus_handler(self._received[agent.name],
+                                              self._bulletin))
         self.bus.attach(REFEREE, lambda msg: None)
         self.bus.attach(USER, lambda msg: None)
-
-    def _agent_handler(self, agent: ProcessorAgent):
-        # The BID branch runs O(m^2) times per engagement (every agent
-        # sees every bid), so the handler pre-binds everything it can
-        # and dispatches the common case — a plain signed bid — with a
-        # single type check before anything else.
-        observe = agent.observe_bid
-        name = agent.name
-        name_tuple = (name,)
-        BID, COHORT, LOAD = MessageKind.BID, MessageKind.COHORT, MessageKind.LOAD
-
-        def handle(msg: Message) -> None:
-            kind = msg.kind
-            if kind is BID:
-                body = msg.body
-                if body.__class__ is SignedMessage:
-                    observe(body)
-                elif isinstance(body, dict) and "nonce" in body:
-                    agent.observe_p2p_bid(body["sm"], body["nonce"],
-                                          self._bulletin or None)
-                else:
-                    observe(body)
-            elif kind is COHORT:
-                for sm in msg.body:
-                    observe(sm)
-            elif kind is LOAD and msg.recipients == name_tuple:
-                self._received[name].extend(msg.body)
-        return handle
 
     @property
     def originator(self) -> ProcessorAgent:
@@ -325,9 +179,7 @@ class ProtocolEngine:
         assert idx is not None
         return self.agents[idx]
 
-    # ------------------------------------------------------------------
-    # run
-    # ------------------------------------------------------------------
+    # ---- run -----------------------------------------------------------
 
     def run(self) -> ProtocolResult:
         """Execute the protocol once and settle the ledger.
@@ -352,688 +204,68 @@ class ProtocolEngine:
 
     def _execute(self) -> ProtocolResult:
         blocks = divide_load(self.user_key, 1.0, self.num_blocks)
-        verdicts: list[RefereeVerdict] = []
-        faults = self._fault_plan
-
-        # ---- Phase 1: Bidding -------------------------------------------
-        self.bus.enter_phase(Phase.BIDDING)
-        participants = [a for a in self.agents if not a.behavior.abstain]
-        if faults:
-            # A processor crashed before or at Bidding is a silent
-            # bidder — indistinguishable from abstention to its peers.
-            participants = [a for a in participants
-                            if not self._crashed_by_bidding(a.name)]
-        active = [a.name for a in participants]
-        reached_originator = {self.originator.name}
-        if self.bidding_mode == "atomic":
-            for agent in participants:
-                msgs = agent.make_bid_messages()
-                agent.observe_bid(msgs[0])  # archive own primary bid
-                for sm in msgs:
-                    self.bus.broadcast(Message(MessageKind.BID, agent.name,
-                                               ("*",), sm))
-        else:
-            if self.bidding_mode == "commit":
-                for agent in participants:
-                    commitment = agent.make_commitment()
-                    self._bulletin[agent.name] = commitment
-                    self.bus.broadcast(Message(
-                        MessageKind.COMMITMENT, agent.name, ("*",),
-                        {"digest": commitment.digest},
-                    ))
-            for agent in participants:
-                # Archive the own primary bid (HMAC signing is
-                # deterministic, so this equals the honest wire copy).
-                agent.observe_bid(agent.key.sign(
-                    {"processor": agent.name, "bid": agent.bid}))
-                p2p = agent.make_p2p_bid_messages(active)
-                for peer, (sm, nonce) in p2p.items():
-                    delivered = self._send_with_retry(Message(
-                        MessageKind.BID, agent.name, (peer,),
-                        {"sm": sm, "nonce": nonce},
-                        size_bytes=sm.size_bytes + len(nonce),
-                    ), window=self.deadlines.bidding)
-                    if peer == self.originator.name and delivered:
-                        reached_originator.add(agent.name)
-
-        if faults and self.bidding_mode != "atomic":
-            # A bid that never reached the originator within the retry
-            # budget leaves that processor out of the engagement: the
-            # originator cuts the load by its own archive, so to it the
-            # silent bidder abstained.
-            participants = [a for a in participants
-                            if a.name in reached_originator]
-            active = [a.name for a in participants]
-
-        if self.originator.name not in active or len(active) < 2:
-            # Without the data holder, or with a single bidder, there is
-            # no engagement: everyone walks away with utility 0.
-            return self._result(False, Phase.BIDDING, verdicts, active={},
-                                bids={}, alpha={}, phi={}, payments={},
-                                fine=0.0, realized=None,
-                                participants=active)
-
-        bids = self._canonical_bids(active)
-        net_bids = BusNetwork(tuple(bids[n] for n in active), self.z,
-                              self.kind, tuple(active))
-        fine = self.policy.fine_amount(net_bids)
-
-        if faults and self.bidding_mode != "atomic":
-            # Heal bid views torn by message loss: the originator
-            # re-broadcasts its signed-bid archive.  Recipients verify
-            # every signature, so the sync adds no trust in the
-            # originator — a tampered snapshot is equivocation evidence
-            # against whoever signed the divergent copy.
-            self.bus.broadcast(Message(
-                MessageKind.COHORT, self.originator.name, ("*",),
-                self.originator.bid_snapshot(active)))
-
-        if self.bidding_mode == "commit":
-            violation = self._first_commitment_claim(participants)
-            if violation is not None:
-                claimant, accused, evidence = violation
-                self.bus.send(Message(MessageKind.CLAIM, claimant, (REFEREE,),
-                                      {"case": "commitment", "accused": accused}))
-                verdict = self.referee.judge_commitment_violation(
-                    claimant, accused, evidence,
-                    self._bulletin.get(accused), active, fine)
-                verdicts.append(verdict)
-                self._apply_verdict(verdict)
-                return self._result(False, Phase.BIDDING, verdicts, active=bids,
-                                    bids=bids, alpha={}, phi={}, payments={},
-                                    fine=fine, realized=None,
-                                    participants=active)
-
-        claim = self._first_bidding_claim(participants, active)
-        if claim is not None:
-            claimant, accused, evidence = claim
-            self.bus.send(Message(MessageKind.CLAIM, claimant, (REFEREE,),
-                                  {"case": "equivocation", "accused": accused}))
-            verdict = self.referee.judge_equivocation(
-                claimant, accused, evidence, active, fine)
-            verdicts.append(verdict)
-            self._apply_verdict(verdict)
-            return self._result(False, Phase.BIDDING, verdicts, active=bids,
-                                bids=bids, alpha={}, phi={}, payments={},
-                                fine=fine, realized=None, participants=active)
-
-        # ---- Phase 2: Allocating Load ------------------------------------
-        self.bus.enter_phase(Phase.ALLOCATING_LOAD)
-        alpha = (self.memo.allocation(net_bids) if self.memo is not None
-                 else allocate(net_bids))
-        alpha_map = dict(zip(active, map(float, alpha)))
-        # Entitlements as the *originator* computes them (identical to
-        # everyone's under atomic broadcast; possibly divergent views
-        # on point-to-point networks, which the dispute path resolves).
-        entitled = dict(zip(active, quantize_blocks(alpha, self.num_blocks)))
-        plan = self.originator.planned_shipments(dict(entitled))
-
-        cursor = 0
-        slices: dict[str, tuple] = {}
-        delivered_at: dict[str, float] = {}
-        for name in active:
-            count = plan[name]
-            slice_ = blocks[cursor : cursor + count]
-            cursor += count
-            slices[name] = slice_
-            if name == self.originator.name:
-                self._received[name] = list(slice_)
-                continue
-            units = count / self.num_blocks
-            delivered_at[name] = self.bus.transfer_load(
-                self.originator.name, name, units, slice_)
-        self.bus.queue.run()
-        # Compute-start times implied by the executed schedule; equal to
-        # the Eq. (1)-(3) analytics on a reliable bus, but shifted by
-        # retry backoffs and stalls when faults are armed.
-        ready = {
-            name: (delivered_at[name] if name != self.originator.name
-                   else (0.0 if self.kind is NetworkKind.NCP_FE
-                         else self.bus.port_free_at))
-            for name in active
-        }
-
-        crashed_now = ({n for n in active if self.bus.is_crashed(n)}
-                       if faults else set())
-        claimant_agent = self._first_allocation_dispute(
-            participants, entitled, skip=crashed_now)
-        if claimant_agent is not None:
-            work_done = self._work_commenced_before(
-                claimant_agent.name, active, alpha_map)
-            self.bus.send(Message(MessageKind.CLAIM, claimant_agent.name,
-                                  (REFEREE,), {"case": "allocation"}))
-            c_vec = claimant_agent.bid_vector_messages(active)
-            o_vec = self.originator.bid_vector_messages(active)
-            self.bus.send(Message(MessageKind.BID_VECTOR, claimant_agent.name,
-                                  (REFEREE,), c_vec))
-            self.bus.send(Message(MessageKind.BID_VECTOR, self.originator.name,
-                                  (REFEREE,), o_vec))
-            verdict = self.referee.judge_allocation_dispute(
-                claimant=claimant_agent.name,
-                originator=self.originator.name,
-                claimant_vector=c_vec,
-                originator_vector=o_vec,
-                participants=active,
-                order=active,
-                kind=self.kind,
-                z=self.z,
-                received_blocks=len(self._received[claimant_agent.name]),
-                num_blocks=self.num_blocks,
-                claimant_blocks=self._received[claimant_agent.name],
-                user_name=self.user_key.name,
-                fine=fine,
-                work_done=work_done,
-                originator_cooperates=self.originator.cooperates_with_remedy,
-            )
-            verdicts.append(verdict)
-            self._apply_verdict(verdict)
-            costs = {n: work_done.get(n, 0.0) for n in active}
-            return self._result(False, Phase.ALLOCATING_LOAD, verdicts,
-                                active=bids, bids=bids, alpha=alpha_map,
-                                phi={}, payments={}, fine=fine, realized=None,
-                                costs=costs, participants=active)
-
-        # ---- Phase 3: Processing Load -------------------------------------
-        self.bus.enter_phase(Phase.PROCESSING_LOAD)
-        w_exec = {a.name: a.exec_value for a in participants}
-        if faults:
-            mid = self._mid_run_crashes(active, alpha_map, w_exec, ready)
-            if mid:
-                return self._run_degraded(
-                    verdicts, active=active, bids=bids, net_bids=net_bids,
-                    fine=fine, alpha_map=alpha_map, slices=slices,
-                    ready=ready, w_exec=w_exec, mid=mid)
-        # Tamper-proof meters: the engine (not the agent) records the
-        # actually elapsed per-assignment time phi_i = alpha_i * w~_i —
-        # falling back to the bid-asserted value where a meter is out.
-        w_obs = {n: self._metered_w(n, w_exec, bids) for n in active}
-        phi = {n: alpha_map[n] * w_obs[n] for n in active}
-        self.bus.broadcast(Message(MessageKind.METER, REFEREE, ("*",),
-                                   {n: phi[n] for n in active}))
-        if faults:
-            # Retry backoffs and stalls shifted the physical schedule;
-            # read the realized makespan off the event clock instead of
-            # the closed-form timing.
-            realized = max(ready[n] + alpha_map[n] * w_exec[n]
-                           for n in active)
-        else:
-            realized = makespan(alpha, net_bids,
-                                w_exec=np.array([w_exec[n] for n in active]))
-
-        # ---- Phase 4: Computing Payments -----------------------------------
-        self.bus.enter_phase(Phase.COMPUTING_PAYMENTS)
-        # Processors that finished their work but crashed before this
-        # round: no payment vector, no fine (a fault, not an offence),
-        # full payment for the completed, metered work.
-        late = ([n for n in active if self.bus.is_crashed(n)]
-                if faults else [])
-        late_set = frozenset(late)
-        for name in late:
-            verdict = self.referee.judge_unresponsive(
-                name, [n for n in active if n not in late_set])
-            verdicts.append(verdict)
-            self._apply_verdict(verdict)
-
-        submissions: dict[str, list] = {}
-        silenced: list[str] = []
-        # Every agent derives the same w~ vector from the broadcast
-        # meters whenever all alpha_j > 0 (the per-agent fallback to
-        # its own bid view never fires), so it is computed once here —
-        # elementwise float division, bit-identical to the per-agent
-        # derivation — instead of m times in Python.
-        if np.all(alpha > 0):
-            phi_arr = np.fromiter((phi[n] for n in active), dtype=float,
-                                  count=len(active))
-            shared_exec = phi_arr / alpha
-        else:
-            shared_exec = None
-        for agent in participants:
-            if agent.name in late_set:
-                continue
-            msgs = agent.payment_vector_messages(active, alpha, phi,
-                                                 w_exec=shared_exec)
-            arrived = []
-            for sm in msgs:
-                got = self._send_with_retry(
-                    Message(MessageKind.PAYMENT_VECTOR, agent.name,
-                            (REFEREE,), sm),
-                    window=self.deadlines.payments)
-                if got:
-                    arrived.append(sm)
-            if len(arrived) == len(msgs):
-                submissions[agent.name] = arrived
-            elif faults:
-                # The transport, not the agent, ate the vector (retry
-                # budget exhausted): fold into the unresponsive path
-                # rather than fining an agent for a network fault.
-                silenced.append(agent.name)
-            elif arrived:
-                submissions[agent.name] = arrived
-        unheard = late_set | frozenset(silenced)
-        for name in silenced:
-            verdict = self.referee.judge_unresponsive(
-                name, [n for n in active if n not in unheard])
-            verdicts.append(verdict)
-            self._apply_verdict(verdict)
-
-        verdict = self.referee.judge_payment_vectors(
-            submissions,
-            participants=[n for n in active if n not in unheard],
-            order=active,
-            bids=bids,
-            w_exec=w_obs,
-            kind=self.kind,
-            z=self.z,
-            fine=fine,
-            bid_vectors={a.name: a.bid_vector_messages(active)
-                         for a in participants if a.name not in unheard},
+        ctx = EngagementContext(
+            agents=self.agents, originator=self.originator, kind=self.kind,
+            z=self.z, num_blocks=self.num_blocks,
+            bidding_mode=self.bidding_mode, policy=self.policy, pki=self.pki,
+            user_key=self.user_key, referee=self.referee, infra=self.infra,
+            bus=self.bus, memo=self.memo, deadlines=self.deadlines,
+            retry=self.retry, fault_plan=self._fault_plan, order=self.order,
+            bulletin=self._bulletin, received=self._received, blocks=blocks,
         )
-        if verdict.fines:
-            verdicts.append(verdict)
-            self._apply_verdict(verdict)
+        spans: list[PhaseSpan] = []
+        phase: Phase | None = Phase.BIDDING
+        while phase is not None:
+            t0 = self.bus.queue.now
+            before = self._counters()
+            self.bus.enter_phase(phase)
+            outcome = _RUNNERS[phase].run(ctx)
+            after = self._counters()
+            spans.append(PhaseSpan(
+                phase=phase.name,
+                t_start=t0,
+                t_end=self.bus.queue.now,
+                messages=after[0] - before[0],
+                bytes=after[1] - before[1],
+                retries=after[2] - before[2],
+                memo_hits=after[3] - before[3],
+                memo_misses=after[4] - before[4],
+                sig_cache_hits=after[5] - before[5],
+                sig_cache_misses=after[6] - before[6],
+                verdicts=tuple(v.case for v in outcome.verdicts),
+                fines=outcome.fines,
+            ))
+            phase = outcome.next_phase
+        return self.settle(ctx, tuple(spans))
 
-        # Settlement: the (referee-verified or recomputed) payments,
-        # from the broadcast meter readings.
-        from repro.core.payments import payments as compute_payments
+    def _counters(self) -> tuple[int, int, int, int, int, int, int]:
+        """Snapshot of the traffic/cache counters, for span deltas."""
+        stats = self.bus.stats
+        memo = self.memo.stats if self.memo is not None else None
+        sig = self.pki.signature_cache.stats
+        return (stats.messages, stats.bytes, stats.retries,
+                memo.hits if memo is not None else 0,
+                memo.misses if memo is not None else 0,
+                sig.hits, sig.misses)
 
-        exec_arr = np.array([w_obs[n] for n in active])
-        q = (self.memo.payments(net_bids, exec_arr) if self.memo is not None
-             else compute_payments(net_bids, exec_arr))
-        payments_map = dict(zip(active, map(float, q)))
-        self.bus.send(Message(MessageKind.BILL, REFEREE, (USER,),
-                              {"total": float(sum(q))}))
-        self.infra.remit_payments(payments_map)
+    # ---- settlement ----------------------------------------------------
 
-        costs = {n: alpha_map[n] * w_exec[n] for n in active}
-        return self._result(True, Phase.COMPLETE, verdicts, active=bids,
-                            bids=bids, alpha=alpha_map, phi=phi,
-                            payments=payments_map, fine=fine,
-                            realized=realized, costs=costs,
-                            participants=active,
-                            degraded=bool(late or silenced),
-                            crashed=tuple(late) + tuple(silenced))
+    def settle(self, ctx: EngagementContext,
+               spans: tuple[PhaseSpan, ...] = ()) -> ProtocolResult:
+        """Bill, move the ledger, and fold the context into a result.
 
-    # ------------------------------------------------------------------
-    # fault tolerance
-    # ------------------------------------------------------------------
-
-    def _send_with_retry(self, msg: Message, *, window: float) -> tuple[str, ...]:
-        """Unicast with bounded ack/retry recovery.
-
-        On the reliable bus this is exactly one :meth:`Bus.send` (the
-        fault-free wire trace is untouched).  Under an armed fault
-        plan, recipients the transport did not acknowledge are retried
-        with doubling backoff on the simulated clock, bounded by
-        ``retry.max_attempts`` and the phase *window*.  Every
-        retransmission is counted in ``TrafficStats.retries``.
-        Returns the recipients that acknowledged delivery.
+        Every path through the protocol ends here — successful
+        completion, an early-termination fine, and crash degradation
+        alike — so ledger conservation is enforced by one code path.
+        Payments flow only when a runner produced them (``ctx.payments``
+        non-empty); terminated and unrecoverable engagements settle on
+        fines/compensations already executed via ``apply_verdict``.
         """
-        delivered = set(self.bus.send(msg))
-        if self._fault_plan is None:
-            return tuple(msg.recipients)
-        remaining = [r for r in msg.recipients if r not in delivered]
-        deadline = self.bus.queue.now + window
-        backoff = self.retry.backoff
-        attempts = 1
-        while remaining and attempts < self.retry.max_attempts:
-            # Dead peers never ack; retrying them wastes the budget.
-            remaining = [r for r in remaining if not self.bus.is_crashed(r)]
-            if not remaining or self.bus.queue.now + backoff > deadline + 1e-12:
-                break
-            self.bus.queue.run_until(self.bus.queue.now + backoff)
-            self.bus.stats.record_retry(len(remaining))
-            got = self.bus.send(replace(msg, recipients=tuple(remaining)))
-            remaining = [r for r in remaining if r not in got]
-            attempts += 1
-            backoff *= 2.0
-        return tuple(r for r in msg.recipients if r not in remaining)
-
-    def _crashed_by_bidding(self, name: str) -> bool:
-        """Whether *name*'s crash fault silences it from the start."""
-        c = self._fault_plan.crash_for(name)
-        if c is None:
-            return False
-        if c.phase is not None:
-            return c.phase.value <= Phase.BIDDING.value
-        return c.at_time <= 0.0
-
-    def _metered_w(self, name: str, w_exec: dict[str, float],
-                   bids: dict[str, float]) -> float:
-        """Observed per-unit time: the meter, or the bid when it is out."""
-        if self._fault_plan is not None and self._fault_plan.meter_out(name):
-            return bids[name]
-        return w_exec[name]
-
-    def _mid_run_crashes(self, active: list[str], alpha_map: dict[str, float],
-                         w_exec: dict[str, float],
-                         ready: dict[str, float]) -> dict[str, float]:
-        """Processors that die with work in hand: name -> fraction done.
-
-        Phase-triggered crashes at Allocating-Load die with nothing
-        done; mid-Processing crashes complete their declared
-        ``progress``.  Timed crashes are mapped onto each worker's
-        actual compute window ``[ready, ready + alpha*w~]`` — a crash
-        after the window closes is a payments-phase silence handled
-        downstream, not here.
-        """
-        out: dict[str, float] = {}
-        for name in active:
-            c = self._fault_plan.crash_for(name)
-            if c is None:
-                continue
-            if c.phase is not None:
-                if c.phase is Phase.ALLOCATING_LOAD:
-                    out[name] = 0.0
-                elif c.phase is Phase.PROCESSING_LOAD:
-                    out[name] = float(c.progress)
-                continue
-            t = float(c.at_time)
-            if t <= 0:
-                continue  # silent bidder, already excluded
-            start = ready[name]
-            duration = alpha_map[name] * w_exec[name]
-            if t >= start + duration:
-                continue  # finished before dying
-            done = 0.0 if duration <= 0 else (t - start) / duration
-            out[name] = max(0.0, min(1.0, done))
-        return out
-
-    def _run_degraded(
-        self,
-        verdicts: list[RefereeVerdict],
-        *,
-        active: list[str],
-        bids: dict[str, float],
-        net_bids: BusNetwork,
-        fine: float,
-        alpha_map: dict[str, float],
-        slices: dict[str, tuple],
-        ready: dict[str, float],
-        w_exec: dict[str, float],
-        mid: dict[str, float],
-    ) -> ProtocolResult:
-        """Graceful degradation after mid-run crash-stops.
-
-        The referee declares each silent worker ``UNRESPONSIVE`` once
-        its *bid-asserted* finishing time plus the grace period passes
-        (it holds no private values, so the bid is its only estimate).
-        If the originator survives, it re-solves the closed form over
-        the survivors and ships the crashed workers' unfinished blocks
-        as real one-port transfers — the recovery traffic and the
-        inflated makespan are measured, not modelled.
-
-        Settlement is the documented emergency scheme, conserving the
-        double-entry ledger: survivors receive their regular mechanism
-        payment plus reimbursement at their own bid rate for the extra
-        load; a crashed worker is paid for its metered completed work
-        at its bid rate, with no bonus and no fine (a crash is a fault,
-        not a strategic deviation — fining it would make the mechanism
-        punish hardware failure).
-        """
-        faults = self._fault_plan
-        assert faults is not None
-        crashed = [n for n in active if n in mid]
-        survivors = [n for n in active if n not in mid]
-
-        # Detection: latest bid-asserted finish among the dead + grace.
-        expected = max(ready[c] + alpha_map[c] * bids[c] for c in crashed)
-        t_detect = max(expected + self.deadlines.processing_grace,
-                       self.bus.queue.now)
-        self.bus.queue.run_until(t_detect)
-        for c in crashed:
-            verdict = self.referee.judge_unresponsive(c, survivors)
-            verdicts.append(verdict)
-            self._apply_verdict(verdict)
-
-        originator_down = self.originator.name in mid
-        if originator_down or not survivors:
-            # The data holder died (or nobody is left): the unfinished
-            # load is unrecoverable.  Survivors complete their own
-            # fractions but the engagement cannot settle — no payments
-            # flow, the ledger stays trivially conserved, and the
-            # processors bear their processing cost as sunk.
-            phi = {n: mid.get(n, 1.0) * alpha_map[n] * w_exec[n]
-                   for n in active}
-            return self._result(False, Phase.PROCESSING_LOAD, verdicts,
-                                active=bids, bids=bids, alpha=alpha_map,
-                                phi=phi, payments={}, fine=fine,
-                                realized=None, costs=dict(phi),
-                                participants=active, degraded=True,
-                                crashed=tuple(crashed))
-
-        # Survivor re-allocation: re-solve the closed form over the
-        # surviving cohort (allocation order preserved, so the
-        # originator keeps its NCP-FE/NFE position) and re-ship the
-        # unfinished blocks.
-        beta = self.originator.compute_survivor_allocation(survivors)
-        pool: list = []
-        for c in crashed:
-            entitled_c = len(slices[c])
-            done_blocks = int(round(mid[c] * entitled_c))
-            pool.extend(slices[c][done_blocks:])
-        extra_counts = dict(zip(survivors, quantize_blocks(beta, len(pool))))
-
-        cursor = 0
-        extra_done: dict[str, float] = {}
-        for name in survivors:
-            count = extra_counts[name]
-            if count == 0:
-                continue
-            chunk = tuple(pool[cursor : cursor + count])
-            cursor += count
-            if name == self.originator.name:
-                self._received[name].extend(chunk)
-                extra_done[name] = self.bus.queue.now
-                continue
-            extra_done[name] = self.bus.transfer_load(
-                self.originator.name, name, count / self.num_blocks, chunk)
-        comm_done = self.bus.port_free_at
-        self.bus.queue.run()
-        reallocations = {n: extra_counts[n] / self.num_blocks
-                         for n in survivors if extra_counts[n]}
-
-        # Realized makespan: each survivor finishes its original
-        # fraction, then (once the extra blocks arrive — for an NFE
-        # originator, once its own re-transmissions end) the grafted
-        # remainder.
-        finish = []
-        for name in survivors:
-            own = ready[name] + alpha_map[name] * w_exec[name]
-            extra = reallocations.get(name, 0.0)
-            if extra:
-                if (name == self.originator.name
-                        and self.kind is NetworkKind.NCP_NFE):
-                    start2 = max(own, comm_done)
-                else:
-                    start2 = max(own, extra_done[name])
-                finish.append(start2 + extra * w_exec[name])
-            else:
-                finish.append(own)
-        realized = max(finish)
-
-        # Meters over what actually ran (bid-asserted where a meter is
-        # out), then the emergency settlement.
-        phi: dict[str, float] = {}
-        costs: dict[str, float] = {}
-        for n in active:
-            w_o = self._metered_w(n, w_exec, bids)
-            frac = mid.get(n)
-            if frac is not None:
-                phi[n] = frac * alpha_map[n] * w_o
-                costs[n] = frac * alpha_map[n] * w_exec[n]
-            else:
-                total_n = alpha_map[n] + reallocations.get(n, 0.0)
-                phi[n] = total_n * w_o
-                costs[n] = total_n * w_exec[n]
-        self.bus.broadcast(Message(MessageKind.METER, REFEREE, ("*",),
-                                   {n: phi[n] for n in active}))
-
-        from repro.core.payments import payments as compute_payments
-
-        w_obs = np.array([self._metered_w(n, w_exec, bids) for n in active])
-        q = (self.memo.payments(net_bids, w_obs) if self.memo is not None
-             else compute_payments(net_bids, w_obs))
-        base = dict(zip(active, map(float, q)))
-        payments_map = {}
-        for n in survivors:
-            payments_map[n] = base[n] + reallocations.get(n, 0.0) * bids[n]
-        for c in crashed:
-            payments_map[c] = mid[c] * alpha_map[c] * bids[c]
-        self.bus.send(Message(MessageKind.BILL, REFEREE, (USER,),
-                              {"total": float(sum(payments_map.values()))}))
-        self.infra.remit_payments(payments_map)
-
-        return self._result(True, Phase.COMPLETE, verdicts, active=bids,
-                            bids=bids, alpha=alpha_map, phi=phi,
-                            payments=payments_map, fine=fine,
-                            realized=realized, costs=costs,
-                            participants=active, degraded=True,
-                            crashed=tuple(crashed),
-                            reallocations=reallocations)
-
-    # ------------------------------------------------------------------
-    # phase helpers
-    # ------------------------------------------------------------------
-
-    def _canonical_bids(self, active: list[str]) -> dict[str, float]:
-        """The bid view that drives the physical schedule.
-
-        Atomic mode: the first authentic bid per participant in bus-log
-        order — identical at every honest participant by atomicity.
-        Point-to-point modes: the *originator's* archive, because the
-        originator is the party that actually cuts and ships the load
-        (split bids may leave other participants with different views;
-        that divergence is the attack the downstream checks catch).
-        """
-        if self.bidding_mode != "atomic":
-            return self.originator.bid_view(active)
-        bids: dict[str, float] = {}
-        for msg in self.bus.log:
-            if msg.kind is not MessageKind.BID:
-                continue
-            sm = msg.body
-            if sm.signer in bids or not self.pki.verify(sm):
-                continue
-            bids[sm.signer] = float(sm.payload["bid"])
-        missing = [n for n in active if n not in bids]
-        if missing:
-            raise RuntimeError(f"no authentic bid from {missing}")
-        return bids
-
-    def _first_commitment_claim(self, participants: list[ProcessorAgent]):
-        """First commitment violation any participant witnessed."""
-        for agent in participants:
-            violations = agent.detect_commitment_violations()
-            if violations:
-                accused, evidence = violations[0]
-                return agent.name, accused, evidence
-        return None
-
-    def _first_bidding_claim(self, participants: list[ProcessorAgent],
-                             active: list[str]):
-        """The first claim any participant raises, in agent order.
-
-        Genuine equivocation evidence takes precedence over fabricated
-        claims for a given agent (a liar holding real evidence uses it —
-        that is the profitable move).
-        """
-        for agent in participants:
-            detections = agent.detect_equivocations()
-            if detections:
-                accused, evidence = detections[0]
-                return agent.name, accused, evidence
-            fab = agent.fabricate_equivocation_claim(active)
-            if fab is not None:
-                accused, evidence = fab
-                return agent.name, accused, evidence
-        return None
-
-    def _first_allocation_dispute(self, participants: list[ProcessorAgent],
-                                  entitled: dict[str, int],
-                                  skip: set[str] = frozenset()):
-        """The first recipient disputing its assignment, in order.
-
-        Each recipient checks against its *own* redundantly computed
-        entitlement — under atomic broadcast that equals the
-        originator's plan, but on point-to-point networks a poisoned
-        bid view makes honest entitlements diverge, and this is where
-        the divergence surfaces.
-        """
-        active = [a.name for a in participants]
-        index_of = {name: i for i, name in enumerate(active)}
-        originator_name = self.originator.name
-        for agent in participants:
-            if agent.name == originator_name or agent.name in skip:
-                continue  # crashed endpoints cannot dispute anything
-            received = len(self._received[agent.name])
-            if self.bidding_mode == "atomic":
-                own_entitled = entitled[agent.name]
-            else:
-                try:
-                    own_alpha = agent.compute_allocation(active)
-                except KeyError:
-                    continue  # lost bids left the view incomplete
-                own_entitled = quantize_blocks(own_alpha, self.num_blocks)[
-                    index_of[agent.name]]
-            if agent.disputes_assignment(received, own_entitled):
-                return agent
-        return None
-
-    def _work_commenced_before(self, claimant: str, active: list[str],
-                               alpha_map: dict[str, float]) -> dict[str, float]:
-        """``alpha_i w~_i`` for processors that commenced work before the
-        dispute terminated the run.
-
-        Reception is in allocation order, so every worker ordered before
-        the claimant (plus a front-ended originator, which computes from
-        t = 0) has begun.
-        """
-        work: dict[str, float] = {}
-        claimant_idx = active.index(claimant)
-        by_name = {a.name: a for a in self.agents}
-        for i, name in enumerate(active):
-            agent = by_name[name]
-            started = i < claimant_idx
-            if name == self.originator.name:
-                started = self.kind is NetworkKind.NCP_FE
-            if started:
-                work[name] = alpha_map[name] * agent.exec_value
-        return work
-
-    def _apply_verdict(self, verdict: RefereeVerdict) -> None:
-        """Execute a verdict's monetary consequences on the ledger."""
-        for f in verdict.fines:
-            self.infra.collect_fine(f.who, f.amount, f.offence)
-        self.bus.broadcast(Message(MessageKind.VERDICT, REFEREE, ("*",), {
-            "case": verdict.case,
-            "fined": list(verdict.fined_names),
-        }))
-        if verdict.compensated:
-            self.infra.distribute_from_escrow(verdict.compensated, "compensation")
-        if verdict.rewards:
-            self.infra.distribute_from_escrow(verdict.rewards, "informer-reward")
-
-    def _result(
-        self,
-        completed: bool,
-        phase: Phase,
-        verdicts: list[RefereeVerdict],
-        *,
-        active: dict,
-        bids: dict[str, float],
-        alpha: dict[str, float],
-        phi: dict[str, float],
-        payments: dict[str, float],
-        fine: float,
-        realized: float | None,
-        participants: list[str],
-        costs: dict[str, float] | None = None,
-        degraded: bool = False,
-        crashed: tuple[str, ...] = (),
-        reallocations: dict[str, float] | None = None,
-    ) -> ProtocolResult:
-        costs = costs or {}
-        costs = {n: costs.get(n, 0.0) for n in self.order}
+        if ctx.payments:
+            self.bus.send(Message(MessageKind.BILL, REFEREE, (USER,),
+                                  {"total": float(sum(ctx.payments.values()))}))
+            self.infra.remit_payments(ctx.payments)
+        costs = {n: ctx.costs.get(n, 0.0) for n in self.order}
         stats = self.bus.stats
         if self.memo is not None:
             stats.memo_hits = self.memo.stats.hits
@@ -1045,22 +277,23 @@ class ProtocolEngine:
         balances[USER] = self.infra.balance(USER)
         utilities = {n: balances[n] - costs[n] for n in self.order}
         return ProtocolResult(
-            completed=completed,
-            terminal_phase=phase,
-            verdicts=tuple(verdicts),
+            completed=ctx.completed,
+            terminal_phase=ctx.terminal_phase,
+            verdicts=tuple(ctx.verdicts),
             order=tuple(self.order),
-            participants=tuple(participants),
-            bids=dict(bids),
-            alpha={n: alpha.get(n, 0.0) for n in self.order},
-            phi=dict(phi),
-            payments={n: payments.get(n, 0.0) for n in self.order},
+            participants=tuple(ctx.active),
+            bids=dict(ctx.bids),
+            alpha={n: ctx.alpha_map.get(n, 0.0) for n in self.order},
+            phi=dict(ctx.phi),
+            payments={n: ctx.payments.get(n, 0.0) for n in self.order},
             balances=balances,
             costs=costs,
             utilities=utilities,
-            fine_amount=fine,
-            makespan_realized=realized,
+            fine_amount=ctx.fine,
+            makespan_realized=ctx.realized,
             traffic=self.bus.stats,
-            degraded=degraded,
-            crashed=tuple(crashed),
-            reallocations=dict(reallocations or {}),
+            degraded=ctx.degraded,
+            crashed=tuple(ctx.crashed),
+            reallocations=dict(ctx.reallocations),
+            spans=spans,
         )

@@ -1,0 +1,33 @@
+"""Phase runners: the four paper phases as composable pipeline stages.
+
+One module per Section-4 phase, each exposing a single
+:class:`~repro.protocol.context.PhaseRunner` subclass:
+
+* :mod:`~repro.protocol.runners.bidding` — all-to-all signed bids,
+  equivocation/commitment policing, cohort formation;
+* :mod:`~repro.protocol.runners.allocation` — redundant ``alpha(b)``,
+  one-port load shipment, assignment disputes;
+* :mod:`~repro.protocol.runners.processing` — metered execution,
+  mid-run crash detection and survivor re-allocation;
+* :mod:`~repro.protocol.runners.payments` — redundant payment vectors,
+  referee verification, the settled ``Q``.
+
+Runners hold no state: everything flows through the
+:class:`~repro.protocol.context.EngagementContext`, so each runner can
+be driven directly by a hand-built context in unit tests.  Runners
+depend only on the context contract and the layers below the protocol
+(core mechanism math, crypto, network) — never on agent internals; the
+import-layering lint in ``tests/test_architecture.py`` enforces this.
+"""
+
+from repro.protocol.runners.allocation import AllocationRunner
+from repro.protocol.runners.bidding import BiddingRunner
+from repro.protocol.runners.payments import PaymentsRunner
+from repro.protocol.runners.processing import ProcessingRunner
+
+__all__ = [
+    "AllocationRunner",
+    "BiddingRunner",
+    "PaymentsRunner",
+    "ProcessingRunner",
+]

@@ -1,0 +1,172 @@
+"""Phase 2 — Allocating Load (Section 4).
+
+Every participant redundantly computes ``alpha(b)``; the originator
+cuts the user-signed blocks and ships them over the one-port bus; each
+recipient checks its assignment against its own entitlement and may
+dispute.  A dispute terminates the engagement: the referee adjudicates
+from the signed bid vectors, fines the wrong-doer, and compensates the
+processors that had already commenced work.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.blocks import quantize_blocks
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import NetworkKind
+from repro.network.messages import Message, MessageKind
+from repro.protocol.context import (
+    REFEREE,
+    EngagementContext,
+    PhaseOutcome,
+    PhaseRunner,
+)
+from repro.protocol.phases import Phase
+
+__all__ = ["AllocationRunner"]
+
+
+class AllocationRunner(PhaseRunner):
+    """Run the Allocating-Load phase over the context's bus."""
+
+    phase = Phase.ALLOCATING_LOAD
+
+    def run(self, ctx: EngagementContext) -> PhaseOutcome:
+        mark = len(ctx.verdicts)
+        active = ctx.active
+        originator = ctx.originator
+        alpha = (ctx.memo.allocation(ctx.net_bids) if ctx.memo is not None
+                 else allocate(ctx.net_bids))
+        ctx.alpha = alpha
+        ctx.alpha_map = dict(zip(active, map(float, alpha)))
+        # Entitlements as the *originator* computes them (identical to
+        # everyone's under atomic broadcast; possibly divergent views
+        # on point-to-point networks, which the dispute path resolves).
+        entitled = dict(zip(active, quantize_blocks(alpha, ctx.num_blocks)))
+        plan = originator.planned_shipments(dict(entitled))
+
+        cursor = 0
+        slices: dict[str, tuple] = {}
+        delivered_at: dict[str, float] = {}
+        for name in active:
+            count = plan[name]
+            slice_ = ctx.blocks[cursor : cursor + count]
+            cursor += count
+            slices[name] = slice_
+            if name == originator.name:
+                # The originator's share never crosses the wire; its
+                # inbox is filled in place (the bus handlers hold a
+                # reference to the same list).
+                inbox = ctx.received[name]
+                inbox.clear()
+                inbox.extend(slice_)
+                continue
+            units = count / ctx.num_blocks
+            delivered_at[name] = ctx.bus.transfer_load(
+                originator.name, name, units, slice_)
+        ctx.bus.queue.run()
+        ctx.slices = slices
+        # Compute-start times implied by the executed schedule; equal to
+        # the Eq. (1)-(3) analytics on a reliable bus, but shifted by
+        # retry backoffs and stalls when faults are armed.
+        ctx.ready = {
+            name: (delivered_at[name] if name != originator.name
+                   else (0.0 if ctx.kind is NetworkKind.NCP_FE
+                         else ctx.bus.port_free_at))
+            for name in active
+        }
+
+        crashed_now = ({n for n in active if ctx.bus.is_crashed(n)}
+                       if ctx.fault_plan else set())
+        claimant_agent = self._first_dispute(ctx, entitled, skip=crashed_now)
+        if claimant_agent is not None:
+            work_done = self._work_commenced_before(
+                ctx, claimant_agent.name, active)
+            ctx.bus.send(Message(MessageKind.CLAIM, claimant_agent.name,
+                                 (REFEREE,), {"case": "allocation"}))
+            c_vec = claimant_agent.bid_vector_messages(active)
+            o_vec = originator.bid_vector_messages(active)
+            ctx.bus.send(Message(MessageKind.BID_VECTOR, claimant_agent.name,
+                                 (REFEREE,), c_vec))
+            ctx.bus.send(Message(MessageKind.BID_VECTOR, originator.name,
+                                 (REFEREE,), o_vec))
+            verdict = ctx.referee.judge_allocation_dispute(
+                claimant=claimant_agent.name,
+                originator=originator.name,
+                claimant_vector=c_vec,
+                originator_vector=o_vec,
+                participants=active,
+                order=active,
+                kind=ctx.kind,
+                z=ctx.z,
+                received_blocks=len(ctx.received[claimant_agent.name]),
+                num_blocks=ctx.num_blocks,
+                claimant_blocks=ctx.received[claimant_agent.name],
+                user_name=ctx.user_key.name,
+                fine=ctx.fine,
+                work_done=work_done,
+                originator_cooperates=originator.cooperates_with_remedy,
+            )
+            ctx.apply_verdict(verdict)
+            ctx.costs = {n: work_done.get(n, 0.0) for n in active}
+            ctx.terminal_phase = Phase.ALLOCATING_LOAD
+            return self._outcome(ctx, None, mark)
+
+        return self._outcome(ctx, Phase.PROCESSING_LOAD, mark)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _first_dispute(ctx: EngagementContext, entitled: dict[str, int],
+                       skip: set[str] = frozenset()):
+        """The first recipient disputing its assignment, in order.
+
+        Each recipient checks against its *own* redundantly computed
+        entitlement — under atomic broadcast that equals the
+        originator's plan, but on point-to-point networks a poisoned
+        bid view makes honest entitlements diverge, and this is where
+        the divergence surfaces.
+        """
+        participants = ctx.participants
+        active = [a.name for a in participants]
+        index_of = {name: i for i, name in enumerate(active)}
+        originator_name = ctx.originator.name
+        for agent in participants:
+            if agent.name == originator_name or agent.name in skip:
+                continue  # crashed endpoints cannot dispute anything
+            received = len(ctx.received[agent.name])
+            if ctx.bidding_mode == "atomic":
+                own_entitled = entitled[agent.name]
+            else:
+                try:
+                    own_alpha = agent.compute_allocation(active)
+                except KeyError:
+                    continue  # lost bids left the view incomplete
+                own_entitled = quantize_blocks(own_alpha, ctx.num_blocks)[
+                    index_of[agent.name]]
+            if agent.disputes_assignment(received, own_entitled):
+                return agent
+        return None
+
+    @staticmethod
+    def _work_commenced_before(ctx: EngagementContext, claimant: str,
+                               active: list[str]) -> dict[str, float]:
+        """``alpha_i w~_i`` for processors that commenced work before the
+        dispute terminated the run.
+
+        Reception is in allocation order, so every worker ordered before
+        the claimant (plus a front-ended originator, which computes from
+        t = 0) has begun.
+        """
+        work: dict[str, float] = {}
+        claimant_idx = active.index(claimant)
+        by_name = {a.name: a for a in ctx.agents}
+        for i, name in enumerate(active):
+            agent = by_name[name]
+            started = i < claimant_idx
+            if name == ctx.originator.name:
+                started = ctx.kind is NetworkKind.NCP_FE
+            if started:
+                work[name] = ctx.alpha_map[name] * agent.exec_value
+        return work

@@ -1,20 +1,108 @@
-"""Human-readable protocol transcripts.
+"""Protocol observability: transcripts and structured phase spans.
 
-Renders a bus message log as a line-per-message transcript plus a
-per-kind traffic summary — the debugging view for protocol work and
-the backing for the CLI's ``protocol --trace`` flag.  The transcript is
-derived purely from the transport log, so it shows what actually
-crossed the wire, not what any party claims happened.
+Two views of one engagement:
+
+* the **transcript** — a line-per-message rendering of the bus log plus
+  a per-kind traffic summary (the CLI's ``protocol --trace``).  Derived
+  purely from the transport log, so it shows what actually crossed the
+  wire, not what any party claims happened.
+* **phase spans** — one structured :class:`PhaseSpan` per protocol
+  phase executed, recorded by the engine's coordinator on every run:
+  simulated start/end time, messages/bytes/retries put on the wire,
+  computation- and signature-cache hits consumed, and the referee
+  verdicts raised.  Spans let the perf harness and the resilience
+  sweeps attribute time and traffic *per phase* instead of per run;
+  ``protocol --trace-json`` dumps them as a versioned JSON document.
 """
 
 from __future__ import annotations
 
-from repro.analysis.reporting import format_table
+from dataclasses import dataclass
+from typing import Iterable
+
 from repro.crypto.signatures import SignedMessage
 from repro.network.bus import Bus
 from repro.network.messages import Message, MessageKind
 
-__all__ = ["describe_message", "render_transcript", "traffic_summary"]
+__all__ = [
+    "PhaseSpan",
+    "describe_message",
+    "render_spans",
+    "render_transcript",
+    "spans_to_dict",
+    "traffic_summary",
+]
+
+TRACE_FORMAT = "repro/protocol-trace/v1"
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """One phase's slice of an engagement, as observed by the engine.
+
+    Counters are deltas over the phase (messages sent, retransmissions,
+    cache lookups), times are simulated clock readings at entry/exit.
+    ``verdicts`` holds the case labels of the referee verdicts raised
+    during the phase and ``fines`` their total monetary amount — the
+    span equivalent of the runner's :class:`PhaseOutcome`.
+    """
+
+    phase: str
+    t_start: float
+    t_end: float
+    messages: int
+    bytes: int
+    retries: int
+    memo_hits: int
+    memo_misses: int
+    sig_cache_hits: int
+    sig_cache_misses: int
+    verdicts: tuple[str, ...] = ()
+    fines: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Simulated time the phase occupied."""
+        return self.t_end - self.t_start
+
+    def to_dict(self) -> dict:
+        """Plain-data form (the ``--trace-json`` schema)."""
+        return {
+            "phase": self.phase,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "duration": self.duration,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "retries": self.retries,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "sig_cache_hits": self.sig_cache_hits,
+            "sig_cache_misses": self.sig_cache_misses,
+            "verdicts": list(self.verdicts),
+            "fines": self.fines,
+        }
+
+
+def spans_to_dict(spans: Iterable[PhaseSpan]) -> dict:
+    """Versioned JSON document for an engagement's phase spans."""
+    return {"format": TRACE_FORMAT, "spans": [s.to_dict() for s in spans]}
+
+
+def render_spans(spans: Iterable[PhaseSpan]) -> str:
+    """Fixed-width per-phase table (the human view of the spans)."""
+    from repro.analysis.reporting import format_table
+
+    rows = [
+        (s.phase, f"{s.t_start:.4g}", f"{s.t_end:.4g}", s.messages, s.bytes,
+         s.retries, s.memo_hits, s.sig_cache_hits,
+         ",".join(s.verdicts) or "-")
+        for s in spans
+    ]
+    return format_table(
+        ("phase", "t0", "t1", "msgs", "bytes", "retries", "memo", "sig",
+         "verdicts"),
+        rows, title="Per-phase trace spans")
 
 
 def describe_message(msg: Message) -> str:
@@ -59,6 +147,8 @@ def render_transcript(bus: Bus) -> str:
 
 def traffic_summary(bus: Bus) -> str:
     """Per-kind message/byte table (the Theorem 5.4 accounting view)."""
+    from repro.analysis.reporting import format_table
+
     rows = [
         (kind.value, bus.stats.by_kind[kind], bus.stats.bytes_by_kind[kind])
         for kind in MessageKind

@@ -74,3 +74,48 @@ class TestDescribeMessage:
         text = render_transcript(mech.engine.bus)
         assert "commitment" in text
         assert "digest=" in text
+
+
+class TestPhaseSpans:
+    def test_every_run_emits_spans(self):
+        _, out = run_mech()
+        assert [s.phase for s in out.spans] == [
+            "BIDDING", "ALLOCATING_LOAD", "PROCESSING_LOAD",
+            "COMPUTING_PAYMENTS"]
+        for span in out.spans:
+            assert span.t_end >= span.t_start
+            assert span.messages >= 0 and span.bytes >= 0
+
+    def test_terminated_run_stops_at_offending_phase(self):
+        _, out = run_mech({1: AgentBehavior(
+            deviations={Deviation.MULTIPLE_BIDS})})
+        assert [s.phase for s in out.spans] == ["BIDDING"]
+        span = out.spans[0]
+        assert span.verdicts == ("bidding-equivocation",)
+        assert span.fines > 0
+
+    def test_span_counters_sum_to_traffic(self):
+        mech, out = run_mech()
+        # Everything except the settlement BILL is attributed to a phase.
+        assert sum(s.messages for s in out.spans) == \
+            mech.engine.bus.stats.messages - 1
+        assert sum(s.retries for s in out.spans) == \
+            mech.engine.bus.stats.retries
+
+    def test_spans_to_dict_is_versioned(self):
+        from repro.protocol.trace import spans_to_dict
+
+        _, out = run_mech()
+        doc = spans_to_dict(out.spans)
+        assert doc["format"] == "repro/protocol-trace/v1"
+        assert len(doc["spans"]) == 4
+        assert doc["spans"][0]["phase"] == "BIDDING"
+        assert doc["spans"][0]["duration"] == pytest.approx(
+            doc["spans"][0]["t_end"] - doc["spans"][0]["t_start"])
+
+    def test_render_spans_tabulates(self):
+        from repro.protocol.trace import render_spans
+
+        _, out = run_mech()
+        text = render_spans(out.spans)
+        assert "BIDDING" in text and "COMPUTING_PAYMENTS" in text

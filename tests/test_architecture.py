@@ -1,0 +1,132 @@
+"""Import-layering lint: the dependency rules the refactor established.
+
+The codebase is layered bottom-up:
+
+    repro.dlt / repro.core        (mechanism math + referee logic)
+        ^ must not import from
+    repro.network / repro.agents / repro.protocol   (simulation stack)
+
+and inside the protocol package:
+
+    repro.protocol.runners        (phase logic)
+        ^ must not import
+    repro.agents internals        (runners talk to agents only through
+                                   the methods the context hands them)
+
+The lint walks every module's AST — including imports nested inside
+functions (lazy imports count: they are still a runtime dependency) —
+and skips only ``if TYPE_CHECKING:`` blocks, which express annotations,
+not dependencies.  ``repro.core.dls_bl_ncp`` is the one sanctioned
+exception: it is the user-facing facade that *assembles* the protocol
+stack, documented as such in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+# Modules in these packages must not import from these targets.
+LOWER_LAYERS = ("repro.dlt", "repro.core")
+UPPER_TARGETS = ("repro.protocol", "repro.network", "repro.agents")
+
+# Sanctioned facade: assembles agents + engine for users of the core API.
+ALLOWED = {"repro.core.dls_bl_ncp"}
+
+RUNNERS_PKG = "repro.protocol.runners"
+AGENT_INTERNALS = ("repro.agents",)
+
+
+def _module_name(path: Path) -> str:
+    rel = path.relative_to(SRC.parent).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _is_type_checking_block(node: ast.If) -> bool:
+    test = node.test
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _imports(tree: ast.Module):
+    """Yield imported module names, skipping TYPE_CHECKING blocks."""
+
+    def walk(body):
+        for node in body:
+            if isinstance(node, ast.If) and _is_type_checking_block(node):
+                yield from walk(node.orelse)
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.level == 0:
+                    yield node.module
+            for child_body in (
+                getattr(node, "body", None),
+                getattr(node, "orelse", None),
+                getattr(node, "finalbody", None),
+                getattr(node, "handlers", None),
+            ):
+                if child_body and not (isinstance(node, ast.If)
+                                       and child_body is node.body
+                                       and _is_type_checking_block(node)):
+                    items = []
+                    for item in child_body:
+                        if isinstance(item, ast.ExceptHandler):
+                            items.extend(item.body)
+                        else:
+                            items.append(item)
+                    yield from walk(items)
+
+    yield from walk(tree.body)
+
+
+def _violations(layer_prefixes, forbidden_prefixes, allowed=frozenset()):
+    out = []
+    for path in sorted(SRC.rglob("*.py")):
+        mod = _module_name(path)
+        if not mod.startswith(tuple(p + "." for p in layer_prefixes)) \
+                and mod not in layer_prefixes:
+            continue
+        if mod in allowed:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for imported in _imports(tree):
+            if imported.startswith(tuple(p + "." for p in forbidden_prefixes)) \
+                    or imported in forbidden_prefixes:
+                out.append(f"{mod} imports {imported}")
+    return out
+
+
+def test_core_and_dlt_do_not_import_simulation_stack():
+    bad = _violations(LOWER_LAYERS, UPPER_TARGETS, allowed=ALLOWED)
+    assert not bad, (
+        "mechanism layers must not depend on the simulation stack:\n  "
+        + "\n  ".join(bad))
+
+
+def test_runners_do_not_import_agent_internals():
+    bad = _violations((RUNNERS_PKG,), AGENT_INTERNALS)
+    assert not bad, (
+        "phase runners must reach agents only through the context:\n  "
+        + "\n  ".join(bad))
+
+
+def test_facade_allowlist_is_not_stale():
+    # If the facade stops importing the protocol stack, shrink ALLOWED.
+    for mod in ALLOWED:
+        path = SRC.parent / (mod.replace(".", "/") + ".py")
+        assert path.exists(), f"allowlisted module {mod} no longer exists"
+        tree = ast.parse(path.read_text(), filename=str(path))
+        assert any(
+            imported.startswith(UPPER_TARGETS) for imported in _imports(tree)
+        ), f"{mod} no longer needs its allowlist entry — remove it"

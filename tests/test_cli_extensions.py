@@ -93,6 +93,27 @@ class TestProtocolFlags:
         assert "transcript" in out
         assert "payment-vector" in out
         assert "Bus traffic" in out
+        assert "Per-phase trace spans" in out
+
+    def test_trace_json_to_stdout(self, capsys):
+        assert main(["protocol", "--kind", "ncp-fe", "--z", "0.4",
+                     "2", "3", "5", "--trace-json"]) == 0
+        out = capsys.readouterr().out
+        # The spans document prints first, the outcome tables after it.
+        doc, _ = json.JSONDecoder().raw_decode(out)
+        assert doc["format"] == "repro/protocol-trace/v1"
+        assert [s["phase"] for s in doc["spans"]] == [
+            "BIDDING", "ALLOCATING_LOAD", "PROCESSING_LOAD",
+            "COMPUTING_PAYMENTS"]
+
+    def test_trace_json_to_file(self, tmp_path):
+        target = tmp_path / "spans.json"
+        assert main(["protocol", "--kind", "ncp-fe", "--z", "0.4",
+                     "2", "3", "5", "--trace-json", str(target)]) == 0
+        doc = json.loads(target.read_text())
+        assert doc["format"] == "repro/protocol-trace/v1"
+        assert len(doc["spans"]) == 4
+        assert all(s["messages"] >= 0 for s in doc["spans"])
 
     def test_json_output_parses(self, capsys):
         assert main(["protocol", "--kind", "ncp-fe", "--z", "0.4",

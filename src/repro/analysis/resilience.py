@@ -16,30 +16,28 @@ on purpose.  This module measures what that costs:
 Every sample is seed-reproducible: the same (workload, plan seed) pair
 produces the same record bit-for-bit, so sweeps can be archived as
 golden outputs.
+
+Both sweeps execute through the sweep engine (:mod:`repro.sweep`):
+scenario 0 is the fault-free twin and every faulty run is an
+independent scenario, so ``workers > 1`` shards them across a process
+pool with byte-identical results (the serial loop is the reference;
+see tests/sweep/test_differential.py).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.dls_bl_ncp import DLSBLNCP
 from repro.dlt.platform import NetworkKind
-from repro.network.faults import CrashFault, FaultPlan, MessageFault
-from repro.protocol.phases import Phase
+from repro.sweep import SweepPlan, run_plan
 
 __all__ = [
     "ResilienceSample",
     "crash_sweep",
     "drop_sweep",
+    "crash_plan",
+    "drop_plan",
 ]
-
-
-# Armed but inert: faulty runs read their makespan off the event clock
-# (the quantized, executed schedule), fault-free runs off the closed
-# form over real-valued alpha.  Baselines run with this no-effect plan
-# so both sides of every comparison use the same measurement.
-_NEUTRAL_PLAN = FaultPlan(messages=(
-    MessageFault(action="drop", probability=0.0),))
 
 
 @dataclass(frozen=True)
@@ -59,29 +57,55 @@ class ResilienceSample:
     ledger_error: float                # |sum of all balances| (should be ~0)
 
 
-def _welfare(outcome) -> float:
-    """Total processor welfare (sum of quasi-linear utilities)."""
-    return float(sum(outcome.utilities.values()))
-
-
-def _sample(label: str, seed: int, outcome, baseline) -> ResilienceSample:
+def _sample(label: str, seed: int, record: dict,
+            baseline: dict) -> ResilienceSample:
+    """Build a sample from a faulty-run record and its baseline record."""
     inflation = None
-    if outcome.makespan_realized is not None and baseline.makespan_realized:
-        inflation = (outcome.makespan_realized
-                     / baseline.makespan_realized) - 1.0
+    if record["makespan"] is not None and baseline["makespan"]:
+        inflation = (record["makespan"] / baseline["makespan"]) - 1.0
     return ResilienceSample(
         label=label,
         seed=seed,
-        completed=outcome.completed,
-        degraded=outcome.degraded,
-        crashed=outcome.crashed,
-        makespan=outcome.makespan_realized,
+        completed=record["completed"],
+        degraded=record["degraded"],
+        crashed=tuple(record["crashed"]),
+        makespan=record["makespan"],
         makespan_inflation=inflation,
-        welfare_loss=_welfare(baseline) - _welfare(outcome),
-        retries=outcome.traffic.retries,
-        reallocated=float(sum(outcome.reallocations.values())),
-        ledger_error=abs(float(sum(outcome.balances.values()))),
+        welfare_loss=baseline["welfare"] - record["welfare"],
+        retries=record["retries"],
+        reallocated=record["reallocated"],
+        ledger_error=record["ledger_error"],
     )
+
+
+def crash_plan(
+    w,
+    kind: NetworkKind,
+    z: float,
+    *,
+    progresses=(0.0, 0.25, 0.5, 0.75),
+    victims: list[str] | None = None,
+    num_blocks: int = 120,
+) -> tuple[SweepPlan, list[tuple[str, float]]]:
+    """Sweep plan for :func:`crash_sweep`: baseline first, then faults.
+
+    *victims* defaults to every non-originator worker (an originator
+    crash is unrecoverable — the data holder is gone — and is reported
+    as a non-completed degraded run if requested explicitly).
+    """
+    w = [float(x) for x in w]
+    base = {"w": w, "z": float(z), "kind": kind.value,
+            "num_blocks": int(num_blocks)}
+    names = [f"P{i + 1}" for i in range(len(w))]
+    originator_idx = kind.originator_index(len(w))
+    if victims is None:
+        victims = [n for i, n in enumerate(names) if i != originator_idx]
+    cases = [(victim, float(progress))
+             for victim in victims for progress in progresses]
+    items = [("resilience-baseline", base)] + [
+        ("resilience-crash", dict(base, victim=victim, progress=progress))
+        for victim, progress in cases]
+    return SweepPlan.from_tasks(items), cases
 
 
 def crash_sweep(
@@ -92,30 +116,42 @@ def crash_sweep(
     progresses=(0.0, 0.25, 0.5, 0.75),
     victims: list[str] | None = None,
     num_blocks: int = 120,
+    workers: int = 1,
 ) -> list[ResilienceSample]:
     """Crash each victim mid-Processing at each progress level.
 
-    *victims* defaults to every non-originator worker (an originator
-    crash is unrecoverable — the data holder is gone — and is reported
-    as a non-completed degraded run if requested explicitly).
+    ``workers > 1`` shards the runs across a process pool; the merged
+    samples are identical to the serial sweep.
     """
+    plan, cases = crash_plan(w, kind, z, progresses=progresses,
+                             victims=victims, num_blocks=num_blocks)
+    result = run_plan(plan, workers=workers)
+    baseline = result.records[0]
+    return [
+        _sample(f"crash {victim}@{progress:.0%}", 0, record, baseline)
+        for (victim, progress), record in zip(cases, result.records[1:])
+    ]
+
+
+def drop_plan(
+    w,
+    kind: NetworkKind,
+    z: float,
+    *,
+    rates=(0.0, 0.1, 0.25),
+    seeds=range(3),
+    bidding_mode: str = "commit",
+    num_blocks: int = 120,
+) -> tuple[SweepPlan, list[tuple[float, int]]]:
+    """Sweep plan for :func:`drop_sweep`: baseline first, then faults."""
     w = [float(x) for x in w]
-    baseline = DLSBLNCP(w, kind, z, num_blocks=num_blocks,
-                        fault_plan=_NEUTRAL_PLAN).run()
-    names = list(baseline.order)
-    originator_idx = kind.originator_index(len(w))
-    if victims is None:
-        victims = [n for i, n in enumerate(names) if i != originator_idx]
-    samples = []
-    for victim in victims:
-        for progress in progresses:
-            plan = FaultPlan(crashes=(CrashFault(
-                victim, phase=Phase.PROCESSING_LOAD, progress=progress),))
-            outcome = DLSBLNCP(w, kind, z, num_blocks=num_blocks,
-                               fault_plan=plan).run()
-            samples.append(_sample(f"crash {victim}@{progress:.0%}", 0,
-                                   outcome, baseline))
-    return samples
+    base = {"w": w, "z": float(z), "kind": kind.value,
+            "num_blocks": int(num_blocks), "bidding_mode": bidding_mode}
+    cases = [(float(rate), int(seed)) for rate in rates for seed in seeds]
+    items = [("resilience-baseline", base)] + [
+        ("resilience-drop", dict(base, rate=rate, seed=seed))
+        for rate, seed in cases]
+    return SweepPlan.from_tasks(items), cases
 
 
 def drop_sweep(
@@ -127,25 +163,21 @@ def drop_sweep(
     seeds=range(3),
     bidding_mode: str = "commit",
     num_blocks: int = 120,
+    workers: int = 1,
 ) -> list[ResilienceSample]:
     """Drop unicast control messages at each rate, over several seeds.
 
     Runs in a point-to-point bidding mode (atomic broadcast is immune
     to unicast loss by construction), so dropped bids and payment
     vectors must be recovered by the engine's bounded ack/retry path.
+    ``workers > 1`` shards the runs; merged samples are identical to
+    the serial sweep.
     """
-    w = [float(x) for x in w]
-    baseline = DLSBLNCP(w, kind, z, num_blocks=num_blocks,
-                        bidding_mode=bidding_mode,
-                        fault_plan=_NEUTRAL_PLAN).run()
-    samples = []
-    for rate in rates:
-        for seed in seeds:
-            plan = FaultPlan(seed=seed, messages=(
-                MessageFault(action="drop", probability=float(rate)),))
-            outcome = DLSBLNCP(w, kind, z, num_blocks=num_blocks,
-                               bidding_mode=bidding_mode,
-                               fault_plan=plan).run()
-            samples.append(_sample(f"drop p={rate:g}", seed,
-                                   outcome, baseline))
-    return samples
+    plan, cases = drop_plan(w, kind, z, rates=rates, seeds=seeds,
+                            bidding_mode=bidding_mode, num_blocks=num_blocks)
+    result = run_plan(plan, workers=workers)
+    baseline = result.records[0]
+    return [
+        _sample(f"drop p={rate:g}", seed, record, baseline)
+        for (rate, seed), record in zip(cases, result.records[1:])
+    ]

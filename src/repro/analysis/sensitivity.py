@@ -24,10 +24,12 @@ import numpy as np
 from repro.core.payments import payments
 from repro.dlt.closed_form import allocate
 from repro.dlt.platform import BusNetwork
+from repro.sweep import SweepPlan, run_plan
 
 __all__ = [
     "allocation_sensitivity",
     "payment_sensitivity",
+    "condition_plan",
     "worst_case_condition",
 ]
 
@@ -69,10 +71,29 @@ def payment_sensitivity(network: BusNetwork, i: int, *, eps: float = 1e-4) -> fl
     return _relative_response(base, (q_up - q_down) / 2.0 + base) / eps
 
 
-def worst_case_condition(network: BusNetwork, *, eps: float = 1e-4) -> dict:
-    """Max sensitivity over all parameters, for allocation and payments."""
-    alloc = max(allocation_sensitivity(network, i, eps=eps)
-                for i in range(network.m))
-    pay = max(payment_sensitivity(network, i, eps=eps)
-              for i in range(network.m))
-    return {"allocation": alloc, "payments": pay}
+def condition_plan(network: BusNetwork, *, eps: float = 1e-4) -> SweepPlan:
+    """The 2m conditioning probes of :func:`worst_case_condition` as a
+    sweep plan (allocation probes first, then payments, each by i)."""
+    base = {"w": [float(x) for x in network.w], "z": float(network.z),
+            "kind": network.kind.value, "eps": float(eps)}
+    return SweepPlan.from_scenarios(
+        "sensitivity",
+        [dict(base, target=target, i=i)
+         for target in ("allocation", "payments")
+         for i in range(network.m)])
+
+
+def worst_case_condition(network: BusNetwork, *, eps: float = 1e-4,
+                         workers: int = 1) -> dict:
+    """Max sensitivity over all parameters, for allocation and payments.
+
+    ``workers > 1`` shards the 2m finite-difference probes across a
+    process pool (byte-identical to the serial scan; the probes are
+    independent closed-form evaluations).
+    """
+    result = run_plan(condition_plan(network, eps=eps), workers=workers)
+    by_target = {"allocation": [], "payments": []}
+    for record in result.records:
+        by_target[record["target"]].append(record["sensitivity"])
+    return {"allocation": max(by_target["allocation"]),
+            "payments": max(by_target["payments"])}

@@ -22,12 +22,14 @@ import numpy as np
 from repro.core.payments import bonus
 from repro.dlt.closed_form import allocate
 from repro.dlt.platform import BusNetwork
+from repro.sweep import SweepPlan, run_plan
 
 __all__ = [
     "UtilityPoint",
     "agent_utility",
     "utility_curve",
     "utility_surface",
+    "surface_plan",
     "best_response_bid_factor",
 ]
 
@@ -91,15 +93,47 @@ def utility_surface(
     exec_factors,
     *,
     others_bid_factors=None,
+    workers: int = 1,
 ) -> np.ndarray:
-    """Utility matrix, rows = bid factors, cols = exec factors."""
-    out = np.empty((len(bid_factors), len(exec_factors)))
-    for r, bf in enumerate(bid_factors):
-        for c, ef in enumerate(exec_factors):
-            out[r, c] = agent_utility(network_true, i, bid_factor=float(bf),
-                                      exec_factor=float(ef),
-                                      others_bid_factors=others_bid_factors)
-    return out
+    """Utility matrix, rows = bid factors, cols = exec factors.
+
+    ``workers > 1`` shards the grid across a process pool via the sweep
+    engine (:mod:`repro.sweep`); the differential suite pins the result
+    to be byte-identical to the serial evaluation for every worker
+    count and shard ordering.
+    """
+    plan = surface_plan(network_true, i, bid_factors, exec_factors,
+                        others_bid_factors=others_bid_factors)
+    result = run_plan(plan, workers=workers)
+    values = [rec["utility"] for rec in result.records]
+    return np.asarray(values, dtype=float).reshape(
+        (len(bid_factors), len(exec_factors)))
+
+
+def surface_plan(
+    network_true: BusNetwork,
+    i: int,
+    bid_factors,
+    exec_factors,
+    *,
+    others_bid_factors=None,
+    root_seed: int = 0,
+) -> SweepPlan:
+    """The utility surface as a sweep plan (row-major cell order)."""
+    base = {
+        "w": [float(x) for x in network_true.w],
+        "z": float(network_true.z),
+        "kind": network_true.kind.value,
+        "i": int(i),
+    }
+    if others_bid_factors is not None:
+        base["others_bid_factors"] = [float(f) for f in
+                                      np.asarray(others_bid_factors)]
+    return SweepPlan.from_grid(
+        "utility-point", base,
+        {"bid_factor": [float(f) for f in bid_factors],
+         "exec_factor": [float(f) for f in exec_factors]},
+        root_seed=root_seed)
 
 
 def best_response_bid_factor(

@@ -146,6 +146,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bidding-mode", choices=("commit", "naive"),
                    default="commit",
                    help="point-to-point mode for the drop sweep")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the sweeps over N worker processes "
+                        "(default 1: serial; results are identical)")
 
     p = sub.add_parser("survey", help="compare the three system models")
     p.add_argument("--z", type=float, required=True)
@@ -185,6 +188,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allowed slowdown vs baseline (default 0.25)")
     p.add_argument("--output", default=None,
                    help="report path (default <repo>/BENCH_protocol.json)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="also time the sweep kernel sharded over N workers")
+
+    p = sub.add_parser("sweep",
+                       help="run a scenario sweep (plan file or inline "
+                            "grid), optionally sharded over workers")
+    p.add_argument("--plan", default=None, metavar="FILE",
+                   help="JSON sweep-plan file (repro/sweep-plan/v1)")
+    p.add_argument("--task", default=None,
+                   help="task name for an inline grid "
+                        "(e.g. utility-point, protocol, sensitivity)")
+    p.add_argument("--kind", type=_kind, default=None,
+                   help="shortcut for --set kind=...")
+    p.add_argument("--z", type=float, default=None,
+                   help="shortcut for --set z=...")
+    p.add_argument("--w", type=float, nargs="+", default=None,
+                   help="shortcut for --set w=...")
+    p.add_argument("--set", action="append", default=[], metavar="KEY=VALUE",
+                   dest="assignments",
+                   help="base parameter (JSON value or bare scalar); "
+                        "repeatable")
+    p.add_argument("--grid", action="append", default=[],
+                   metavar="KEY=V1,V2,... | KEY=START:STOP:COUNT",
+                   help="sweep axis (cartesian product, last axis "
+                        "fastest); repeatable")
+    p.add_argument("--root-seed", type=int, default=0,
+                   help="root seed for derived per-scenario seeds")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard over N worker processes (default serial)")
+    p.add_argument("--json", action="store_true",
+                   help="emit records + digest + shard stats as JSON")
+    p.add_argument("--progress", action="store_true",
+                   help="report completion to stderr while running")
 
     return parser
 
@@ -317,6 +353,10 @@ def cmd_resilience(args) -> int:
         return 2
     from repro.analysis.resilience import crash_sweep, drop_sweep
 
+    workers = max(1, args.workers)
+    print(f"sweep workers: {workers}"
+          + (" (serial)" if workers == 1 else ""))
+
     def rows(samples):
         return [(s.label, s.seed, "yes" if s.completed else "no",
                  "yes" if s.degraded else "no",
@@ -329,7 +369,8 @@ def cmd_resilience(args) -> int:
     header = ("fault", "seed", "done", "degr", "makespan+",
               "welfare loss", "retries", "re-alloc")
     crashes = crash_sweep(args.w, args.kind, args.z,
-                          progresses=tuple(args.progress))
+                          progresses=tuple(args.progress),
+                          workers=workers)
     print(format_table(header, rows(crashes),
                        title=f"Mid-Processing crash sweep "
                              f"({args.kind.value}, z={args.z})"))
@@ -338,7 +379,8 @@ def cmd_resilience(args) -> int:
     drops = drop_sweep(args.w, args.kind, args.z,
                        rates=tuple(args.drop_rates),
                        seeds=range(args.seeds),
-                       bidding_mode=args.bidding_mode)
+                       bidding_mode=args.bidding_mode,
+                       workers=workers)
     print(format_table(header, rows(drops),
                        title=f"Control-plane drop sweep "
                              f"({args.bidding_mode} bidding)"))
@@ -435,7 +477,110 @@ def cmd_bench(args) -> int:
         argv.append("--no-check")
     if args.output:
         argv += ["--output", args.output]
+    if args.workers != 1:
+        argv += ["--workers", str(args.workers)]
     return bench_main(argv)
+
+
+def _parse_value(text: str):
+    """Parse a --set/--grid value: JSON where valid, bare string else."""
+    import json
+
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_grid_axis(value: str) -> tuple[str, list]:
+    """Parse ``KEY=V1,V2,...`` or ``KEY=START:STOP:COUNT`` (inclusive
+    linspace)."""
+    if "=" not in value:
+        raise argparse.ArgumentTypeError(
+            f"expected KEY=VALUES for --grid; got {value!r}")
+    key, spec = value.split("=", 1)
+    parts = spec.split(":")
+    if len(parts) == 3:
+        try:
+            start, stop, count = float(parts[0]), float(parts[1]), int(parts[2])
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(
+                f"bad linspace axis {value!r}: {exc}")
+        if count < 1:
+            raise argparse.ArgumentTypeError(
+                f"axis {key!r} needs COUNT >= 1; got {count}")
+        return key, [float(v) for v in np.linspace(start, stop, count)]
+    return key, [_parse_value(v) for v in spec.split(",")]
+
+
+def cmd_sweep(args) -> int:
+    from repro.sweep import SweepPlan, run_plan
+
+    if bool(args.plan) == bool(args.task):
+        print("error: give exactly one of --plan FILE or --task NAME",
+              file=sys.stderr)
+        return 2
+    if args.plan:
+        plan = SweepPlan.from_file(args.plan)
+    else:
+        base = {}
+        if args.kind is not None:
+            base["kind"] = args.kind.value
+        if args.z is not None:
+            base["z"] = args.z
+        if args.w is not None:
+            base["w"] = list(args.w)
+        for assignment in args.assignments:
+            if "=" not in assignment:
+                print(f"error: expected KEY=VALUE for --set; "
+                      f"got {assignment!r}", file=sys.stderr)
+                return 2
+            key, text = assignment.split("=", 1)
+            base[key] = _parse_value(text)
+        grid = dict(_parse_grid_axis(axis) for axis in args.grid)
+        if grid:
+            plan = SweepPlan.from_grid(args.task, base, grid,
+                                       root_seed=args.root_seed)
+        else:
+            plan = SweepPlan.from_scenarios(args.task, [base],
+                                            root_seed=args.root_seed)
+
+    progress = None
+    if args.progress:
+        def progress(done, total):
+            print(f"\r{done}/{total} scenarios", end="", file=sys.stderr,
+                  flush=True)
+    import time as _time
+
+    t0 = _time.perf_counter()
+    result = run_plan(plan, workers=max(1, args.workers), progress=progress)
+    wall = _time.perf_counter() - t0
+    if args.progress:
+        print(file=sys.stderr)
+
+    if args.json:
+        import json
+
+        doc = {"format": "repro/sweep-result/v1", **result.to_dict()}
+        print(json.dumps(doc, indent=2))
+        return 0
+
+    print(f"sweep: {len(result.records)} scenarios, "
+          f"workers={result.workers}, shards={len(result.shards)}, "
+          f"restarts={result.restarts}, wall={wall:.3f}s")
+    print(f"digest: {result.digest()}")
+    t = result.traffic
+    if t.runs:
+        print(f"traffic ({t.runs} protocol runs): {t.messages} msgs, "
+              f"{t.bytes} bytes, {t.retries} retries, "
+              f"memo {t.memo_hits}/{t.memo_hits + t.memo_misses} hits, "
+              f"sig-cache {t.sig_cache_hits}/"
+              f"{t.sig_cache_hits + t.sig_cache_misses} hits")
+    for phase, agg in result.phases.to_dict().items():
+        print(f"  phase {phase}: {agg['runs']} runs, "
+              f"{agg['messages']} msgs, {agg['bytes']} bytes, "
+              f"{agg['retries']} retries")
+    return 0
 
 
 _COMMANDS = {
@@ -450,6 +595,7 @@ _COMMANDS = {
     "affine": cmd_affine,
     "regime": cmd_regime,
     "bench": cmd_bench,
+    "sweep": cmd_sweep,
 }
 
 

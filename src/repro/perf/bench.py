@@ -20,6 +20,12 @@ Kernels
     30 microsecond kernel would trip on scheduler noise alone.
 ``des_20k_events``
     Schedule-and-drain throughput of the event queue (20k events).
+``sweep_surface_m512`` (and ``sweep_surface_m512_wN`` with --workers)
+    The E29 reference strategyproofness sweep: a 24x12 utility surface
+    on an m = 512 instance, executed through the sweep engine
+    (:mod:`repro.sweep`) — serially, and sharded over ``N`` workers
+    when ``--workers N`` is given.  The pair measures the sharding
+    speedup on the machine at hand (see EXPERIMENTS.md E29).
 
 Seed reference
 --------------
@@ -33,6 +39,7 @@ the gate compares against the *checked-in* ``BENCH_protocol.json``.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -125,6 +132,19 @@ def _payments_kernel(m: int, loops: int):
     return run
 
 
+def _sweep_surface_kernel(m: int, workers: int):
+    from repro.analysis.strategyproofness import surface_plan
+    from repro.dlt.platform import BusNetwork, NetworkKind
+    from repro.sweep import run_plan
+
+    rng = np.random.default_rng(5)
+    net = BusNetwork(tuple(rng.uniform(1.0, 10.0, m)), 0.2, NetworkKind.NCP_FE)
+    plan = surface_plan(net, 1,
+                        list(np.linspace(0.5, 1.5, 24)),
+                        list(np.linspace(1.0, 2.0, 12)))
+    return lambda: run_plan(plan, workers=workers)
+
+
 def _des_kernel(events: int):
     from repro.network.events import EventQueue
 
@@ -138,12 +158,13 @@ def _des_kernel(events: int):
     return run
 
 
-def run_bench(*, quick: bool = False) -> dict[str, float]:
+def run_bench(*, quick: bool = False, workers: int = 1) -> dict[str, float]:
     """Time every kernel; returns {kernel: best-of-N seconds}.
 
     ``quick`` keeps the kernel sizes (so numbers stay comparable with
     the checked-in baseline) but halves the repetitions — the CI smoke
-    configuration.
+    configuration.  ``workers > 1`` adds a sharded twin of the sweep
+    kernel (``sweep_surface_m512_wN``) timed over an N-worker pool.
     """
     # The cheap kernels get generous best-of rounds — they cost
     # milliseconds each, and the regression gate needs the minimum to
@@ -156,7 +177,12 @@ def run_bench(*, quick: bool = False) -> dict[str, float]:
         "payments_m512_x20": _best_of(_payments_kernel(512, 20),
                                       8 if quick else 12),
         "des_20k_events": _best_of(_des_kernel(20_000), 4 if quick else 5),
+        "sweep_surface_m512": _best_of(_sweep_surface_kernel(512, 1),
+                                       2 if quick else 3),
     }
+    if workers > 1:
+        timings[f"sweep_surface_m512_w{workers}"] = _best_of(
+            _sweep_surface_kernel(512, workers), 2 if quick else 3)
     return timings
 
 
@@ -225,6 +251,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed slowdown vs baseline (default 0.25)")
     parser.add_argument("--output", type=Path, default=None,
                         help=f"report path (default <repo>/{REPORT_NAME})")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="also time the sweep kernel sharded over N "
+                             "workers (default 1: serial only)")
     args = parser.parse_args(argv)
 
     out_path = args.output or repo_root() / REPORT_NAME
@@ -235,7 +264,11 @@ def main(argv: list[str] | None = None) -> int:
         except (ValueError, OSError):
             baseline = {}
 
-    head = run_bench(quick=args.quick)
+    workers = max(1, args.workers)
+    print(f"sweep workers: {workers}"
+          + ("" if workers == 1 else
+             f" (cpu cores available: {os.cpu_count()})"))
+    head = run_bench(quick=args.quick, workers=workers)
     report = write_report(out_path, head, quick=args.quick)
 
     width = max(len(k) for k in head)

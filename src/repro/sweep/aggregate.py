@@ -1,0 +1,111 @@
+"""Shard-level aggregation of protocol telemetry.
+
+Protocol-flavoured tasks embed a normalized ``"traffic"`` counter dict
+(and, for full ``protocol`` records, the per-phase ``"spans"`` list) in
+each record.  Workers fold those into one :class:`TrafficTotals` /
+per-phase summary per shard, and the runner merges shard totals into
+sweep totals — so a million-run sweep reports aggregate wire cost and
+per-phase hot spots without the caller re-walking every record.
+
+Aggregates are *derived views*: they never participate in the
+determinism digest (records alone do), so adding a counter here can
+never break serial-equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = ["TrafficTotals", "PhaseTotals", "aggregate_records"]
+
+_TRAFFIC_FIELDS = ("messages", "bytes", "retries", "memo_hits",
+                   "memo_misses", "sig_cache_hits", "sig_cache_misses")
+
+
+@dataclass
+class TrafficTotals:
+    """Summed wire/cache counters across runs (Theorem 5.4's metric)."""
+
+    runs: int = 0
+    messages: int = 0
+    bytes: int = 0
+    retries: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    sig_cache_hits: int = 0
+    sig_cache_misses: int = 0
+
+    def add(self, traffic: Mapping[str, Any]) -> None:
+        """Fold one record's ``"traffic"`` dict into the totals."""
+        self.runs += 1
+        for name in _TRAFFIC_FIELDS:
+            setattr(self, name, getattr(self, name) + int(traffic.get(name, 0)))
+
+    def merge(self, other: "TrafficTotals") -> None:
+        self.runs += other.runs
+        for name in _TRAFFIC_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def to_dict(self) -> dict:
+        return {"runs": self.runs,
+                **{name: getattr(self, name) for name in _TRAFFIC_FIELDS}}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrafficTotals":
+        return cls(runs=int(data.get("runs", 0)),
+                   **{name: int(data.get(name, 0))
+                      for name in _TRAFFIC_FIELDS})
+
+
+@dataclass
+class PhaseTotals:
+    """Per-phase aggregation of :class:`repro.protocol.trace.PhaseSpan`s."""
+
+    phases: dict[str, dict] = field(default_factory=dict)
+
+    def add_spans(self, spans: Iterable[Mapping[str, Any]]) -> None:
+        for span in spans:
+            agg = self.phases.setdefault(span["phase"], {
+                "runs": 0, "messages": 0, "bytes": 0, "retries": 0,
+                "duration": 0.0})
+            agg["runs"] += 1
+            agg["messages"] += int(span.get("messages", 0))
+            agg["bytes"] += int(span.get("bytes", 0))
+            agg["retries"] += int(span.get("retries", 0))
+            agg["duration"] += float(span.get("duration", 0.0))
+
+    def merge(self, other: "PhaseTotals") -> None:
+        for phase, theirs in other.phases.items():
+            agg = self.phases.setdefault(phase, {
+                "runs": 0, "messages": 0, "bytes": 0, "retries": 0,
+                "duration": 0.0})
+            for name, value in theirs.items():
+                agg[name] += value
+
+    def to_dict(self) -> dict:
+        return {phase: dict(agg) for phase, agg in self.phases.items()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Mapping[str, Any]]) -> "PhaseTotals":
+        return cls(phases={phase: dict(agg) for phase, agg in data.items()})
+
+
+def aggregate_records(records: Iterable[Mapping[str, Any] | Any]
+                      ) -> tuple[TrafficTotals, PhaseTotals]:
+    """Fold every record's traffic/spans telemetry into shard totals.
+
+    Records without telemetry (pure-algebra tasks) contribute nothing;
+    mixed sweeps aggregate whatever subset carries counters.
+    """
+    traffic = TrafficTotals()
+    phases = PhaseTotals()
+    for record in records:
+        if not isinstance(record, Mapping):
+            continue
+        if isinstance(record.get("traffic"), Mapping):
+            traffic.add(record["traffic"])
+        spans = record.get("spans")
+        if isinstance(spans, (list, tuple)):
+            phases.add_spans(spans)
+    return traffic, phases

@@ -1,0 +1,245 @@
+"""The task registry: named, picklable scenario executors.
+
+A *task* maps one :class:`~repro.sweep.spec.ScenarioSpec` to a plain
+JSON-able record.  Tasks are the unit the sharded runner ships to
+worker processes, so they must be deterministic functions of
+``(spec.params, spec.seed)`` alone — no ambient state, no wall clock,
+no process-global randomness.  That discipline is what lets the
+differential suite assert byte-identical merged output across worker
+counts and shard orderings.
+
+Imports of the analysis/protocol layers happen lazily inside each task
+body: the sweep engine sits above those layers (the analysis modules
+import it to offer ``workers=N``), and the laziness keeps module import
+acyclic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.sweep.spec import ScenarioSpec
+
+__all__ = ["TASKS", "register", "run_scenario"]
+
+TASKS: dict[str, Callable[[ScenarioSpec], dict]] = {}
+
+
+def register(name: str):
+    """Register a task executor under *name* (decorator)."""
+
+    def deco(fn: Callable[[ScenarioSpec], dict]):
+        if name in TASKS:
+            raise ValueError(f"task {name!r} already registered")
+        TASKS[name] = fn
+        return fn
+
+    return deco
+
+
+def run_scenario(spec: ScenarioSpec) -> dict:
+    """Execute one scenario; returns its plain-data record."""
+    try:
+        task = TASKS[spec.task]
+    except KeyError:
+        raise ValueError(
+            f"unknown sweep task {spec.task!r}; "
+            f"registered: {sorted(TASKS)}") from None
+    return task(spec)
+
+
+# ---------------------------------------------------------------------------
+# shared param decoding
+# ---------------------------------------------------------------------------
+
+def _network(params: Mapping[str, Any]):
+    from repro.dlt.platform import BusNetwork, NetworkKind
+
+    return BusNetwork(tuple(float(x) for x in params["w"]),
+                      float(params["z"]), NetworkKind(params["kind"]))
+
+
+def _kind(params: Mapping[str, Any]):
+    from repro.dlt.platform import NetworkKind
+
+    return NetworkKind(params["kind"])
+
+
+def _outcome_summary(outcome) -> dict:
+    """The comparison fields resilience sweeps need, as plain data."""
+    return {
+        "completed": outcome.completed,
+        "degraded": outcome.degraded,
+        "crashed": list(outcome.crashed),
+        "makespan": outcome.makespan_realized,
+        "welfare": float(sum(outcome.utilities.values())),
+        "retries": outcome.traffic.retries,
+        "reallocated": float(sum(outcome.reallocations.values())),
+        "ledger_error": abs(float(sum(outcome.balances.values()))),
+    }
+
+
+def _traffic_dict(outcome) -> dict:
+    t = outcome.traffic
+    return {
+        "messages": t.messages,
+        "bytes": t.bytes,
+        "retries": t.retries,
+        "memo_hits": t.memo_hits,
+        "memo_misses": t.memo_misses,
+        "sig_cache_hits": t.sig_cache_hits,
+        "sig_cache_misses": t.sig_cache_misses,
+    }
+
+
+# ---------------------------------------------------------------------------
+# tasks
+# ---------------------------------------------------------------------------
+
+@register("utility-point")
+def _utility_point(spec: ScenarioSpec) -> dict:
+    """One cell of a strategyproofness utility surface (payment algebra).
+
+    params: w, z, kind, i, bid_factor, exec_factor,
+    others_bid_factors (optional list).
+    """
+    from repro.analysis.strategyproofness import agent_utility
+
+    p = spec.params
+    u = agent_utility(
+        _network(p), int(p["i"]),
+        bid_factor=float(p["bid_factor"]),
+        exec_factor=float(p["exec_factor"]),
+        others_bid_factors=p.get("others_bid_factors"))
+    return {"bid_factor": float(p["bid_factor"]),
+            "exec_factor": float(p["exec_factor"]),
+            "utility": float(u)}
+
+
+@register("sensitivity")
+def _sensitivity(spec: ScenarioSpec) -> dict:
+    """One finite-difference conditioning probe.
+
+    params: w, z, kind, i, target ("allocation" | "payments"), eps.
+    """
+    from repro.analysis.sensitivity import (
+        allocation_sensitivity,
+        payment_sensitivity,
+    )
+
+    p = spec.params
+    probe = {"allocation": allocation_sensitivity,
+             "payments": payment_sensitivity}[p["target"]]
+    value = probe(_network(p), int(p["i"]), eps=float(p.get("eps", 1e-4)))
+    return {"target": p["target"], "i": int(p["i"]),
+            "sensitivity": float(value)}
+
+
+def _resilience_outcome(p: Mapping[str, Any], fault_plan) -> dict:
+    from repro.core.dls_bl_ncp import DLSBLNCP
+
+    outcome = DLSBLNCP(
+        [float(x) for x in p["w"]], _kind(p), float(p["z"]),
+        num_blocks=int(p.get("num_blocks", 120)),
+        bidding_mode=p.get("bidding_mode", "atomic"),
+        fault_plan=fault_plan,
+    ).run()
+    record = _outcome_summary(outcome)
+    record["traffic"] = _traffic_dict(outcome)
+    return record
+
+
+@register("resilience-baseline")
+def _resilience_baseline(spec: ScenarioSpec) -> dict:
+    """Fault-free twin: armed-but-inert plan (same measurement path)."""
+    from repro.network.faults import FaultPlan, MessageFault
+
+    plan = FaultPlan(messages=(MessageFault(action="drop", probability=0.0),))
+    return _resilience_outcome(spec.params, plan)
+
+
+@register("resilience-crash")
+def _resilience_crash(spec: ScenarioSpec) -> dict:
+    """Mid-Processing crash of one victim at a progress level.
+
+    params: w, z, kind, victim, progress, num_blocks.
+    """
+    from repro.network.faults import CrashFault, FaultPlan
+    from repro.protocol.phases import Phase
+
+    p = spec.params
+    plan = FaultPlan(crashes=(CrashFault(
+        str(p["victim"]), phase=Phase.PROCESSING_LOAD,
+        progress=float(p["progress"])),))
+    return _resilience_outcome(p, plan)
+
+
+@register("resilience-drop")
+def _resilience_drop(spec: ScenarioSpec) -> dict:
+    """Unicast drops at a rate, under a pinned fault seed.
+
+    params: w, z, kind, rate, seed, bidding_mode, num_blocks.
+    """
+    from repro.network.faults import FaultPlan, MessageFault
+
+    p = spec.params
+    plan = FaultPlan(seed=int(p.get("seed", spec.seed)), messages=(
+        MessageFault(action="drop", probability=float(p["rate"])),))
+    return _resilience_outcome(p, plan)
+
+
+@register("protocol")
+def _protocol(spec: ScenarioSpec) -> dict:
+    """One full DLS-BL-NCP engagement, archived as its result record.
+
+    params: w, z, kind, plus optional bidding_mode, num_blocks,
+    fine_factor, crash ([[victim_index, progress], ...]), drop_rate,
+    deviants ([[index, deviation-name], ...]), seed (fault seed;
+    defaults to the derived scenario seed).
+    """
+    from repro.agents.behaviors import AgentBehavior, Deviation
+    from repro.core.dls_bl_ncp import DLSBLNCP
+    from repro.core.fines import FinePolicy
+    from repro.io import protocol_result_to_dict
+    from repro.network.faults import CrashFault, FaultPlan, MessageFault
+    from repro.protocol.phases import Phase
+
+    p = spec.params
+    w = [float(x) for x in p["w"]]
+    names = [f"P{i + 1}" for i in range(len(w))]
+
+    behaviors: dict[int, AgentBehavior] = {}
+    for idx, name in p.get("deviants", ()):
+        idx = int(idx)
+        existing = behaviors.get(idx)
+        devs = ((existing.deviations if existing else frozenset())
+                | {Deviation(name)})
+        behaviors[idx] = AgentBehavior(deviations=devs)
+
+    crashes = tuple(
+        CrashFault(names[int(idx)], phase=Phase.PROCESSING_LOAD,
+                   progress=float(progress))
+        for idx, progress in p.get("crash", ()))
+    messages = ()
+    if p.get("drop_rate"):
+        messages = (MessageFault(action="drop",
+                                 probability=float(p["drop_rate"])),)
+    fault_plan = None
+    if crashes or messages:
+        fault_plan = FaultPlan(seed=int(p.get("seed", spec.seed)),
+                               crashes=crashes, messages=messages)
+
+    outcome = DLSBLNCP(
+        w, _kind(p), float(p["z"]),
+        behaviors=behaviors or None,
+        policy=FinePolicy(float(p.get("fine_factor", 2.0))),
+        num_blocks=int(p.get("num_blocks", 120)),
+        bidding_mode=p.get("bidding_mode", "atomic"),
+        fault_plan=fault_plan,
+    ).run()
+    record = protocol_result_to_dict(outcome)
+    # Spans carry the same counters the shard aggregator reads from
+    # "traffic"; normalize the key set so every protocol-flavoured task
+    # aggregates identically.
+    record["traffic"] = _traffic_dict(outcome)
+    return record

@@ -1,0 +1,78 @@
+"""Property-based verification of the mechanism guarantees.
+
+The paper's Section 4/5 claims, checked over randomly drawn markets by
+running full DLS-BL-NCP engagements (not the closed forms alone): each
+example is a complete protocol run, so ``max_examples`` stays modest —
+the deterministic Hypothesis profile makes every run identical anyway.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlt.platform import NetworkKind
+from tests.conftest import assert_ledger_conserved, run_protocol
+
+TOL = 1e-9
+
+
+def market_strategy(min_m=2, max_m=5):
+    """(w, z, kind) triples in the participation regime ``z < min(w)``."""
+    return st.tuples(
+        st.lists(st.floats(min_value=1.0, max_value=10.0),
+                 min_size=min_m, max_size=max_m),
+        st.floats(min_value=0.05, max_value=0.8),
+        st.sampled_from([NetworkKind.NCP_FE, NetworkKind.NCP_NFE]),
+    ).map(lambda t: (t[0], t[1] * min(t[0]), t[2]))
+
+
+class TestTruthfulRuns:
+    @given(market_strategy())
+    @settings(max_examples=40)
+    def test_truthful_utility_nonnegative(self, market):
+        # Voluntary participation (Theorem 4.1 premise): an honest agent
+        # never ends an engagement worse off than staying out.
+        w, z, kind = market
+        out = run_protocol(kind, w=w, z=z)
+        assert out.completed
+        assert all(u >= -TOL for u in out.utilities.values())
+
+    @given(market_strategy())
+    @settings(max_examples=40)
+    def test_mass_conserved(self, market):
+        w, z, kind = market
+        out = run_protocol(kind, w=w, z=z)
+        assert sum(out.alpha.values()) == pytest.approx(1.0, abs=1e-9)
+        assert all(a > 0.0 for a in out.alpha.values())
+
+    @given(market_strategy())
+    @settings(max_examples=40)
+    def test_ledger_conserved(self, market):
+        w, z, kind = market
+        assert_ledger_conserved(run_protocol(kind, w=w, z=z))
+
+    @given(market_strategy())
+    @settings(max_examples=25)
+    def test_user_cost_settles_payment_total(self, market):
+        w, z, kind = market
+        out = run_protocol(kind, w=w, z=z)
+        assert out.user_cost == pytest.approx(sum(out.payments.values()))
+
+
+class TestStrategyproofness:
+    @given(market_strategy(min_m=2, max_m=4),
+           st.integers(min_value=0, max_value=3),
+           st.floats(min_value=0.7, max_value=1.5))
+    @settings(max_examples=25)
+    def test_misreporting_never_beats_truth(self, market, which, factor):
+        # The DLS-BL payment rule makes truthful bidding dominant; a
+        # unilateral misreport (in either direction) cannot raise the
+        # liar's utility above its truthful counterfactual.
+        from repro.agents.behaviors import misreport
+
+        w, z, kind = market
+        i = which % len(w)
+        honest = run_protocol(kind, w=w, z=z)
+        lied = run_protocol(kind, {i: misreport(factor)}, w=w, z=z)
+        name = f"P{i + 1}"
+        assert lied.utilities[name] <= honest.utilities[name] + TOL

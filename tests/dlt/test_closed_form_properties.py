@@ -1,0 +1,96 @@
+"""Property-based verification of the closed-form optimality invariants.
+
+Section 2's optimality principle, exercised over randomly drawn
+instances in the classical regime (``z < min(w)``) rather than
+hand-picked examples:
+
+* the optimal allocation is a distribution (mass conservation);
+* every processor participates with a strictly positive share;
+* all participants finish simultaneously (the defining property of the
+  optimum — Theorem 2.1);
+* the optimal makespan is monotone in every per-unit time: slowing any
+  processor, or the bus, never helps.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.timing import finish_times, optimal_makespan
+from tests.conftest import regime_network_strategy
+
+
+class TestAllocationIsDistribution:
+    @given(regime_network_strategy(min_m=1, max_m=10))
+    def test_mass_conserved(self, net):
+        assert abs(float(np.sum(allocate(net))) - 1.0) < 1e-12
+
+    @given(regime_network_strategy(min_m=1, max_m=10))
+    def test_strictly_positive(self, net):
+        # In the regime every processor is worth using (Theorem 2.1's
+        # participation premise): no share collapses to zero.
+        assert np.all(allocate(net) > 0.0)
+
+    @given(regime_network_strategy(min_m=2, max_m=10))
+    def test_finite_and_bounded(self, net):
+        alpha = allocate(net)
+        assert np.all(np.isfinite(alpha))
+        assert np.all(alpha <= 1.0 + 1e-12)
+
+
+class TestSimultaneousFinish:
+    @given(regime_network_strategy(min_m=2, max_m=10))
+    def test_all_processors_finish_together(self, net):
+        T = finish_times(allocate(net), net)
+        np.testing.assert_allclose(T, T[0], rtol=1e-8, atol=1e-10)
+
+    @given(regime_network_strategy(min_m=2, max_m=8),
+           st.floats(min_value=0.01, max_value=0.2))
+    def test_perturbation_breaks_simultaneity_and_optimality(self, net, shift):
+        # Moving mass between two processors both desynchronizes the
+        # finish times and (weakly) worsens the makespan — simultaneity
+        # is not incidental; it is what optimality looks like here.
+        alpha = allocate(net)
+        moved = alpha.copy()
+        delta = shift * min(alpha[0], alpha[-1])
+        moved[0] += delta
+        moved[-1] -= delta
+        T_opt = float(np.max(finish_times(alpha, net)))
+        T_moved = float(np.max(finish_times(moved, net)))
+        assert T_moved >= T_opt - 1e-10
+
+
+class TestMakespanMonotonicity:
+    @given(regime_network_strategy(min_m=1, max_m=8),
+           st.integers(min_value=0, max_value=7),
+           st.floats(min_value=1.05, max_value=3.0))
+    def test_monotone_in_each_w(self, net, which, factor):
+        # Slowing processor i (others fixed) cannot shrink the optimal
+        # makespan.  min(w) only grows, so the instance stays in regime.
+        i = which % net.m
+        slower = list(net.w)
+        slower[i] *= factor
+        worse = BusNetwork(tuple(slower), net.z, net.kind)
+        assert optimal_makespan(worse) >= optimal_makespan(net) * (1 - 1e-10)
+
+    @given(regime_network_strategy(min_m=1, max_m=8),
+           st.floats(min_value=1.05, max_value=1.2))
+    def test_monotone_in_z(self, net, factor):
+        # A slower bus never helps.  The strategy draws z <= 0.8 min(w),
+        # so scaling by <= 1.2 keeps z < min(w) — still in regime.
+        worse = BusNetwork(net.w, net.z * factor, net.kind)
+        assert optimal_makespan(worse) >= optimal_makespan(net) * (1 - 1e-10)
+
+    @given(regime_network_strategy(
+        kinds=(NetworkKind.CP, NetworkKind.NCP_FE), min_m=2, max_m=8))
+    @settings(max_examples=50)
+    def test_extra_processor_never_hurts(self, net):
+        # Dropping the last processor (re-solving the smaller instance)
+        # cannot beat the full market: the larger instance can always
+        # emulate it with a zero share.  CP/NCP-FE only — in NCP-NFE the
+        # last processor is the *originator*, so dropping it re-roots
+        # the network and a slow originator can genuinely be a burden.
+        smaller = BusNetwork(net.w[:-1], net.z, net.kind)
+        assert optimal_makespan(net) <= optimal_makespan(smaller) * (1 + 1e-10)

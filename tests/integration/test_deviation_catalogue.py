@@ -12,16 +12,13 @@ For every modeled deviation:
 import pytest
 
 from repro.agents.behaviors import AgentBehavior, Deviation
-from repro.core.dls_bl_ncp import DLSBLNCP
 from repro.core.fines import FinePolicy
 from repro.dlt.platform import NetworkKind
-
-W = [2.0, 3.0, 5.0, 4.0]
-Z = 0.4
+from tests.conftest import PROTO_W4 as W, run_protocol
 
 
 def run(behaviors=None, kind=NetworkKind.NCP_FE, **kw):
-    return DLSBLNCP(W, kind, Z, behaviors=behaviors, **kw).run()
+    return run_protocol(kind, behaviors, **kw)
 
 
 def originator_idx(kind):

@@ -25,6 +25,8 @@ from repro.core.fines import FinePolicy
 from repro.dlt.platform import NetworkKind
 from repro.protocol.phases import Phase
 
+pytestmark = pytest.mark.slow
+
 # Deviations a random fuzz profile may carry.  REFUSE_REMEDY is only
 # meaningful combined with SHORT_ALLOCATION on the originator; it is
 # exercised separately in the catalogue tests.

@@ -7,14 +7,15 @@ from repro.agents.behaviors import AgentBehavior, Deviation
 from repro.core.dls_bl_ncp import DLSBLNCP
 from repro.dlt.platform import NetworkKind
 from repro.protocol.phases import Phase
+from tests.conftest import PROTO_W4, PROTO_Z, run_protocol
 
-W = [2.0, 3.0, 5.0, 4.0]
-Z = 0.4
+W = PROTO_W4
+Z = PROTO_Z
 MODES = ("atomic", "commit", "naive")
 
 
 def run(mode, behaviors=None, kind=NetworkKind.NCP_FE):
-    return DLSBLNCP(W, kind, Z, behaviors=behaviors, bidding_mode=mode).run()
+    return run_protocol(kind, behaviors, bidding_mode=mode)
 
 
 def split_bids(victim="P3", factor=0.5):

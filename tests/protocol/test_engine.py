@@ -10,13 +10,14 @@ from repro.core.fines import FinePolicy
 from repro.dlt.platform import NetworkKind
 from repro.network.messages import MessageKind
 from repro.protocol.phases import Phase
+from tests.conftest import PROTO_W3, PROTO_Z, run_protocol
 
-W = [2.0, 3.0, 5.0]
-Z = 0.4
+W = PROTO_W3
+Z = PROTO_Z
 
 
 def run(kind=NetworkKind.NCP_FE, behaviors=None, w=W, z=Z, **kw):
-    return DLSBLNCP(w, kind, z, behaviors=behaviors, **kw).run()
+    return run_protocol(kind, behaviors, w=w, z=z, **kw)
 
 
 class TestApiValidation:

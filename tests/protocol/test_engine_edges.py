@@ -8,9 +8,7 @@ from repro.agents.behaviors import AgentBehavior, Deviation, misreport
 from repro.core.dls_bl_ncp import DLSBLNCP
 from repro.dlt.platform import NetworkKind
 from repro.protocol.phases import Phase
-
-W = [2.0, 3.0, 5.0, 4.0]
-Z = 0.4
+from tests.conftest import PROTO_W4 as W, PROTO_Z as Z
 
 
 class TestGranularityExtremes:

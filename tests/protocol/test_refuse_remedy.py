@@ -3,12 +3,9 @@
 import pytest
 
 from repro.agents.behaviors import AgentBehavior, Deviation
-from repro.core.dls_bl_ncp import DLSBLNCP
 from repro.dlt.platform import NetworkKind
 from repro.protocol.phases import Phase
-
-W = [2.0, 3.0, 5.0, 4.0]
-Z = 0.4
+from tests.conftest import PROTO_W4 as W, run_protocol
 
 
 def run(kind=NetworkKind.NCP_FE, extra=frozenset()):
@@ -16,7 +13,7 @@ def run(kind=NetworkKind.NCP_FE, extra=frozenset()):
     behaviors = {lo: AgentBehavior(
         deviations=frozenset({Deviation.SHORT_ALLOCATION}) | extra,
         deviation_params={"victim": "P2", "delta_blocks": 3})}
-    return DLSBLNCP(W, kind, Z, behaviors=behaviors).run(), f"P{lo + 1}"
+    return run_protocol(kind, behaviors), f"P{lo + 1}"
 
 
 class TestRefuseRemedy:

@@ -8,23 +8,15 @@ from repro.core.dls_bl_ncp import DLSBLNCP
 from repro.dlt.platform import NetworkKind
 from repro.network.faults import CrashFault, FaultPlan, MessageFault, StallFault
 from repro.protocol.phases import Phase
+from tests.conftest import (
+    PROTO_W4 as W,
+    PROTO_Z as Z,
+    assert_ledger_conserved,
+    crash_plan,
+    run_protocol as run,
+)
 
-W = [2.0, 3.0, 5.0, 4.0]
-Z = 0.4
 TOL = 1e-9
-
-
-def run(kind=NetworkKind.NCP_FE, w=W, z=Z, **kw):
-    return DLSBLNCP(w, kind, z, **kw).run()
-
-
-def crash_plan(victim, progress=0.5, phase=Phase.PROCESSING_LOAD):
-    return FaultPlan(crashes=(CrashFault(victim, phase=phase,
-                                         progress=progress),))
-
-
-def assert_ledger_conserved(out):
-    assert abs(sum(out.balances.values())) < TOL
 
 
 class TestEmptyPlanIsNoOp:

@@ -1,0 +1,124 @@
+"""Differential tests: sharded execution is indistinguishable from the
+serial loop.
+
+For each ported analysis sweep the merged record stream is hashed
+(canonical JSON, SHA-256) and compared against the serial reference —
+across worker counts and shuffled shard submission orders.  Digest
+equality here is byte equality of everything the consumers read.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.resilience import crash_plan, drop_plan
+from repro.analysis.sensitivity import condition_plan
+from repro.analysis.strategyproofness import surface_plan
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.sweep import run_plan
+
+W4 = (2.0, 3.0, 5.0, 4.0)
+Z = 0.4
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def reference_plans():
+    """The ported sweeps, one small representative plan each."""
+    net3 = BusNetwork((2.0, 3.0, 5.0), 0.4, NetworkKind.NCP_FE)
+    surface = surface_plan(
+        net3, 0, [0.8, 1.0, 1.2, 1.4], [1.0, 1.3, 1.6], root_seed=17)
+    crashes, _ = crash_plan(W4, NetworkKind.NCP_FE, Z,
+                            progresses=(0.25, 0.75), num_blocks=60)
+    drops, _ = drop_plan(W4, NetworkKind.NCP_NFE, Z, rates=(0.0, 0.2),
+                         seeds=range(2), num_blocks=60)
+    condition = condition_plan(BusNetwork(W4, Z, NetworkKind.NCP_NFE))
+    return {"strategyproofness": surface, "resilience-crash": crashes,
+            "resilience-drop": drops, "sensitivity": condition}
+
+
+@pytest.fixture(scope="module")
+def plans():
+    return reference_plans()
+
+
+@pytest.fixture(scope="module")
+def serial(plans):
+    return {name: run_plan(plan) for name, plan in plans.items()}
+
+
+@pytest.mark.parametrize("name", ["strategyproofness", "resilience-crash",
+                                  "resilience-drop", "sensitivity"])
+class TestShardedEqualsSerial:
+    @pytest.mark.parametrize("workers", [w for w in WORKER_COUNTS if w > 1])
+    def test_any_worker_count(self, plans, serial, name, workers):
+        sharded = run_plan(plans[name], workers=workers)
+        assert sharded.records == serial[name].records
+        assert sharded.digest() == serial[name].digest()
+
+    def test_shuffled_shard_order(self, plans, serial, name):
+        plan = plans[name]
+        chunk_size = 2
+        n_chunks = -(-len(plan) // chunk_size)
+        order = list(range(n_chunks))
+        random.Random(name).shuffle(order)
+        sharded = run_plan(plan, workers=2, chunk_size=chunk_size,
+                           shard_order=order)
+        assert sharded.records == serial[name].records
+        assert sharded.digest() == serial[name].digest()
+
+    def test_single_scenario_chunks(self, plans, serial, name):
+        # The finest sharding: every scenario its own chunk, reversed
+        # submission order — the adversarial extreme of the contract.
+        plan = plans[name]
+        order = list(reversed(range(len(plan))))
+        sharded = run_plan(plan, workers=2, chunk_size=1, shard_order=order)
+        assert sharded.digest() == serial[name].digest()
+
+
+class TestAggregatesMatch:
+    def test_traffic_totals_worker_invariant(self, plans, serial):
+        ref = serial["resilience-crash"].traffic.to_dict()
+        sharded = run_plan(plans["resilience-crash"], workers=4)
+        assert sharded.traffic.to_dict() == ref
+
+    def test_phase_totals_worker_invariant(self, plans, serial):
+        ref = serial["resilience-drop"].phases.to_dict()
+        sharded = run_plan(plans["resilience-drop"], workers=2)
+        assert sharded.phases.to_dict() == ref
+
+
+class TestConsumersHonorWorkers:
+    """The public analysis entry points give identical answers with a pool."""
+
+    def test_utility_surface(self):
+        import numpy as np
+
+        from repro.analysis.strategyproofness import utility_surface
+
+        net = BusNetwork((2.0, 3.0, 5.0), 0.4, NetworkKind.NCP_FE)
+        bid, ex = [0.9, 1.0, 1.1], [1.0, 1.5]
+        a = utility_surface(net, 1, bid, ex)
+        b = utility_surface(net, 1, bid, ex, workers=2)
+        assert np.array_equal(a, b)
+
+    def test_crash_sweep(self):
+        from repro.analysis.resilience import crash_sweep
+
+        kw = dict(progresses=(0.5,), num_blocks=60)
+        assert (crash_sweep(W4, NetworkKind.NCP_FE, Z, **kw)
+                == crash_sweep(W4, NetworkKind.NCP_FE, Z, workers=2, **kw))
+
+    def test_drop_sweep(self):
+        from repro.analysis.resilience import drop_sweep
+
+        kw = dict(rates=(0.0, 0.2), seeds=range(2), num_blocks=60)
+        assert (drop_sweep(W4, NetworkKind.NCP_FE, Z, **kw)
+                == drop_sweep(W4, NetworkKind.NCP_FE, Z, workers=2, **kw))
+
+    def test_worst_case_condition(self):
+        from repro.analysis.sensitivity import worst_case_condition
+
+        net = BusNetwork(W4, Z, NetworkKind.NCP_FE)
+        assert (worst_case_condition(net)
+                == worst_case_condition(net, workers=2))

@@ -1,0 +1,166 @@
+"""Runner semantics: serial/sharded parity, failures, worker death.
+
+The synthetic tasks registered here are inherited by worker processes
+through the fork start method, which is what the runner uses on POSIX.
+"""
+
+import os
+
+import pytest
+
+from repro.sweep import ScenarioSpec, SweepError, SweepPlan, run_plan
+from repro.sweep.tasks import register
+
+
+@register("test-square")
+def _square(spec: ScenarioSpec) -> dict:
+    return {"i": spec.params["i"], "sq": spec.params["i"] ** 2,
+            "seed": spec.seed}
+
+
+@register("test-fail-at")
+def _fail_at(spec: ScenarioSpec) -> dict:
+    if spec.params["i"] == spec.params["fail"]:
+        raise ValueError(f"boom at {spec.params['i']}")
+    return {"i": spec.params["i"]}
+
+
+@register("test-die-once")
+def _die_once(spec: ScenarioSpec) -> dict:
+    # Hard-kill the worker process the first time only: the sentinel
+    # file records that the crash already happened, so the resubmitted
+    # chunk completes.  os._exit bypasses cleanup — a real SIGKILL-ish
+    # death, which is exactly what BrokenProcessPool recovery is for.
+    sentinel = spec.params["sentinel"]
+    if spec.params["i"] == 2 and not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("died")
+        os._exit(1)
+    return {"i": spec.params["i"]}
+
+
+@register("test-die-always")
+def _die_always(spec: ScenarioSpec) -> dict:
+    os._exit(1)
+
+
+def square_plan(n=10, root_seed=0):
+    return SweepPlan.from_scenarios(
+        "test-square", [{"i": i} for i in range(n)], root_seed=root_seed)
+
+
+class TestSerial:
+    def test_records_in_plan_order(self):
+        result = run_plan(square_plan(6))
+        assert [r["i"] for r in result.records] == list(range(6))
+        assert result.workers == 1
+        assert result.restarts == 0
+
+    def test_progress_called_per_scenario(self):
+        calls = []
+        run_plan(square_plan(4), progress=lambda d, t: calls.append((d, t)))
+        assert calls == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
+    def test_failure_raises_sweep_error_with_index(self):
+        plan = SweepPlan.from_scenarios(
+            "test-fail-at", [{"i": i, "fail": 3} for i in range(6)])
+        with pytest.raises(SweepError, match=r"scenario 3 .*boom at 3"):
+            run_plan(plan)
+
+    def test_unknown_task_fails(self):
+        plan = SweepPlan.from_scenarios("no-such-task", [{}])
+        with pytest.raises(SweepError, match="unknown sweep task"):
+            run_plan(plan)
+
+    def test_empty_plan(self):
+        result = run_plan(SweepPlan.from_scenarios("test-square", []))
+        assert result.records == ()
+
+
+class TestSharded:
+    def test_digest_matches_serial(self):
+        serial = run_plan(square_plan(12))
+        sharded = run_plan(square_plan(12), workers=2)
+        assert sharded.records == serial.records
+        assert sharded.digest() == serial.digest()
+        assert sharded.workers == 2
+        assert len(sharded.shards) > 1
+
+    def test_shard_order_is_irrelevant(self):
+        serial = run_plan(square_plan(8))
+        scrambled = run_plan(square_plan(8), workers=2, chunk_size=2,
+                             shard_order=[3, 1, 0, 2])
+        assert scrambled.records == serial.records
+        assert scrambled.digest() == serial.digest()
+
+    def test_bad_shard_order_rejected(self):
+        with pytest.raises(ValueError, match="shard_order"):
+            run_plan(square_plan(8), workers=2, chunk_size=2,
+                     shard_order=[0, 0, 1, 2])
+
+    def test_chunking_covers_all_scenarios(self):
+        result = run_plan(square_plan(7), workers=2, chunk_size=3)
+        assert len(result.shards) == 3
+        assert sum(s.scenarios for s in result.shards) == 7
+        assert [r["sq"] for r in result.records] == [i * i for i in range(7)]
+
+    def test_progress_reports_chunk_completions(self):
+        calls = []
+        run_plan(square_plan(8), workers=2, chunk_size=4,
+                 progress=lambda d, t: calls.append((d, t)))
+        assert calls[-1] == (8, 8)
+        assert all(t == 8 for _, t in calls)
+
+    def test_empty_plan_sharded(self):
+        result = run_plan(SweepPlan.from_scenarios("test-square", []),
+                          workers=4)
+        assert result.records == ()
+        assert result.shards == ()
+
+    def test_scenario_failure_same_report_as_serial(self):
+        plan = SweepPlan.from_scenarios(
+            "test-fail-at", [{"i": i, "fail": 4} for i in range(8)])
+        with pytest.raises(SweepError, match=r"scenario 4 .*boom at 4"):
+            run_plan(plan, workers=2, chunk_size=2)
+
+    def test_later_scenarios_still_ran_despite_failure(self):
+        # Failures are captured per scenario, not per chunk: the lowest
+        # failing index is reported even when it shares a chunk with
+        # successes.
+        plan = SweepPlan.from_scenarios(
+            "test-fail-at", [{"i": i, "fail": 0} for i in range(4)])
+        with pytest.raises(SweepError, match="scenario 0"):
+            run_plan(plan, workers=2, chunk_size=4)
+
+
+class TestWorkerDeath:
+    def test_pool_rebuilt_and_chunks_resubmitted(self, tmp_path):
+        sentinel = str(tmp_path / "died-once")
+        plan = SweepPlan.from_scenarios(
+            "test-die-once",
+            [{"i": i, "sentinel": sentinel} for i in range(6)])
+        result = run_plan(plan, workers=2, chunk_size=2)
+        assert [r["i"] for r in result.records] == list(range(6))
+        assert result.restarts >= 1
+        assert os.path.exists(sentinel)
+
+    def test_persistent_death_abandons_sweep(self):
+        plan = SweepPlan.from_scenarios("test-die-always", [{"i": 0}])
+        with pytest.raises(SweepError, match="pool died"):
+            run_plan(plan, workers=2, max_restarts=1)
+
+
+class TestResultShape:
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        result = run_plan(square_plan(5), workers=2, chunk_size=2)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["digest"] == result.digest()
+        assert len(payload["records"]) == 5
+        assert payload["workers"] == 2
+
+    def test_shards_sorted_by_id(self):
+        result = run_plan(square_plan(9), workers=2, chunk_size=3,
+                          shard_order=[2, 0, 1])
+        assert [s.shard for s in result.shards] == [0, 1, 2]

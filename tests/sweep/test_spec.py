@@ -1,0 +1,140 @@
+"""Specs, plans, and the seed-derivation contract."""
+
+import math
+
+import pytest
+
+from repro.sweep import (
+    PLAN_FORMAT,
+    ScenarioSpec,
+    SweepPlan,
+    canonical_json,
+    derive_seed,
+    digest_records,
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_no_whitespace(self):
+        s = canonical_json({"a": [1, 2], "b": {"c": 3}})
+        assert " " not in s and "\n" not in s
+
+    def test_float_repr_exact(self):
+        # json uses float.__repr__: the shortest round-trip encoding.
+        assert canonical_json(0.1) == "0.1"
+        assert canonical_json(1 / 3) == repr(1 / 3)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": math.nan})
+
+    def test_infinity_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json([math.inf])
+
+
+class TestDigestRecords:
+    def test_order_sensitive(self):
+        a = [{"i": 0}, {"i": 1}]
+        assert digest_records(a) != digest_records(list(reversed(a)))
+
+    def test_stable(self):
+        recs = [{"u": 0.25, "v": [1, 2]}] * 3
+        assert digest_records(recs) == digest_records(recs)
+
+    def test_concatenation_unambiguous(self):
+        # Two records must never hash like one merged record.
+        assert digest_records([{"a": 1}, {"b": 2}]) != digest_records(
+            [{"a": 1, "b": 2}])
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "t", "k") == derive_seed(7, "t", "k")
+
+    def test_distinct_across_inputs(self):
+        seeds = {derive_seed(r, t, k)
+                 for r in (0, 1) for t in ("a", "b") for k in ("x", "y")}
+        assert len(seeds) == 8
+
+    def test_nonnegative_63_bit(self):
+        for k in range(50):
+            s = derive_seed(1, "task", str(k))
+            assert 0 <= s < 2 ** 63
+
+    def test_known_value_pinned(self):
+        # Canary: a silent change to the derivation would invalidate
+        # every recorded sweep digest.  Update deliberately or never.
+        assert derive_seed(0, "protocol", "{}") == 1360206340581844695
+
+
+class TestPlanConstruction:
+    def test_from_scenarios_preserves_order(self):
+        plan = SweepPlan.from_scenarios(
+            "t", [{"i": 2}, {"i": 0}, {"i": 1}], root_seed=3)
+        assert [s.params["i"] for s in plan] == [2, 0, 1]
+        assert [s.index for s in plan] == [0, 1, 2]
+
+    def test_from_tasks_heterogeneous(self):
+        plan = SweepPlan.from_tasks(
+            [("base", {"x": 1}), ("faulty", {"x": 1, "r": 0.1})])
+        assert [s.task for s in plan] == ["base", "faulty"]
+
+    def test_grid_row_major_last_axis_fastest(self):
+        plan = SweepPlan.from_grid(
+            "t", {"c": 9}, {"a": [1, 2], "b": [10, 20, 30]})
+        combos = [(s.params["a"], s.params["b"]) for s in plan]
+        assert combos == [(1, 10), (1, 20), (1, 30),
+                          (2, 10), (2, 20), (2, 30)]
+        assert all(s.params["c"] == 9 for s in plan)
+
+    def test_seed_position_independent(self):
+        # The same (task, params) gets the same seed wherever it sits.
+        a = SweepPlan.from_scenarios("t", [{"i": 0}, {"i": 1}], root_seed=5)
+        b = SweepPlan.from_scenarios("t", [{"i": 1}, {"i": 0}], root_seed=5)
+        by_key_a = {s.key: s.seed for s in a}
+        by_key_b = {s.key: s.seed for s in b}
+        assert by_key_a == by_key_b
+
+    def test_root_seed_changes_every_seed(self):
+        a = SweepPlan.from_scenarios("t", [{"i": 0}], root_seed=1)
+        b = SweepPlan.from_scenarios("t", [{"i": 0}], root_seed=2)
+        assert a.scenarios[0].seed != b.scenarios[0].seed
+
+    def test_specs_are_frozen(self):
+        spec = SweepPlan.from_scenarios("t", [{"i": 0}]).scenarios[0]
+        assert isinstance(spec, ScenarioSpec)
+        with pytest.raises(AttributeError):
+            spec.index = 5
+
+
+class TestPlanSerialization:
+    def test_file_round_trip(self, tmp_path):
+        plan = SweepPlan.from_grid(
+            "protocol", {"w": [2.0, 3.0], "z": 0.4, "kind": "ncp-fe"},
+            {"drop_rate": [0.0, 0.1]}, root_seed=11)
+        path = tmp_path / "plan.json"
+        plan.to_file(path)
+        loaded = SweepPlan.from_file(path)
+        assert loaded == plan
+        assert loaded.digest() == plan.digest()
+
+    def test_to_dict_declares_format(self):
+        assert SweepPlan.from_scenarios("t", []).to_dict()["format"] == PLAN_FORMAT
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            SweepPlan.from_dict({"format": "something/else", "scenarios": []})
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            SweepPlan.from_dict({"format": PLAN_FORMAT,
+                                 "scenarios": [{"params": {}}]})
+
+    def test_digest_covers_params(self):
+        a = SweepPlan.from_scenarios("t", [{"i": 0}])
+        b = SweepPlan.from_scenarios("t", [{"i": 1}])
+        assert a.digest() != b.digest()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""CI smoke for the engagement service: daemon up, answers right, drains.
+
+Two passes, both fast enough for the PR lane:
+
+1. **In-process** (ServiceClient): an engagement and a sweep served off
+   the warm pool must be digest-identical to direct ``execute()`` calls;
+   a repeated request must come back ``cached`` with the same digest;
+   ``stats`` must account for everything.
+2. **Out-of-process** (``repro serve`` + ``repro call``): the real CLI
+   daemon on a real unix socket answers ``ping``, executes a request
+   file, reports ``stats``, and exits cleanly on ``shutdown``.
+
+Exit code 0 on success; any assertion or subprocess failure is fatal.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.api import EngagementRequest, SweepRequest, execute
+from repro.service import ServiceClient
+from repro.sweep import SweepPlan
+
+W = [2.0, 3.0, 5.0, 4.0]
+Z = 0.4
+
+
+def sweep_request() -> SweepRequest:
+    plan = SweepPlan.from_scenarios(
+        "utility-point",
+        [{"w": W, "z": Z, "kind": "ncp-fe", "i": 0,
+          "bid_factor": 1.0 + 0.05 * i, "exec_factor": 1.0}
+         for i in range(3)],
+        root_seed=1)
+    return SweepRequest(plan=plan.to_dict())
+
+
+def in_process_pass() -> None:
+    engagement = EngagementRequest(w=tuple(W), z=Z, num_blocks=60)
+    sweep = sweep_request()
+    with ServiceClient(workers=1) as client:
+        assert client.ping()["pong"] is True
+
+        served = client.request(engagement)
+        assert served.digest() == execute(engagement).digest(), (
+            "served engagement settlement diverged from the direct call")
+        assert client.request(sweep).digest() == execute(sweep).digest(), (
+            "served sweep records diverged from the direct run")
+
+        again = client.request(engagement)
+        assert again.cached and again.digest() == served.digest()
+
+        stats = client.stats()
+        assert stats.requests == 3 and stats.completed == 3
+        assert stats.cache_hits == 1 and stats.failed == 0
+        assert stats.latency_p95 >= stats.latency_p50 >= 0.0
+    print("in-process pass ok: digests match, cache hit, stats consistent")
+
+
+def cli_pass() -> None:
+    env = dict(os.environ)
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        sock = os.path.join(tmp, "repro.sock")
+        request_file = os.path.join(tmp, "request.json")
+        with open(request_file, "w", encoding="utf-8") as fh:
+            json.dump(EngagementRequest(
+                w=tuple(W), z=Z, num_blocks=60).to_dict(), fh)
+
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--socket", sock],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        try:
+            deadline = time.monotonic() + 30
+            while not os.path.exists(sock):
+                assert daemon.poll() is None, (
+                    "daemon exited before listening:\n"
+                    + (daemon.stdout.read() or ""))
+                assert time.monotonic() < deadline, "daemon never listened"
+                time.sleep(0.05)
+
+            def call(*argv: str) -> dict:
+                proc = subprocess.run(
+                    [sys.executable, "-m", "repro", "call",
+                     "--socket", sock, *argv],
+                    env=env, capture_output=True, text=True, timeout=300)
+                assert proc.returncode == 0, proc.stderr or proc.stdout
+                return json.loads(proc.stdout)
+
+            assert call("--op", "ping")["result"]["pong"] is True
+            response = call("--request", request_file)
+            direct = execute(EngagementRequest(w=tuple(W), z=Z,
+                                               num_blocks=60))
+            assert response["result"]["digest_value"] == direct.digest(), (
+                "CLI-served digest diverged from the direct call")
+            assert call("--op", "stats")["result"]["completed"] == 1
+            assert call("--op", "shutdown")["result"]["draining"] is True
+            assert daemon.wait(timeout=30) == 0, "daemon exit was unclean"
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=10)
+    print("cli pass ok: serve/call round-trip, clean drain on shutdown")
+
+
+def main() -> int:
+    in_process_pass()
+    cli_pass()
+    print("service smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

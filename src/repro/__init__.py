@@ -21,10 +21,23 @@ Quickstart::
     # distributed mechanism (no control processor)
     outcome = DLSBLNCP([2.0, 3.0, 5.0], NetworkKind.NCP_FE, z=0.3).run()
 
+    # the versioned façade (requests as plain data; see repro.api)
+    from repro import EngagementRequest, execute
+    result = execute(EngagementRequest(w=(2.0, 3.0, 5.0), z=0.3))
+
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every figure and theorem.
 """
 
+from repro.api import (
+    ApiError,
+    BenchRequest,
+    EngagementRequest,
+    EngineConfig,
+    RunOptions,
+    SweepRequest,
+    execute,
+)
 from repro.core import (
     DLSBL,
     DLSBLNCP,
@@ -35,7 +48,7 @@ from repro.core import (
 )
 from repro.dlt import BusNetwork, NetworkKind, allocate, finish_times, makespan
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DLSBL",
@@ -49,5 +62,12 @@ __all__ = [
     "allocate",
     "finish_times",
     "makespan",
+    "ApiError",
+    "EngagementRequest",
+    "SweepRequest",
+    "BenchRequest",
+    "EngineConfig",
+    "RunOptions",
+    "execute",
     "__version__",
 ]

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.dls_bl_ncp import DLSBLNCP
+from repro.core.dls_bl_ncp import DLSBLNCP, EngineConfig
 from repro.dlt.platform import NetworkKind
 from repro.network.messages import MessageKind
 
@@ -58,7 +58,9 @@ def measure_communication(
     samples = []
     for m in ms:
         w = rng.uniform(1.0, 10.0, size=int(m))
-        outcome = DLSBLNCP(list(w), kind, z, bidding_mode=bidding_mode).run()
+        outcome = DLSBLNCP(list(w), kind, z,
+                           config=EngineConfig(
+                               bidding_mode=bidding_mode)).run()
         stats = outcome.traffic
         samples.append(CommunicationSample(
             m=int(m),

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.dlt.platform import NetworkKind
-from repro.sweep import SweepPlan, run_plan
+from repro.sweep import RunOptions, SweepPlan, run_plan
 
 __all__ = [
     "ResilienceSample",
@@ -125,7 +125,7 @@ def crash_sweep(
     """
     plan, cases = crash_plan(w, kind, z, progresses=progresses,
                              victims=victims, num_blocks=num_blocks)
-    result = run_plan(plan, workers=workers)
+    result = run_plan(plan, RunOptions(workers=workers))
     baseline = result.records[0]
     return [
         _sample(f"crash {victim}@{progress:.0%}", 0, record, baseline)
@@ -175,7 +175,7 @@ def drop_sweep(
     """
     plan, cases = drop_plan(w, kind, z, rates=rates, seeds=seeds,
                             bidding_mode=bidding_mode, num_blocks=num_blocks)
-    result = run_plan(plan, workers=workers)
+    result = run_plan(plan, RunOptions(workers=workers))
     baseline = result.records[0]
     return [
         _sample(f"drop p={rate:g}", seed, record, baseline)

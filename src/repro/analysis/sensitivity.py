@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.payments import payments
 from repro.dlt.closed_form import allocate
 from repro.dlt.platform import BusNetwork
-from repro.sweep import SweepPlan, run_plan
+from repro.sweep import RunOptions, SweepPlan, run_plan
 
 __all__ = [
     "allocation_sensitivity",
@@ -91,7 +91,8 @@ def worst_case_condition(network: BusNetwork, *, eps: float = 1e-4,
     process pool (byte-identical to the serial scan; the probes are
     independent closed-form evaluations).
     """
-    result = run_plan(condition_plan(network, eps=eps), workers=workers)
+    result = run_plan(condition_plan(network, eps=eps),
+                      RunOptions(workers=workers))
     by_target = {"allocation": [], "payments": []}
     for record in result.records:
         by_target[record["target"]].append(record["sensitivity"])

@@ -22,7 +22,7 @@ import numpy as np
 from repro.core.payments import bonus
 from repro.dlt.closed_form import allocate
 from repro.dlt.platform import BusNetwork
-from repro.sweep import SweepPlan, run_plan
+from repro.sweep import RunOptions, SweepPlan, run_plan
 
 __all__ = [
     "UtilityPoint",
@@ -104,7 +104,7 @@ def utility_surface(
     """
     plan = surface_plan(network_true, i, bid_factors, exec_factors,
                         others_bid_factors=others_bid_factors)
-    result = run_plan(plan, workers=workers)
+    result = run_plan(plan, RunOptions(workers=workers))
     values = [rec["utility"] for rec in result.records]
     return np.asarray(values, dtype=float).reshape(
         (len(bid_factors), len(exec_factors)))

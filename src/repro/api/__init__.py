@@ -1,0 +1,69 @@
+"""``repro.api`` — the versioned public façade (schema ``repro/api/v1``).
+
+Programs integrate with the reproduction through this package: typed
+request/result dataclasses with strict validation and canonical JSON
+round-trips (:mod:`repro.api.v1`), the executors that run them
+(:mod:`repro.api.execute`), and the engine/runner option objects
+(:class:`EngineConfig`, :class:`RunOptions`) re-exported so callers
+never import engine internals.  The CLI and the request service
+(:mod:`repro.service`) are both thin clients of this façade; by the
+architecture lint, this package never imports the service (the
+dependency points one way: service → api).
+
+Quick start::
+
+    from repro.api import EngagementRequest, execute
+
+    req = EngagementRequest(w=(2.0, 3.0, 5.0), z=0.4)
+    result = execute(req)
+    result.digest()            # canonical settlement identity
+    result.outcome["balances"]
+"""
+
+from repro.api.execute import (
+    build_mechanism,
+    execute,
+    result_from_outcome,
+    run_bench_request,
+    run_engagement,
+    run_sweep,
+)
+from repro.api.v1 import (
+    SCHEMA,
+    ApiError,
+    BenchRequest,
+    BenchResult,
+    EngagementRequest,
+    EngagementResult,
+    ServiceStats,
+    SweepRequest,
+    SweepResult,
+    request_from_dict,
+    result_from_dict,
+    settlement_digest,
+)
+from repro.core.dls_bl_ncp import EngineConfig
+from repro.sweep import RunOptions
+
+__all__ = [
+    "SCHEMA",
+    "ApiError",
+    "EngagementRequest",
+    "SweepRequest",
+    "BenchRequest",
+    "EngagementResult",
+    "SweepResult",
+    "BenchResult",
+    "ServiceStats",
+    "settlement_digest",
+    "request_from_dict",
+    "result_from_dict",
+    "build_mechanism",
+    "result_from_outcome",
+    "run_engagement",
+    "run_sweep",
+    "run_bench_request",
+    "execute",
+    "EngineConfig",
+    "RunOptions",
+]

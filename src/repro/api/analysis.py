@@ -1,0 +1,16 @@
+"""Façade re-exports of the analysis layer for presentation code.
+
+The CLI renders tables and runs resilience sweeps, but it should not
+couple to the analysis package's internal layout — the architecture
+lint (``tests/test_architecture.py``) pins ``repro.cli`` to import
+analysis functionality only through this module.  Everything here is a
+plain re-export; the implementations live in :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.analysis.resilience import crash_sweep, drop_sweep
+from repro.analysis.welfare import kind_comparison
+
+__all__ = ["format_table", "kind_comparison", "crash_sweep", "drop_sweep"]

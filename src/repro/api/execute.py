@@ -1,0 +1,98 @@
+"""Executors: turn v1 requests into v1 results.
+
+This is the single execution path behind both front doors.  The CLI
+(``repro protocol`` / ``repro sweep`` / ``repro call``) and the request
+service (:mod:`repro.service`) both construct a request dataclass from
+:mod:`repro.api.v1` and hand it to :func:`execute`; neither reaches
+into the engine layers directly.  Because the service's warm workers
+run these exact functions, a served answer is byte-comparable (by
+``digest()``) with a direct in-process call on the same request.
+
+The ``memo`` / ``signature_cache`` hooks let a long-lived host (a warm
+worker) share content-addressed caches across engagements; they change
+traffic counters only, never settlements, which is why
+:func:`repro.api.v1.settlement_digest` excludes telemetry.
+"""
+
+from __future__ import annotations
+
+from repro.api.v1 import (
+    ApiError,
+    BenchRequest,
+    BenchResult,
+    EngagementRequest,
+    EngagementResult,
+    SweepRequest,
+    SweepResult,
+)
+
+__all__ = [
+    "build_mechanism",
+    "result_from_outcome",
+    "run_engagement",
+    "run_sweep",
+    "run_bench_request",
+    "execute",
+]
+
+
+def build_mechanism(request: EngagementRequest, *, memo=None,
+                    signature_cache=None):
+    """The live :class:`~repro.core.dls_bl_ncp.DLSBLNCP` a request
+    describes (for callers that need the bus object, e.g. ``--trace``)."""
+    from repro.core.dls_bl_ncp import DLSBLNCP
+    from repro.dlt.platform import NetworkKind
+
+    config = request.engine_config(memo=memo,
+                                   signature_cache=signature_cache)
+    return DLSBLNCP.from_config(list(request.w), NetworkKind(request.kind),
+                                request.z, config)
+
+
+def result_from_outcome(outcome, *, cached: bool = False) -> EngagementResult:
+    """Wrap a protocol outcome as a v1 :class:`EngagementResult`."""
+    from repro.io import protocol_result_to_dict
+
+    return EngagementResult(outcome=protocol_result_to_dict(outcome),
+                            cached=cached)
+
+
+def run_engagement(request: EngagementRequest, *, memo=None,
+                   signature_cache=None) -> EngagementResult:
+    """Run one DLS-BL-NCP engagement end to end."""
+    outcome = build_mechanism(request, memo=memo,
+                              signature_cache=signature_cache).run()
+    return result_from_outcome(outcome)
+
+
+def run_sweep(request: SweepRequest) -> SweepResult:
+    """Run a sweep plan through the sharded engine."""
+    from repro.sweep import RunOptions, run_plan
+
+    run = run_plan(request.build_plan(),
+                   RunOptions(workers=request.workers))
+    return SweepResult.from_run(run)
+
+
+def run_bench_request(request: BenchRequest) -> BenchResult:
+    """Time the perf kernels once (no gate, no report file)."""
+    from repro.perf.bench import run_bench
+    from repro.sweep import RunOptions
+
+    timings = run_bench(quick=request.quick,
+                        options=RunOptions(workers=request.workers))
+    return BenchResult(timings=timings, quick=request.quick)
+
+
+def execute(request, *, memo=None, signature_cache=None):
+    """Dispatch any v1 request to its executor; returns a v1 result."""
+    if isinstance(request, EngagementRequest):
+        return run_engagement(request, memo=memo,
+                              signature_cache=signature_cache)
+    if isinstance(request, SweepRequest):
+        return run_sweep(request)
+    if isinstance(request, BenchRequest):
+        return run_bench_request(request)
+    raise ApiError(
+        f"cannot execute a {type(request).__name__}; expected one of "
+        "EngagementRequest, SweepRequest, BenchRequest")

@@ -7,7 +7,8 @@ without writing Python:
 * ``schedule`` — the same, rendered as an ASCII Gantt (Figures 1-3);
 * ``mechanism`` — a DLS-BL round: payments, bonuses, utilities;
 * ``protocol`` — a full DLS-BL-NCP run, optionally with deviants;
-* ``survey``  — makespan comparison across the three system models.
+* ``survey``  — makespan comparison across the three system models;
+* ``serve`` / ``call`` — the engagement service daemon and its client.
 
 Examples::
 
@@ -16,6 +17,17 @@ Examples::
     python -m repro mechanism --kind cp --z 0.5 --bids 2 3 5 --exec 2 3 5
     python -m repro protocol --kind ncp-fe --z 0.4 2 3 5 --deviant 1:multiple-bids
     python -m repro survey --z 0.5 2 3 5 4
+    python -m repro serve --socket /tmp/repro.sock --workers 2
+
+The CLI is a thin client of the versioned façade: protocol and sweep
+invocations are packaged as :mod:`repro.api` request objects, and the
+analysis layer is reached only through :mod:`repro.api.analysis`
+(architecture-linted).
+
+Exit codes are uniform across subcommands: ``0`` success, ``1`` domain
+failure (engagement terminated, regression gate tripped, service-side
+error), ``2`` usage or validation error (bad flags, malformed request
+or plan files).
 """
 
 from __future__ import annotations
@@ -25,11 +37,9 @@ import sys
 
 import numpy as np
 
-from repro.agents.behaviors import AgentBehavior, Deviation
-from repro.analysis.reporting import format_table
-from repro.analysis.welfare import kind_comparison
+from repro.api import ApiError, EngagementRequest, SweepRequest
+from repro.api.analysis import format_table, kind_comparison
 from repro.core.dls_bl import DLSBL
-from repro.core.dls_bl_ncp import DLSBLNCP
 from repro.dlt.closed_form import allocate
 from repro.dlt.platform import BusNetwork, NetworkKind
 from repro.dlt.schedule import build_schedule, render_gantt
@@ -40,6 +50,17 @@ __all__ = ["main", "build_parser"]
 _KINDS = {k.value: k for k in NetworkKind}
 
 
+def _package_version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # not installed — running from a source tree
+        from repro import __version__
+
+        return __version__
+
+
 def _kind(value: str) -> NetworkKind:
     try:
         return _KINDS[value]
@@ -48,15 +69,26 @@ def _kind(value: str) -> NetworkKind:
             f"unknown kind {value!r}; choose from {sorted(_KINDS)}")
 
 
-def _deviation(value: str) -> tuple[int, Deviation]:
-    """Parse ``INDEX:deviation-name`` (e.g. ``1:multiple-bids``)."""
+def _deviation(value: str) -> tuple[int, str]:
+    """Parse ``INDEX:deviation-name`` (e.g. ``1:multiple-bids``).
+
+    The name is checked against the deviation catalogue here so a typo
+    fails at argument-parsing time (exit 2, with the valid names);
+    :class:`repro.api.EngagementRequest` re-validates index bounds.
+    """
     try:
         idx_str, name = value.split(":", 1)
-        return int(idx_str), Deviation(name)
-    except (ValueError, KeyError) as exc:
-        valid = sorted(d.value for d in Deviation)
+        idx = int(idx_str)
+    except ValueError as exc:
         raise argparse.ArgumentTypeError(
-            f"expected INDEX:NAME with NAME in {valid}; got {value!r} ({exc})")
+            f"expected INDEX:NAME; got {value!r} ({exc})")
+    from repro.agents.behaviors import Deviation
+
+    valid = sorted(d.value for d in Deviation)
+    if name not in valid:
+        raise argparse.ArgumentTypeError(
+            f"unknown deviation {name!r}; choose from {valid}")
+    return idx, name
 
 
 def _crash_spec(value: str) -> tuple[int, float]:
@@ -81,6 +113,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Strategyproof divisible-load scheduling on bus networks "
                     "(Carroll & Grosu 2006 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {_package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p, with_kind=True):
@@ -131,6 +165,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="crash processor INDEX mid-Processing after "
                         "completing PROGRESS of its assignment "
                         "(repeatable), e.g. 2:0.5")
+    p.add_argument("--drop-rate", type=float, default=0.0,
+                   help="drop each unicast control message with this "
+                        "probability (default 0: reliable transport)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="fault-plan seed for --drop-rate (default 0)")
 
     p = sub.add_parser("resilience",
                        help="protocol under injected crash/drop faults")
@@ -222,6 +261,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--progress", action="store_true",
                    help="report completion to stderr while running")
 
+    p = sub.add_parser("serve",
+                       help="run the engagement service daemon on a "
+                            "unix socket")
+    p.add_argument("--socket", required=True, metavar="PATH",
+                   help="unix socket path to listen on")
+    p.add_argument("--workers", type=int, default=1,
+                   help="warm worker processes (default 1)")
+    p.add_argument("--queue-size", type=int, default=32,
+                   help="bounded request queue depth; admissions beyond "
+                        "it are rejected with code 'backpressure'")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="cross-request result cache entries (0 disables)")
+
+    p = sub.add_parser("call",
+                       help="send one repro/api/v1 request (or op) to a "
+                            "running service")
+    p.add_argument("--socket", required=True, metavar="PATH",
+                   help="unix socket path of the daemon")
+    p.add_argument("--request", default=None, metavar="FILE",
+                   help="JSON request file ('-': stdin)")
+    p.add_argument("--op", choices=("ping", "stats", "shutdown"),
+                   default=None,
+                   help="send a service op instead of a request file")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline in seconds")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="client-side socket timeout (default 300)")
+
     return parser
 
 
@@ -261,39 +328,17 @@ def cmd_mechanism(args) -> int:
 
 
 def cmd_protocol(args) -> int:
-    if args.kind is NetworkKind.CP:
-        print("error: DLS-BL-NCP runs on ncp-fe / ncp-nfe (use `mechanism` "
-              "for the CP system)", file=sys.stderr)
-        return 2
-    behaviors = {}
-    for idx, dev in args.deviant:
-        if not 0 <= idx < len(args.w):
-            print(f"error: deviant index {idx} out of range", file=sys.stderr)
-            return 2
-        existing = behaviors.get(idx)
-        devs = (existing.deviations if existing else frozenset()) | {dev}
-        behaviors[idx] = AgentBehavior(deviations=devs)
-    from repro.core.fines import FinePolicy
+    from repro.api import build_mechanism
 
-    fault_plan = None
-    if args.crash:
-        from repro.network.faults import CrashFault, FaultPlan
-        from repro.protocol.phases import Phase
-
-        names = [f"P{i + 1}" for i in range(len(args.w))]
-        crashes = []
-        for idx, progress in args.crash:
-            if not 0 <= idx < len(args.w):
-                print(f"error: crash index {idx} out of range", file=sys.stderr)
-                return 2
-            crashes.append(CrashFault(names[idx], phase=Phase.PROCESSING_LOAD,
-                                      progress=progress))
-        fault_plan = FaultPlan(crashes=tuple(crashes))
-
-    mech = DLSBLNCP(list(args.w), args.kind, args.z, behaviors=behaviors,
-                    policy=FinePolicy(args.fine_factor),
-                    bidding_mode=args.bidding_mode,
-                    fault_plan=fault_plan)
+    # The façade owns validation: any bad combination (CP kind, unknown
+    # deviation, out-of-range index) raises ApiError with the actionable
+    # message, which main() maps to exit code 2.
+    request = EngagementRequest(
+        w=tuple(args.w), z=args.z, kind=args.kind.value,
+        bidding_mode=args.bidding_mode, fine_factor=args.fine_factor,
+        deviants=tuple(args.deviant), crash=tuple(args.crash),
+        drop_rate=args.drop_rate, seed=args.seed)
+    mech = build_mechanism(request)
     outcome = mech.run()
     if args.trace_json is not None:
         import json
@@ -351,7 +396,7 @@ def cmd_resilience(args) -> int:
         print("error: resilience sweeps run the NCP protocol "
               "(ncp-fe / ncp-nfe)", file=sys.stderr)
         return 2
-    from repro.analysis.resilience import crash_sweep, drop_sweep
+    from repro.api.analysis import crash_sweep, drop_sweep
 
     workers = max(1, args.workers)
     print(f"sweep workers: {workers}"
@@ -514,14 +559,30 @@ def _parse_grid_axis(value: str) -> tuple[str, list]:
 
 
 def cmd_sweep(args) -> int:
-    from repro.sweep import SweepPlan, run_plan
+    from repro.sweep import RunOptions, SweepPlan, run_plan
 
     if bool(args.plan) == bool(args.task):
         print("error: give exactly one of --plan FILE or --task NAME",
               file=sys.stderr)
         return 2
     if args.plan:
-        plan = SweepPlan.from_file(args.plan)
+        import json
+
+        try:
+            with open(args.plan, encoding="utf-8") as fh:
+                plan_data = json.load(fh)
+        except OSError as exc:
+            print(f"error: cannot read plan file {args.plan!r}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"error: plan file {args.plan!r} is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return 2
+        # Validate through the façade so a malformed plan produces the
+        # same actionable message the service would return.
+        request = SweepRequest(plan=plan_data, workers=max(1, args.workers))
+        plan = request.build_plan()
     else:
         base = {}
         if args.kind is not None:
@@ -553,7 +614,8 @@ def cmd_sweep(args) -> int:
     import time as _time
 
     t0 = _time.perf_counter()
-    result = run_plan(plan, workers=max(1, args.workers), progress=progress)
+    result = run_plan(plan, RunOptions(workers=max(1, args.workers),
+                                       progress=progress))
     wall = _time.perf_counter() - t0
     if args.progress:
         print(file=sys.stderr)
@@ -583,6 +645,78 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.service import ReproService
+
+    service = ReproService(args.socket, workers=max(1, args.workers),
+                           queue_size=args.queue_size,
+                           cache_size=args.cache_size)
+
+    async def run() -> None:
+        await service.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(
+                sig, lambda: asyncio.ensure_future(service.shutdown()))
+        print(f"repro service on {args.socket} "
+              f"(workers={service.pool.workers}, "
+              f"queue={service.queue_size}); "
+              "SIGINT/SIGTERM drains and exits", flush=True)
+        await service.serve_forever()
+
+    asyncio.run(run())
+    return 0
+
+
+def cmd_call(args) -> int:
+    import json
+
+    from repro.api import request_from_dict
+    from repro.service.client import send_envelope
+
+    if bool(args.request) == bool(args.op):
+        print("error: give exactly one of --request FILE or --op NAME",
+              file=sys.stderr)
+        return 2
+    if args.op:
+        envelope = {"id": 0, "op": args.op}
+    else:
+        try:
+            if args.request == "-":
+                text = sys.stdin.read()
+            else:
+                with open(args.request, encoding="utf-8") as fh:
+                    text = fh.read()
+        except OSError as exc:
+            print(f"error: cannot read request file {args.request!r}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 2
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            print(f"error: request file is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return 2
+        # Validate client-side so a malformed request fails with exit
+        # code 2 before ever touching the daemon.
+        request_from_dict(payload)
+        envelope = {"id": 0, **payload}
+        if args.deadline is not None:
+            envelope["deadline"] = args.deadline
+    try:
+        response = send_envelope(args.socket, envelope,
+                                 timeout=args.timeout)
+    except OSError as exc:
+        print(f"error: cannot reach service at {args.socket!r}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(json.dumps(response, indent=2))
+    return 0 if response.get("ok") else 1
+
+
 _COMMANDS = {
     "allocate": cmd_allocate,
     "schedule": cmd_schedule,
@@ -596,10 +730,17 @@ _COMMANDS = {
     "regime": cmd_regime,
     "bench": cmd_bench,
     "sweep": cmd_sweep,
+    "serve": cmd_serve,
+    "call": cmd_call,
 }
 
 
 def main(argv=None) -> int:
+    """Uniform exit codes: 0 success, 1 domain failure, 2 usage error.
+
+    :class:`repro.api.ApiError` (and any other ``ValueError``) is a
+    *usage* error — the input was wrong, not the run.
+    """
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)

@@ -6,9 +6,19 @@ description (true values + behaviours), runs the protocol, and returns
 the :class:`NCPOutcome`.  Experiments that sweep strategies construct a
 fresh instance per run (the protocol is single-shot: fines terminate
 it, and keys/ledgers are per-engagement).
+
+Configuration travels in an :class:`EngineConfig`: one frozen record
+holding everything beyond the instance triple ``(w_true, kind, z)``.
+The historical keyword sprawl (``behaviors=``, ``policy=``, … passed
+directly to the constructor) still works but is deprecated — it warns
+and folds the keywords into an :class:`EngineConfig` internally, so the
+two calling conventions are value-identical.
 """
 
 from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
 
 from repro.agents.behaviors import AgentBehavior, truthful
 from repro.agents.processor import ProcessorAgent
@@ -16,6 +26,7 @@ from repro.core.fines import FinePolicy
 from repro.crypto.pki import PKI
 from repro.dlt.platform import NetworkKind
 from repro.network.faults import FaultPlan
+from repro.perf import ComputationCache, SignatureCache
 from repro.protocol.engine import (
     PhaseDeadlines,
     ProtocolEngine,
@@ -23,10 +34,76 @@ from repro.protocol.engine import (
     RetryPolicy,
 )
 
-__all__ = ["NCPOutcome", "DLSBLNCP"]
+__all__ = ["NCPOutcome", "EngineConfig", "DLSBLNCP"]
 
 NCPOutcome = ProtocolResult
 """Outcome of a DLS-BL-NCP run (alias of the engine's result record)."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything a DLS-BL-NCP engagement needs beyond ``(w, kind, z)``.
+
+    The preferred calling convention is
+    ``DLSBLNCP(w, kind, z, config=EngineConfig(...))`` — one value to
+    build, log, and pass around instead of nine keyword arguments.
+
+    Fields
+    ------
+    behaviors:
+        Strategy per processor (index-keyed dict or full list);
+        ``None`` means everyone honest.
+    policy:
+        Fine policy (``F = safety_factor * sum alpha_j b_j``).
+    num_blocks:
+        Load-division granularity.
+    names:
+        Processor names (default ``P1..Pm``).
+    bidding_mode:
+        ``"atomic"`` | ``"commit"`` | ``"naive"`` (paper footnote 1).
+    fault_plan:
+        Optional fault injection; ``None`` runs on the reliable bus.
+    deadlines / retry:
+        Timeout and retransmission policy for fault-tolerant runs.
+    redundancy:
+        ``"memoized"`` (default) or ``"independent"`` — bit-identical
+        results either way.
+    pki_seed:
+        Deterministic key minting (byte-identical wire traces).
+    memo:
+        Optional externally owned :class:`ComputationCache` shared
+        *across* engagements (the service's warm workers use this);
+        ``None`` gives the engagement its own per-run cache.  Only
+        meaningful with ``redundancy="memoized"``.
+    signature_cache:
+        Optional externally owned :class:`SignatureCache` handed to the
+        engagement's PKI.  Safe to share across engagements: verdicts
+        are keyed by ``(signer, payload+signature digest)``, so entries
+        from a differently keyed universe can never collide with — let
+        alone answer for — this one.
+    """
+
+    behaviors: dict[int, AgentBehavior] | list[AgentBehavior] | None = None
+    policy: FinePolicy | None = None
+    num_blocks: int = 120
+    names: list[str] | None = None
+    bidding_mode: str = "atomic"
+    fault_plan: FaultPlan | None = None
+    deadlines: PhaseDeadlines | None = None
+    retry: RetryPolicy | None = None
+    redundancy: str = "memoized"
+    pki_seed: int | None = None
+    memo: ComputationCache | None = None
+    signature_cache: SignatureCache | None = None
+
+    def __post_init__(self) -> None:
+        if self.memo is not None and self.redundancy != "memoized":
+            raise ValueError(
+                "a shared memo requires redundancy='memoized'; "
+                f"got redundancy={self.redundancy!r}")
+
+
+_CONFIG_FIELDS = tuple(f.name for f in fields(EngineConfig))
 
 
 class DLSBLNCP:
@@ -40,34 +117,19 @@ class DLSBLNCP:
         ``NCP_FE`` or ``NCP_NFE``.
     z:
         Per-unit bus communication time.
-    behaviors:
-        Strategy per processor; defaults to everyone honest.
-    policy:
-        Fine policy (``F = safety_factor * sum alpha_j b_j``).
-    num_blocks:
-        Load-division granularity.
-    fault_plan:
-        Optional :class:`repro.network.faults.FaultPlan`; ``None`` (or
-        an empty plan) runs on the reliable bus, byte-identical to a
-        build without the fault layer.
-    deadlines / retry:
-        Timeout and retransmission policy for fault-tolerant runs.
-    redundancy:
-        ``"memoized"`` (default) shares one content-addressed
-        computation cache across the participants; ``"independent"``
-        recomputes everything from scratch (the paper's literal
-        procedure).  Results are bit-identical either way.
-    pki_seed:
-        Optional determinism hook forwarded to :class:`PKI`: a seeded
-        registry mints the same keys in every run, so two separately
-        constructed mechanisms produce byte-identical wire traces —
-        what the memoized-vs-independent equivalence tests compare.
+    config:
+        The engagement configuration (see :class:`EngineConfig`).
+
+    Any :class:`EngineConfig` field may still be passed directly as a
+    keyword (``behaviors=...``, ``policy=...``, ...) — that legacy path
+    emits a :class:`DeprecationWarning` and builds the equivalent
+    config, so results are identical between conventions.
 
     Example
     -------
     >>> from repro.agents import misreport
     >>> mech = DLSBLNCP([2.0, 3.0, 5.0], NetworkKind.NCP_FE, z=0.4,
-    ...                 behaviors={1: misreport(1.5)})
+    ...                 config=EngineConfig(behaviors={1: misreport(1.5)}))
     >>> outcome = mech.run()
     >>> outcome.completed
     True
@@ -79,22 +141,30 @@ class DLSBLNCP:
         kind: NetworkKind,
         z: float,
         *,
-        behaviors: dict[int, AgentBehavior] | list[AgentBehavior] | None = None,
-        policy: FinePolicy | None = None,
-        num_blocks: int = 120,
-        names: list[str] | None = None,
-        bidding_mode: str = "atomic",
-        fault_plan: FaultPlan | None = None,
-        deadlines: PhaseDeadlines | None = None,
-        retry: RetryPolicy | None = None,
-        redundancy: str = "memoized",
-        pki_seed: int | None = None,
+        config: EngineConfig | None = None,
+        **legacy_kwargs,
     ) -> None:
+        if legacy_kwargs:
+            unknown = sorted(set(legacy_kwargs) - set(_CONFIG_FIELDS))
+            if unknown:
+                raise TypeError(
+                    f"DLSBLNCP got unexpected keyword argument(s) {unknown}; "
+                    f"EngineConfig fields are {list(_CONFIG_FIELDS)}")
+            warnings.warn(
+                "passing engagement options as direct keyword arguments to "
+                "DLSBLNCP is deprecated; pass config=EngineConfig(...) "
+                "instead (the result is identical)",
+                DeprecationWarning, stacklevel=2)
+            config = replace(config or EngineConfig(), **legacy_kwargs)
+        config = config or EngineConfig()
+        self.config = config
+
         w_true = [float(w) for w in w_true]
         m = len(w_true)
         if m < 2:
             raise ValueError("DLS-BL-NCP requires at least 2 processors")
-        names = names or [f"P{i + 1}" for i in range(m)]
+        names = config.names or [f"P{i + 1}" for i in range(m)]
+        behaviors = config.behaviors
         if isinstance(behaviors, dict):
             table = [behaviors.get(i, truthful()) for i in range(m)]
         elif behaviors is None:
@@ -104,7 +174,8 @@ class DLSBLNCP:
                 raise ValueError(f"need {m} behaviors, got {len(behaviors)}")
             table = list(behaviors)
 
-        self.pki = PKI(seed=pki_seed)
+        self.pki = PKI(seed=config.pki_seed,
+                       signature_cache=config.signature_cache)
         self.user_key = self.pki.register("user")
         agents = []
         for name, w, behavior in zip(names, w_true, table):
@@ -114,11 +185,18 @@ class DLSBLNCP:
         self.engine = ProtocolEngine(
             agents, kind, z,
             pki=self.pki, user_key=self.user_key,
-            policy=policy, num_blocks=num_blocks,
-            bidding_mode=bidding_mode,
-            fault_plan=fault_plan, deadlines=deadlines, retry=retry,
-            redundancy=redundancy,
+            policy=config.policy, num_blocks=config.num_blocks,
+            bidding_mode=config.bidding_mode,
+            fault_plan=config.fault_plan, deadlines=config.deadlines,
+            retry=config.retry,
+            redundancy=config.redundancy, memo=config.memo,
         )
+
+    @classmethod
+    def from_config(cls, w_true, kind: NetworkKind, z: float,
+                    config: EngineConfig) -> "DLSBLNCP":
+        """Explicit-name twin of ``DLSBLNCP(w, kind, z, config=...)``."""
+        return cls(w_true, kind, z, config=config)
 
     @property
     def agents(self) -> list[ProcessorAgent]:

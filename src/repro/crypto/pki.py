@@ -52,13 +52,22 @@ class PKI:
         pool, so two separately constructed runs mint *identical* keys
         — which is what lets the equivalence tests demand byte-identical
         wire traces across runs.  Production use leaves it ``None``.
+    signature_cache:
+        Optional externally owned verification cache, so long-running
+        hosts (the request service's warm workers) can keep verdicts
+        across engagements.  Sharing is safe regardless of key seeds:
+        verdicts are keyed by ``(signer, payload+signature digest)``,
+        so a message from a differently keyed universe can never be
+        answered by a stale entry.  Default: a private fresh cache.
     """
 
-    def __init__(self, *, seed: int | None = None) -> None:
+    def __init__(self, *, seed: int | None = None,
+                 signature_cache: SignatureCache | None = None) -> None:
         self._keys: dict[str, SigningKey] = {}
         self._seed = seed
         self._rotations: dict[str, int] = {}
-        self.signature_cache = SignatureCache()
+        self.signature_cache = (signature_cache if signature_cache is not None
+                                else SignatureCache())
 
     def _mint_key(self, name: str) -> SigningKey:
         if self._seed is None:

@@ -135,14 +135,15 @@ def _payments_kernel(m: int, loops: int):
 def _sweep_surface_kernel(m: int, workers: int):
     from repro.analysis.strategyproofness import surface_plan
     from repro.dlt.platform import BusNetwork, NetworkKind
-    from repro.sweep import run_plan
+    from repro.sweep import RunOptions, run_plan
 
     rng = np.random.default_rng(5)
     net = BusNetwork(tuple(rng.uniform(1.0, 10.0, m)), 0.2, NetworkKind.NCP_FE)
     plan = surface_plan(net, 1,
                         list(np.linspace(0.5, 1.5, 24)),
                         list(np.linspace(1.0, 2.0, 12)))
-    return lambda: run_plan(plan, workers=workers)
+    options = RunOptions(workers=workers)
+    return lambda: run_plan(plan, options)
 
 
 def _des_kernel(events: int):
@@ -158,14 +159,29 @@ def _des_kernel(events: int):
     return run
 
 
-def run_bench(*, quick: bool = False, workers: int = 1) -> dict[str, float]:
+def run_bench(*, quick: bool = False, options=None,
+              workers: int | None = None) -> dict[str, float]:
     """Time every kernel; returns {kernel: best-of-N seconds}.
 
     ``quick`` keeps the kernel sizes (so numbers stay comparable with
     the checked-in baseline) but halves the repetitions — the CI smoke
-    configuration.  ``workers > 1`` adds a sharded twin of the sweep
-    kernel (``sweep_surface_m512_wN``) timed over an N-worker pool.
+    configuration.  *options* (a :class:`repro.sweep.RunOptions`) is
+    the preferred way to request sharding: ``RunOptions(workers=N)``
+    adds a sharded twin of the sweep kernel (``sweep_surface_m512_wN``)
+    timed over an N-worker pool.  The legacy ``workers=N`` keyword
+    still works but is deprecated (it warns and folds into options).
     """
+    import warnings
+
+    from repro.sweep import RunOptions
+
+    if workers is not None:
+        warnings.warn(
+            "run_bench(workers=N) is deprecated; pass "
+            "options=RunOptions(workers=N) instead (the result is "
+            "identical)", DeprecationWarning, stacklevel=2)
+        options = RunOptions(workers=workers)
+    workers = (options or RunOptions()).workers
     # The cheap kernels get generous best-of rounds — they cost
     # milliseconds each, and the regression gate needs the minimum to
     # survive ambient machine noise.
@@ -268,7 +284,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"sweep workers: {workers}"
           + ("" if workers == 1 else
              f" (cpu cores available: {os.cpu_count()})"))
-    head = run_bench(quick=args.quick, workers=workers)
+    from repro.sweep import RunOptions
+
+    head = run_bench(quick=args.quick, options=RunOptions(workers=workers))
     report = write_report(out_path, head, quick=args.quick)
 
     width = max(len(k) for k in head)

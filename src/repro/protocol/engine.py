@@ -112,6 +112,7 @@ class ProtocolEngine:
         deadlines: PhaseDeadlines | None = None,
         retry: RetryPolicy | None = None,
         redundancy: str = "memoized",
+        memo: ComputationCache | None = None,
     ) -> None:
         if bidding_mode not in self.BIDDING_MODES:
             raise ValueError(f"bidding_mode must be one of {self.BIDDING_MODES}, "
@@ -138,15 +139,24 @@ class ProtocolEngine:
         self.user_key = user_key
         self.policy = policy or FinePolicy()
         self.num_blocks = int(num_blocks)
-        self.memo = ComputationCache() if redundancy == "memoized" else None
+        if memo is not None and redundancy != "memoized":
+            raise ValueError("an injected memo requires redundancy='memoized'")
+        if redundancy == "memoized":
+            self.memo = memo if memo is not None else ComputationCache()
+        else:
+            self.memo = None
         for agent in agents:
             agent.memo = self.memo
         self.referee = Referee(pki, self.policy, memo=self.memo)
         self.infra = PaymentInfrastructure(USER)
-        # Per-engagement deltas: the PKI (and its verification cache)
-        # may outlive this engine, so snapshot the counters now.
+        # Per-engagement deltas: the PKI (with its verification cache)
+        # and an injected memo may outlive this engine, so snapshot the
+        # counters now and report only what *this* engagement adds.
         sig = pki.signature_cache.stats
         self._sig_base = (sig.hits, sig.misses)
+        memo_stats = self.memo.stats if self.memo is not None else None
+        self._memo_base = ((memo_stats.hits, memo_stats.misses)
+                           if memo_stats is not None else (0, 0))
         self.deadlines = deadlines or PhaseDeadlines()
         self.retry = retry or RetryPolicy()
         # An empty plan must leave zero trace: stay on the plain Bus so
@@ -268,8 +278,8 @@ class ProtocolEngine:
         costs = {n: ctx.costs.get(n, 0.0) for n in self.order}
         stats = self.bus.stats
         if self.memo is not None:
-            stats.memo_hits = self.memo.stats.hits
-            stats.memo_misses = self.memo.stats.misses
+            stats.memo_hits = self.memo.stats.hits - self._memo_base[0]
+            stats.memo_misses = self.memo.stats.misses - self._memo_base[1]
         sig = self.pki.signature_cache.stats
         stats.sig_cache_hits = sig.hits - self._sig_base[0]
         stats.sig_cache_misses = sig.misses - self._sig_base[1]

@@ -1,0 +1,40 @@
+"""``repro.service`` — the concurrent engagement service.
+
+A long-running daemon (``repro serve`` /
+:class:`~repro.service.daemon.ReproService`) that accepts
+``repro/api/v1`` requests as JSON lines over a local unix socket and
+executes them on a warm, reusable fork worker pool:
+
+* bounded request queue with explicit backpressure;
+* per-request deadlines (queued *and* running time count);
+* cross-request caches — a service-level result cache keyed by request
+  digest, plus per-worker ComputationCache/SignatureCache that persist
+  because workers are reused;
+* responses carrying the same canonical digests as direct serial calls
+  (pinned by ``tests/service/test_service.py``);
+* per-phase trace spans attached to every engagement response;
+* live counters via the ``stats`` op (requests, queue depth, cache
+  hits, p50/p95 latency);
+* graceful shutdown that drains in-flight work, and poisoned-request
+  isolation (a request that kills its worker fails alone; the pool is
+  rebuilt for everyone else).
+
+This package sits *above* the façade: it imports :mod:`repro.api` and
+nothing imports it back (architecture-linted).  Tests use
+:class:`~repro.service.client.ServiceClient`, which embeds a real
+daemon on a private socket.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import DEFAULT_QUEUE_SIZE, ReproService
+from repro.service.pool import WarmPool
+from repro.service.stats import ServiceCounters
+
+__all__ = [
+    "DEFAULT_QUEUE_SIZE",
+    "ReproService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceCounters",
+    "WarmPool",
+]

@@ -1,0 +1,156 @@
+"""In-process service client: a real daemon on a private socket.
+
+:class:`ServiceClient` embeds a :class:`~repro.service.daemon.ReproService`
+— its own event loop thread, its own unix socket in a temp directory,
+its own warm worker pool — and offers plain synchronous calls.  Tests
+and notebooks get the full service stack (queueing, backpressure,
+deadlines, caching, crash recovery) without managing a process.
+
+Each call opens a fresh connection, so N threads calling concurrently
+exercise N concurrent connections against the daemon — exactly the
+production shape of ``repro serve``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+import socket
+import tempfile
+import threading
+
+from repro.api import ServiceStats, result_from_dict
+from repro.service.daemon import DEFAULT_QUEUE_SIZE, ReproService
+
+__all__ = ["ServiceClient", "ServiceError", "send_envelope"]
+
+
+def send_envelope(socket_path: str, envelope: dict, *,
+                  timeout: float = 300.0) -> dict:
+    """Send one JSON-lines envelope to a daemon; return its response.
+
+    The standalone wire primitive shared by :class:`ServiceClient` and
+    ``repro call`` — one connection, one line out, one line back.
+    """
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(str(socket_path))
+        sock.sendall(json.dumps(envelope).encode("utf-8") + b"\n")
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+    return json.loads(b"".join(chunks))
+
+
+class ServiceError(RuntimeError):
+    """A request the daemon answered with ``ok: false``."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """Synchronous façade over an embedded :class:`ReproService`."""
+
+    def __init__(self, *, workers: int = 1,
+                 queue_size: int = DEFAULT_QUEUE_SIZE,
+                 cache_size: int = 256, socket_path=None,
+                 warm: bool = True) -> None:
+        self._tmp = None
+        if socket_path is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-svc-")
+            socket_path = os.path.join(self._tmp.name, "repro.sock")
+        self.socket_path = str(socket_path)
+        # Build the service (and fork its pool) *before* the loop thread
+        # exists: forking from a single-threaded process is the safe
+        # order, and the workers inherit everything registered so far.
+        self.service = ReproService(self.socket_path, workers=workers,
+                                    queue_size=queue_size,
+                                    cache_size=cache_size, warm=warm)
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(target=self._loop.run_forever,
+                                        name="repro-service", daemon=True)
+        self._thread.start()
+        self._ids = itertools.count(1)
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self.service.start(), self._loop).result(timeout=30)
+        except Exception:
+            self.close()
+            raise
+
+    # -- raw wire access ----------------------------------------------------
+
+    def raw_request(self, envelope: dict, *, timeout: float = 300.0) -> dict:
+        """Send one envelope (adding ``id``); return the raw response."""
+        envelope = {"id": next(self._ids), **envelope}
+        response = send_envelope(self.socket_path, envelope, timeout=timeout)
+        if response.get("id") != envelope["id"]:
+            raise ServiceError(
+                "protocol", f"response id {response.get('id')!r} does not "
+                            f"match request id {envelope['id']}")
+        return response
+
+    # -- typed calls --------------------------------------------------------
+
+    def request(self, request, *, deadline: float | None = None,
+                timeout: float = 300.0):
+        """Execute a v1 request; returns the parsed v1 result.
+
+        Raises :class:`ServiceError` (with ``.code``) on any daemon-side
+        failure — validation, backpressure, deadline, worker death.
+        """
+        envelope = dict(request.to_dict()
+                        if hasattr(request, "to_dict") else request)
+        if deadline is not None:
+            envelope["deadline"] = deadline
+        response = self.raw_request(envelope, timeout=timeout)
+        if not response.get("ok"):
+            err = response.get("error") or {}
+            raise ServiceError(err.get("code", "internal"),
+                               err.get("message", "request failed"))
+        return result_from_dict(response["result"])
+
+    def ping(self) -> dict:
+        return self.raw_request({"op": "ping"})["result"]
+
+    def stats(self) -> ServiceStats:
+        """The daemon's live counters as a :class:`ServiceStats`."""
+        response = self.raw_request({"op": "stats"})
+        return ServiceStats.from_dict(response["result"])
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self, *, timeout: float = 60.0) -> None:
+        """Gracefully drain and stop the embedded daemon."""
+        asyncio.run_coroutine_threadsafe(
+            self.service.shutdown(), self._loop).result(timeout=timeout)
+
+    def close(self) -> None:
+        """Stop everything (drains first if the daemon still runs)."""
+        try:
+            if (self.service._server is not None
+                    and not self._loop.is_closed()):
+                self.shutdown()
+        finally:
+            if not self._loop.is_closed():
+                self._loop.call_soon_threadsafe(self._loop.stop)
+                self._thread.join(timeout=10)
+                self._loop.close()
+            if self._tmp is not None:
+                self._tmp.cleanup()
+                self._tmp = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

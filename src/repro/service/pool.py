@@ -1,0 +1,100 @@
+"""The warm worker pool: reusable fork workers with crash recovery.
+
+The daemon keeps one :class:`WarmPool` alive across requests.  Workers
+are forked eagerly at construction (and pinged, so the first real
+request never pays process start-up) and reused until they die or the
+service shuts down — reuse is what makes the per-worker caches in
+:mod:`repro.service.worker` accumulate across requests.
+
+Crash recovery is generation-counted: a worker dying (``os._exit``,
+OOM kill, segfault) breaks the whole ``ProcessPoolExecutor``, failing
+every in-flight future with ``BrokenProcessPool``.  Each submitter
+remembers the generation it submitted under and calls
+:meth:`rebuild` with it; only the *first* caller of a generation
+actually rebuilds (the rest see the bumped counter and just resubmit),
+so N concurrent victims of one crash cost one rebuild, not N.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+
+from repro.service.worker import worker_ping
+
+__all__ = ["WarmPool"]
+
+
+def _mp_context():
+    """Fork where available (cheap respawn; inherits registrations)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+class WarmPool:
+    """A rebuildable :class:`ProcessPoolExecutor` kept warm for reuse."""
+
+    def __init__(self, workers: int = 1, *, warm: bool = True) -> None:
+        self.workers = max(1, int(workers))
+        self.generation = 0
+        self.rebuilds = 0
+        self._lock = threading.Lock()
+        self._executor = self._make()
+        if warm:
+            self.warm_up()
+
+    def _make(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers,
+                                   mp_context=_mp_context())
+
+    def warm_up(self) -> None:
+        """Fork every worker now and wait until each answers a ping."""
+        pings = [self._executor.submit(worker_ping)
+                 for _ in range(self.workers)]
+        for ping in pings:
+            ping.result()
+
+    def submit(self, fn, *args) -> tuple[int, Future]:
+        """Submit a job; returns ``(generation, future)``.
+
+        The caller must keep the generation: on ``BrokenProcessPool``
+        it is the ticket for :meth:`rebuild`.
+        """
+        with self._lock:
+            return self.generation, self._executor.submit(fn, *args)
+
+    def rebuild(self, seen_generation: int) -> int:
+        """Replace a broken executor (idempotent per generation).
+
+        Callers race here after a crash; whoever arrives first with the
+        current generation swaps the executor and bumps the counter,
+        everyone else returns immediately.  Returns the live generation.
+        """
+        with self._lock:
+            if seen_generation == self.generation:
+                old = self._executor
+                self._executor = self._make()
+                self.generation += 1
+                self.rebuilds += 1
+                try:
+                    # A broken pool cannot be joined; just detach it.
+                    old.shutdown(wait=False, cancel_futures=True)
+                except Exception:  # pragma: no cover — best-effort cleanup
+                    pass
+            return self.generation
+
+    def make_solo(self) -> ProcessPoolExecutor:
+        """A fresh single-worker executor for quarantined jobs.
+
+        Not tracked by the pool: the caller owns (and must shut down)
+        the executor, and a job dying on it cannot break the shared
+        workers.
+        """
+        return ProcessPoolExecutor(max_workers=1, mp_context=_mp_context())
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        with self._lock:
+            self._executor.shutdown(wait=wait, cancel_futures=True)

@@ -1,0 +1,73 @@
+"""Service counters: request accounting and latency quantiles.
+
+One mutable :class:`ServiceCounters` per daemon, mutated only from the
+event loop thread (so no locking), snapshotted into the immutable
+:class:`repro.api.ServiceStats` payload on every ``stats`` request.
+Latencies are kept in a bounded ring (recent window, not full history)
+— the p50/p95 a operator reads answers "how is the service doing
+*now*", and a bounded window keeps a long-lived daemon's memory flat.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+
+from repro.api.v1 import ServiceStats
+
+__all__ = ["ServiceCounters", "quantile"]
+
+LATENCY_WINDOW = 512
+
+
+def quantile(samples, q: float) -> float:
+    """Nearest-rank quantile of *samples* (0 for an empty window)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return float(ordered[rank])
+
+
+class ServiceCounters:
+    """Mutable tallies for one service lifetime."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.requests = 0
+        self.by_type: Counter[str] = Counter()
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0          # backpressure: queue full at admission
+        self.expired = 0           # deadline passed (queued or running)
+        self.cache_hits = 0
+        self.in_flight = 0
+        self.latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    def note_request(self, kind: str) -> None:
+        self.requests += 1
+        self.by_type[kind] += 1
+
+    def note_completed(self, latency: float) -> None:
+        self.completed += 1
+        self.latencies.append(latency)
+
+    def snapshot(self, *, queue_depth: int, queue_capacity: int,
+                 workers: int, pool_rebuilds: int) -> ServiceStats:
+        return ServiceStats(
+            requests=self.requests,
+            by_type=dict(self.by_type),
+            completed=self.completed,
+            failed=self.failed,
+            rejected=self.rejected,
+            expired=self.expired,
+            cache_hits=self.cache_hits,
+            queue_depth=queue_depth,
+            queue_capacity=queue_capacity,
+            in_flight=self.in_flight,
+            workers=workers,
+            pool_rebuilds=pool_rebuilds,
+            latency_p50=round(quantile(self.latencies, 0.50), 6),
+            latency_p95=round(quantile(self.latencies, 0.95), 6),
+            uptime=round(time.monotonic() - self.started, 3),
+        )

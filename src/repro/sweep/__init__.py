@@ -20,7 +20,13 @@ inline grids directly.
 """
 
 from repro.sweep.aggregate import PhaseTotals, TrafficTotals, aggregate_records
-from repro.sweep.runner import ShardStats, SweepError, SweepResult, run_plan
+from repro.sweep.runner import (
+    RunOptions,
+    ShardStats,
+    SweepError,
+    SweepResult,
+    run_plan,
+)
 from repro.sweep.spec import (
     PLAN_FORMAT,
     ScenarioSpec,
@@ -45,6 +51,7 @@ __all__ = [
     "PhaseTotals",
     "aggregate_records",
     "SweepError",
+    "RunOptions",
     "ShardStats",
     "SweepResult",
     "run_plan",

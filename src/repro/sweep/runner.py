@@ -29,20 +29,49 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable, Sequence
 
 from repro.sweep.aggregate import PhaseTotals, TrafficTotals, aggregate_records
 from repro.sweep.spec import ScenarioSpec, SweepPlan, digest_records
 from repro.sweep.tasks import run_scenario
 
-__all__ = ["SweepError", "ShardStats", "SweepResult", "run_plan"]
+__all__ = ["SweepError", "RunOptions", "ShardStats", "SweepResult", "run_plan"]
 
 
 class SweepError(RuntimeError):
     """A scenario failed (deterministically) or the pool died for good."""
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Execution options for :func:`run_plan` (and ``run_bench``).
+
+    One value instead of a keyword sprawl — the preferred calling
+    convention is ``run_plan(plan, options=RunOptions(workers=4))``.
+    Every field keeps the semantics the keyword of the same name had:
+
+    * ``workers`` — pool size; ``<= 1`` runs the serial reference loop.
+    * ``chunk_size`` — scenarios per shard (default: ~4 chunks/worker).
+    * ``shard_order`` — chunk submission permutation (differential
+      tests use it to prove order-invariance).
+    * ``max_restarts`` — tolerated pool rebuilds after worker deaths.
+    * ``progress`` — ``progress(done, total)`` parent-side callback
+      (not serialized; excluded from equality by design of use, carried
+      here only as plumbing).
+    """
+
+    workers: int = 1
+    chunk_size: int | None = None
+    shard_order: Sequence[int] | None = None
+    max_restarts: int = 2
+    progress: Callable[[int, int], None] | None = None
+
+
+_OPTION_FIELDS = tuple(f.name for f in fields(RunOptions))
 
 
 @dataclass(frozen=True)
@@ -178,34 +207,36 @@ def _run_serial(plan: SweepPlan,
 
 def run_plan(
     plan: SweepPlan,
-    *,
-    workers: int = 1,
-    progress: Callable[[int, int], None] | None = None,
-    chunk_size: int | None = None,
-    shard_order: Sequence[int] | None = None,
-    max_restarts: int = 2,
+    options: RunOptions | None = None,
+    **legacy_kwargs,
 ) -> SweepResult:
     """Execute *plan* and return the ordered :class:`SweepResult`.
 
-    Parameters
-    ----------
-    workers:
-        Pool size; ``<= 1`` runs the serial reference loop in-process.
-    progress:
-        ``progress(done, total)`` callback, invoked in the parent as
-        scenarios (serial) or chunks (sharded) complete.
-    chunk_size:
-        Scenarios per shard; default targets 4 chunks per worker so the
-        pool can steal work from stragglers.
-    shard_order:
-        Optional permutation of chunk ids controlling submission order
-        — exists so the differential tests can prove order-invariance;
-        the merged result is identical for every permutation.
-    max_restarts:
-        Pool rebuilds tolerated after worker-process deaths before the
-        sweep is abandoned.
+    The preferred calling convention is
+    ``run_plan(plan, RunOptions(workers=4, ...))`` — see
+    :class:`RunOptions` for every knob.  The historical keyword form
+    (``run_plan(plan, workers=4, chunk_size=...)``) still works but is
+    deprecated: it warns and folds the keywords into a
+    :class:`RunOptions`, producing an identical result.
     """
-    workers = int(workers)
+    if legacy_kwargs:
+        unknown = sorted(set(legacy_kwargs) - set(_OPTION_FIELDS))
+        if unknown:
+            raise TypeError(
+                f"run_plan got unexpected keyword argument(s) {unknown}; "
+                f"RunOptions fields are {list(_OPTION_FIELDS)}")
+        warnings.warn(
+            "passing execution options as keyword arguments to run_plan is "
+            "deprecated; pass options=RunOptions(...) instead (the result "
+            "is identical)", DeprecationWarning, stacklevel=2)
+        options = replace(options or RunOptions(), **legacy_kwargs)
+    options = options or RunOptions()
+    progress = options.progress
+    chunk_size = options.chunk_size
+    shard_order = options.shard_order
+    max_restarts = options.max_restarts
+
+    workers = int(options.workers)
     if workers <= 1:
         return _run_serial(plan, progress)
     total = len(plan)

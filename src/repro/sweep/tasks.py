@@ -136,13 +136,15 @@ def _sensitivity(spec: ScenarioSpec) -> dict:
 
 
 def _resilience_outcome(p: Mapping[str, Any], fault_plan) -> dict:
-    from repro.core.dls_bl_ncp import DLSBLNCP
+    from repro.core.dls_bl_ncp import DLSBLNCP, EngineConfig
 
     outcome = DLSBLNCP(
         [float(x) for x in p["w"]], _kind(p), float(p["z"]),
-        num_blocks=int(p.get("num_blocks", 120)),
-        bidding_mode=p.get("bidding_mode", "atomic"),
-        fault_plan=fault_plan,
+        config=EngineConfig(
+            num_blocks=int(p.get("num_blocks", 120)),
+            bidding_mode=p.get("bidding_mode", "atomic"),
+            fault_plan=fault_plan,
+        ),
     ).run()
     record = _outcome_summary(outcome)
     record["traffic"] = _traffic_dict(outcome)
@@ -198,7 +200,7 @@ def _protocol(spec: ScenarioSpec) -> dict:
     defaults to the derived scenario seed).
     """
     from repro.agents.behaviors import AgentBehavior, Deviation
-    from repro.core.dls_bl_ncp import DLSBLNCP
+    from repro.core.dls_bl_ncp import DLSBLNCP, EngineConfig
     from repro.core.fines import FinePolicy
     from repro.io import protocol_result_to_dict
     from repro.network.faults import CrashFault, FaultPlan, MessageFault
@@ -231,11 +233,13 @@ def _protocol(spec: ScenarioSpec) -> dict:
 
     outcome = DLSBLNCP(
         w, _kind(p), float(p["z"]),
-        behaviors=behaviors or None,
-        policy=FinePolicy(float(p.get("fine_factor", 2.0))),
-        num_blocks=int(p.get("num_blocks", 120)),
-        bidding_mode=p.get("bidding_mode", "atomic"),
-        fault_plan=fault_plan,
+        config=EngineConfig(
+            behaviors=behaviors or None,
+            policy=FinePolicy(float(p.get("fine_factor", 2.0))),
+            num_blocks=int(p.get("num_blocks", 120)),
+            bidding_mode=p.get("bidding_mode", "atomic"),
+            fault_plan=fault_plan,
+        ),
     ).run()
     record = protocol_result_to_dict(outcome)
     # Spans carry the same counters the shard aggregator reads from

@@ -1,0 +1,73 @@
+"""Golden fixtures: the v1 wire format and digests are frozen.
+
+The JSON files under ``tests/api/golden/`` are the compatibility
+contract of ``repro/api/v1``: they must parse forever, re-encode
+byte-identically (after canonicalization), and — for the execution
+digests — produce the same settlements on every machine and Python
+version.  A failure here means a wire-format or semantics break that
+needs a schema bump (``repro/api/v2``), not a fixture refresh; see
+DESIGN.md §4.9.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    execute,
+    request_from_dict,
+    settlement_digest,
+)
+from repro.sweep.spec import canonical_json
+
+GOLDEN = Path(__file__).parent / "golden"
+DIGESTS = json.loads((GOLDEN / "digests.json").read_text())
+
+REQUEST_FIXTURES = ("engagement_request", "sweep_request", "bench_request")
+
+
+def load(name: str) -> dict:
+    return json.loads((GOLDEN / f"{name}.json").read_text())
+
+
+class TestFrozenRequests:
+    @pytest.mark.parametrize("name", REQUEST_FIXTURES)
+    def test_parses_and_reencodes_identically(self, name):
+        data = load(name)
+        request = request_from_dict(data)
+        assert canonical_json(request.to_dict()) == canonical_json(data), (
+            f"{name}: to_dict() no longer round-trips the frozen payload — "
+            "this is a v1 wire-format break")
+
+    @pytest.mark.parametrize("name", REQUEST_FIXTURES)
+    def test_digest_is_frozen(self, name):
+        request = request_from_dict(load(name))
+        assert request.digest() == DIGESTS[name], (
+            f"{name}: canonical digest changed — identical requests no "
+            "longer deduplicate across versions")
+
+    def test_engagement_fixture_exercises_every_field(self):
+        # The fixture is only a meaningful contract if it pins the whole
+        # surface: every EngagementRequest field non-defaulted or listed.
+        data = load("engagement_request")
+        body = {k: v for k, v in data.items() if k not in ("schema", "type")}
+        from dataclasses import fields
+
+        from repro.api import EngagementRequest
+
+        assert set(body) == {f.name for f in fields(EngagementRequest)}
+
+
+class TestFrozenExecution:
+    def test_engagement_settlement_digest_is_frozen(self):
+        result = execute(request_from_dict(load("engagement_request")))
+        assert result.digest() == DIGESTS["engagement_result"], (
+            "the engagement settlement changed for a frozen request — "
+            "either the mechanism semantics moved (update EXPERIMENTS.md "
+            "and refresh deliberately) or determinism broke")
+        assert result.digest() == settlement_digest(result.outcome)
+
+    def test_sweep_digest_is_frozen(self):
+        result = execute(request_from_dict(load("sweep_request")))
+        assert result.digest() == DIGESTS["sweep_result"]

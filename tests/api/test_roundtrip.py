@@ -1,0 +1,193 @@
+"""repro.api v1: validation, canonical round-trips, digest identity."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    SCHEMA,
+    ApiError,
+    BenchRequest,
+    BenchResult,
+    EngagementRequest,
+    EngagementResult,
+    ServiceStats,
+    SweepRequest,
+    execute,
+    request_from_dict,
+    result_from_dict,
+    settlement_digest,
+)
+from repro.sweep import SweepPlan
+
+W = (2.0, 3.0, 5.0)
+Z = 0.4
+
+
+def square_plan_dict(n=4):
+    return SweepPlan.from_scenarios(
+        "utility-point",
+        [{"w": list(W), "z": Z, "kind": "ncp-fe", "i": 0,
+          "bid_factor": 1.0 + 0.1 * i, "exec_factor": 1.0}
+         for i in range(n)],
+        root_seed=7).to_dict()
+
+
+class TestEnvelope:
+    def test_every_payload_is_schema_tagged(self):
+        for payload in (EngagementRequest(w=W, z=Z),
+                        SweepRequest(plan=square_plan_dict()),
+                        BenchRequest(),
+                        ServiceStats()):
+            d = payload.to_dict()
+            assert d["schema"] == SCHEMA
+            assert d["type"] == type(payload).TYPE
+
+    def test_wrong_schema_rejected_with_version_hint(self):
+        d = EngagementRequest(w=W, z=Z).to_dict()
+        d["schema"] = "repro/api/v2"
+        with pytest.raises(ApiError, match="newer API version"):
+            EngagementRequest.from_dict(d)
+
+    def test_unknown_field_rejected_by_name(self):
+        d = EngagementRequest(w=W, z=Z).to_dict()
+        d["surprise"] = 1
+        with pytest.raises(ApiError, match=r"\['surprise'\]"):
+            EngagementRequest.from_dict(d)
+
+    def test_type_dispatch(self):
+        for req in (EngagementRequest(w=W, z=Z),
+                    SweepRequest(plan=square_plan_dict()),
+                    BenchRequest(quick=True)):
+            assert request_from_dict(req.to_dict()) == req
+
+    def test_unknown_request_type_lists_valid(self):
+        with pytest.raises(ApiError, match="bench.*engagement.*sweep"):
+            request_from_dict({"schema": SCHEMA, "type": "mystery"})
+
+
+class TestEngagementRequestValidation:
+    def test_defaults_materialized_in_to_dict(self):
+        d = EngagementRequest(w=W, z=Z).to_dict()
+        assert d["num_blocks"] == 120
+        assert d["bidding_mode"] == "atomic"
+        assert d["redundancy"] == "memoized"
+        assert d["deviants"] == [] and d["crash"] == []
+
+    def test_json_round_trip_is_exact(self):
+        req = EngagementRequest(
+            w=W, z=Z, kind="ncp-nfe", bidding_mode="commit",
+            fine_factor=3.0, deviants=((1, "multiple-bids"),),
+            crash=((0, 0.5),), drop_rate=0.1, seed=9, pki_seed=4)
+        again = request_from_dict(json.loads(json.dumps(req.to_dict())))
+        assert again == req
+        assert again.digest() == req.digest()
+
+    @pytest.mark.parametrize("kwargs,match", [
+        (dict(w=(2.0,), z=Z), "at least 2"),
+        (dict(w=W, z=0.0), "z must be > 0"),
+        (dict(w=(2.0, -1.0), z=Z), r"w\[1\] must be > 0"),
+        (dict(w=W, z=Z, kind="cp"), "control processor"),
+        (dict(w=W, z=Z, kind="mesh"), "kind must be one of"),
+        (dict(w=W, z=Z, bidding_mode="gossip"), "bidding_mode"),
+        (dict(w=W, z=Z, num_blocks=0), "num_blocks"),
+        (dict(w=W, z=Z, deviants=((5, "multiple-bids"),)), "out of range"),
+        (dict(w=W, z=Z, deviants=((0, "nope"),)), "unknown deviation"),
+        (dict(w=W, z=Z, crash=((1, 1.5),)), "crash progress"),
+        (dict(w=W, z=Z, drop_rate=1.0), "drop_rate"),
+        (dict(w=W, z=Z, redundancy="psychic"), "redundancy"),
+    ])
+    def test_actionable_validation_errors(self, kwargs, match):
+        with pytest.raises(ApiError, match=match):
+            EngagementRequest(**kwargs)
+
+    def test_digest_ignores_field_order(self):
+        a = EngagementRequest(w=W, z=Z, seed=1)
+        d = a.to_dict()
+        shuffled = dict(reversed(list(d.items())))
+        assert request_from_dict(shuffled).digest() == a.digest()
+
+
+class TestSweepAndBenchRequests:
+    def test_sweep_embeds_a_valid_plan(self):
+        req = SweepRequest(plan=square_plan_dict(), workers=2)
+        assert len(req.build_plan()) == 4
+        assert request_from_dict(req.to_dict()) == req
+
+    def test_sweep_rejects_malformed_plan_with_reason(self):
+        with pytest.raises(ApiError, match="not a valid repro/sweep-plan"):
+            SweepRequest(plan={"format": "nope"})
+
+    def test_bench_round_trip(self):
+        req = BenchRequest(quick=False, workers=2)
+        assert request_from_dict(req.to_dict()) == req
+
+    def test_bench_quick_must_be_bool(self):
+        with pytest.raises(ApiError, match="quick"):
+            BenchRequest(quick=1)
+
+
+class TestResults:
+    def test_engagement_result_digest_excludes_telemetry(self):
+        res = execute(EngagementRequest(w=W, z=Z))
+        record = dict(res.outcome)
+        assert "traffic" in record and "spans" in record
+        mutated = dict(record)
+        mutated["traffic"] = {"messages": 10**9}
+        mutated["spans"] = []
+        assert settlement_digest(mutated) == settlement_digest(record)
+        tampered = dict(record)
+        tampered["balances"] = {k: v + 1.0
+                                for k, v in record["balances"].items()}
+        assert settlement_digest(tampered) != settlement_digest(record)
+
+    def test_engagement_result_round_trip(self):
+        res = execute(EngagementRequest(w=W, z=Z))
+        again = result_from_dict(json.loads(json.dumps(res.to_dict())))
+        assert isinstance(again, EngagementResult)
+        assert again.digest() == res.digest()
+        assert again.completed == res.completed
+        assert again.spans == res.spans
+
+    def test_sweep_result_round_trip_checks_digest(self):
+        res = execute(SweepRequest(plan=square_plan_dict()))
+        payload = res.to_dict()
+        again = result_from_dict(payload)
+        assert again.digest() == res.digest()
+        corrupted = dict(payload)
+        corrupted["records"] = list(corrupted["records"])[:-1]
+        with pytest.raises(ApiError, match="corrupted"):
+            result_from_dict(corrupted)
+
+    def test_bench_result_round_trip(self):
+        res = BenchResult(timings={"kernel_a": 0.25}, quick=True)
+        assert result_from_dict(res.to_dict()) == res
+
+
+class TestExecuteDigestIdentity:
+    def test_engagement_digest_matches_direct_engine_run(self):
+        from repro.api import build_mechanism, result_from_outcome
+
+        req = EngagementRequest(w=W, z=Z, deviants=((2, "split-bids"),))
+        assert (execute(req).digest()
+                == result_from_outcome(build_mechanism(req).run()).digest())
+
+    def test_sweep_digest_matches_run_plan(self):
+        from repro.sweep import run_plan
+
+        req = SweepRequest(plan=square_plan_dict())
+        assert execute(req).digest() == run_plan(req.build_plan()).digest()
+
+    def test_shared_caches_do_not_change_settlement(self):
+        from repro.perf import ComputationCache, SignatureCache
+        from repro.api import run_engagement
+
+        memo, sigs = ComputationCache(), SignatureCache()
+        req = EngagementRequest(w=W, z=Z)
+        first = run_engagement(req, memo=memo, signature_cache=sigs)
+        warm = run_engagement(req, memo=memo, signature_cache=sigs)
+        cold = run_engagement(req)
+        assert first.digest() == warm.digest() == cold.digest()
+        # the warm run actually hit the shared caches
+        assert (warm.outcome["traffic"] != cold.outcome["traffic"]
+                or memo.stats.hits > 0)

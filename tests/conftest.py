@@ -64,10 +64,16 @@ PROTO_Z = 0.4
 
 def run_protocol(kind=NetworkKind.NCP_FE, behaviors=None, *,
                  w=PROTO_W4, z: float = PROTO_Z, **kw):
-    """Build and run one DLS-BL-NCP engagement (shared test builder)."""
-    from repro.core.dls_bl_ncp import DLSBLNCP
+    """Build and run one DLS-BL-NCP engagement (shared test builder).
 
-    return DLSBLNCP(list(w), kind, z, behaviors=behaviors, **kw).run()
+    Keyword options are folded into an :class:`EngineConfig` (the
+    preferred convention); the legacy-kwarg shim keeps its own explicit
+    coverage in ``tests/api/test_facade.py``.
+    """
+    from repro.core.dls_bl_ncp import DLSBLNCP, EngineConfig
+
+    config = EngineConfig(behaviors=behaviors, **kw)
+    return DLSBLNCP(list(w), kind, z, config=config).run()
 
 
 def crash_plan(victim: str, progress: float = 0.5, phase=None):

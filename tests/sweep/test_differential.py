@@ -15,7 +15,7 @@ from repro.analysis.resilience import crash_plan, drop_plan
 from repro.analysis.sensitivity import condition_plan
 from repro.analysis.strategyproofness import surface_plan
 from repro.dlt.platform import BusNetwork, NetworkKind
-from repro.sweep import run_plan
+from repro.sweep import RunOptions, run_plan
 
 W4 = (2.0, 3.0, 5.0, 4.0)
 Z = 0.4
@@ -52,7 +52,7 @@ def serial(plans):
 class TestShardedEqualsSerial:
     @pytest.mark.parametrize("workers", [w for w in WORKER_COUNTS if w > 1])
     def test_any_worker_count(self, plans, serial, name, workers):
-        sharded = run_plan(plans[name], workers=workers)
+        sharded = run_plan(plans[name], RunOptions(workers=workers))
         assert sharded.records == serial[name].records
         assert sharded.digest() == serial[name].digest()
 
@@ -62,8 +62,8 @@ class TestShardedEqualsSerial:
         n_chunks = -(-len(plan) // chunk_size)
         order = list(range(n_chunks))
         random.Random(name).shuffle(order)
-        sharded = run_plan(plan, workers=2, chunk_size=chunk_size,
-                           shard_order=order)
+        sharded = run_plan(plan, RunOptions(workers=2, chunk_size=chunk_size,
+                           shard_order=order))
         assert sharded.records == serial[name].records
         assert sharded.digest() == serial[name].digest()
 
@@ -72,19 +72,19 @@ class TestShardedEqualsSerial:
         # submission order — the adversarial extreme of the contract.
         plan = plans[name]
         order = list(reversed(range(len(plan))))
-        sharded = run_plan(plan, workers=2, chunk_size=1, shard_order=order)
+        sharded = run_plan(plan, RunOptions(workers=2, chunk_size=1, shard_order=order))
         assert sharded.digest() == serial[name].digest()
 
 
 class TestAggregatesMatch:
     def test_traffic_totals_worker_invariant(self, plans, serial):
         ref = serial["resilience-crash"].traffic.to_dict()
-        sharded = run_plan(plans["resilience-crash"], workers=4)
+        sharded = run_plan(plans["resilience-crash"], RunOptions(workers=4))
         assert sharded.traffic.to_dict() == ref
 
     def test_phase_totals_worker_invariant(self, plans, serial):
         ref = serial["resilience-drop"].phases.to_dict()
-        sharded = run_plan(plans["resilience-drop"], workers=2)
+        sharded = run_plan(plans["resilience-drop"], RunOptions(workers=2))
         assert sharded.phases.to_dict() == ref
 
 

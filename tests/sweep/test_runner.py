@@ -8,7 +8,13 @@ import os
 
 import pytest
 
-from repro.sweep import ScenarioSpec, SweepError, SweepPlan, run_plan
+from repro.sweep import (
+    RunOptions,
+    ScenarioSpec,
+    SweepError,
+    SweepPlan,
+    run_plan,
+)
 from repro.sweep.tasks import register
 
 
@@ -58,7 +64,7 @@ class TestSerial:
 
     def test_progress_called_per_scenario(self):
         calls = []
-        run_plan(square_plan(4), progress=lambda d, t: calls.append((d, t)))
+        run_plan(square_plan(4), RunOptions(progress=lambda d, t: calls.append((d, t))))
         assert calls == [(1, 4), (2, 4), (3, 4), (4, 4)]
 
     def test_failure_raises_sweep_error_with_index(self):
@@ -80,7 +86,7 @@ class TestSerial:
 class TestSharded:
     def test_digest_matches_serial(self):
         serial = run_plan(square_plan(12))
-        sharded = run_plan(square_plan(12), workers=2)
+        sharded = run_plan(square_plan(12), RunOptions(workers=2))
         assert sharded.records == serial.records
         assert sharded.digest() == serial.digest()
         assert sharded.workers == 2
@@ -88,32 +94,32 @@ class TestSharded:
 
     def test_shard_order_is_irrelevant(self):
         serial = run_plan(square_plan(8))
-        scrambled = run_plan(square_plan(8), workers=2, chunk_size=2,
-                             shard_order=[3, 1, 0, 2])
+        scrambled = run_plan(square_plan(8), RunOptions(workers=2, chunk_size=2,
+                             shard_order=[3, 1, 0, 2]))
         assert scrambled.records == serial.records
         assert scrambled.digest() == serial.digest()
 
     def test_bad_shard_order_rejected(self):
         with pytest.raises(ValueError, match="shard_order"):
-            run_plan(square_plan(8), workers=2, chunk_size=2,
-                     shard_order=[0, 0, 1, 2])
+            run_plan(square_plan(8), RunOptions(workers=2, chunk_size=2,
+                     shard_order=[0, 0, 1, 2]))
 
     def test_chunking_covers_all_scenarios(self):
-        result = run_plan(square_plan(7), workers=2, chunk_size=3)
+        result = run_plan(square_plan(7), RunOptions(workers=2, chunk_size=3))
         assert len(result.shards) == 3
         assert sum(s.scenarios for s in result.shards) == 7
         assert [r["sq"] for r in result.records] == [i * i for i in range(7)]
 
     def test_progress_reports_chunk_completions(self):
         calls = []
-        run_plan(square_plan(8), workers=2, chunk_size=4,
-                 progress=lambda d, t: calls.append((d, t)))
+        run_plan(square_plan(8), RunOptions(workers=2, chunk_size=4,
+                 progress=lambda d, t: calls.append((d, t))))
         assert calls[-1] == (8, 8)
         assert all(t == 8 for _, t in calls)
 
     def test_empty_plan_sharded(self):
         result = run_plan(SweepPlan.from_scenarios("test-square", []),
-                          workers=4)
+                          RunOptions(workers=4))
         assert result.records == ()
         assert result.shards == ()
 
@@ -121,7 +127,7 @@ class TestSharded:
         plan = SweepPlan.from_scenarios(
             "test-fail-at", [{"i": i, "fail": 4} for i in range(8)])
         with pytest.raises(SweepError, match=r"scenario 4 .*boom at 4"):
-            run_plan(plan, workers=2, chunk_size=2)
+            run_plan(plan, RunOptions(workers=2, chunk_size=2))
 
     def test_later_scenarios_still_ran_despite_failure(self):
         # Failures are captured per scenario, not per chunk: the lowest
@@ -130,7 +136,7 @@ class TestSharded:
         plan = SweepPlan.from_scenarios(
             "test-fail-at", [{"i": i, "fail": 0} for i in range(4)])
         with pytest.raises(SweepError, match="scenario 0"):
-            run_plan(plan, workers=2, chunk_size=4)
+            run_plan(plan, RunOptions(workers=2, chunk_size=4))
 
 
 class TestWorkerDeath:
@@ -139,7 +145,7 @@ class TestWorkerDeath:
         plan = SweepPlan.from_scenarios(
             "test-die-once",
             [{"i": i, "sentinel": sentinel} for i in range(6)])
-        result = run_plan(plan, workers=2, chunk_size=2)
+        result = run_plan(plan, RunOptions(workers=2, chunk_size=2))
         assert [r["i"] for r in result.records] == list(range(6))
         assert result.restarts >= 1
         assert os.path.exists(sentinel)
@@ -147,20 +153,20 @@ class TestWorkerDeath:
     def test_persistent_death_abandons_sweep(self):
         plan = SweepPlan.from_scenarios("test-die-always", [{"i": 0}])
         with pytest.raises(SweepError, match="pool died"):
-            run_plan(plan, workers=2, max_restarts=1)
+            run_plan(plan, RunOptions(workers=2, max_restarts=1))
 
 
 class TestResultShape:
     def test_to_dict_round_trips_through_json(self):
         import json
 
-        result = run_plan(square_plan(5), workers=2, chunk_size=2)
+        result = run_plan(square_plan(5), RunOptions(workers=2, chunk_size=2))
         payload = json.loads(json.dumps(result.to_dict()))
         assert payload["digest"] == result.digest()
         assert len(payload["records"]) == 5
         assert payload["workers"] == 2
 
     def test_shards_sorted_by_id(self):
-        result = run_plan(square_plan(9), workers=2, chunk_size=3,
-                          shard_order=[2, 0, 1])
+        result = run_plan(square_plan(9), RunOptions(workers=2, chunk_size=3,
+                          shard_order=[2, 0, 1]))
         assert [s.shard for s in result.shards] == [0, 1, 2]

@@ -121,6 +121,25 @@ def test_runners_do_not_import_agent_internals():
         + "\n  ".join(bad))
 
 
+def test_api_does_not_import_service():
+    # repro.api is the wire contract; repro.service is one consumer of
+    # it.  The dependency is strictly one-way (service -> api), so the
+    # facade stays importable in environments with no asyncio daemon.
+    bad = _violations(("repro.api",), ("repro.service",))
+    assert not bad, (
+        "repro.api must not depend on repro.service:\n  " + "\n  ".join(bad))
+
+
+def test_cli_imports_analysis_only_through_facade():
+    # The CLI is a thin client of repro.api; reaching into the analysis
+    # package directly bypasses the versioned surface.  (The sanctioned
+    # re-export module repro.api.analysis does not match this prefix.)
+    bad = _violations(("repro.cli",), ("repro.analysis",))
+    assert not bad, (
+        "repro.cli must reach analysis code via repro.api.analysis:\n  "
+        + "\n  ".join(bad))
+
+
 def test_facade_allowlist_is_not_stale():
     # If the facade stops importing the protocol stack, shrink ALLOWED.
     for mod in ALLOWED:

@@ -61,6 +61,32 @@ def in_process_pass() -> None:
     print("in-process pass ok: digests match, cache hit, stats consistent")
 
 
+def committee_pass() -> None:
+    """An N=4 / f=1 referee committee served off the warm pool.
+
+    The Byzantine fine-stealer at seat 0 must not move the settlement:
+    the served committee run's digest equals the direct single-referee
+    run of the same engagement (committee traffic and certificates are
+    telemetry, not settlement), and the outcome carries the quorum
+    certificates that made its verdict binding.
+    """
+    deviant = ((1, "multiple-bids"),)
+    base = EngagementRequest(w=tuple(W), z=Z, num_blocks=60,
+                             deviants=deviant)
+    quorum = EngagementRequest(w=tuple(W), z=Z, num_blocks=60,
+                               deviants=deviant, committee=4,
+                               byzantine=((0, "fine-steal"),))
+    with ServiceClient(workers=1) as client:
+        served = client.request(quorum)
+        assert served.digest() == execute(base).digest(), (
+            "committee settlement diverged from the trusted-referee run")
+        assert served.outcome["certificates"], (
+            "committee run produced no quorum certificates")
+        assert served.outcome["verdicts"], "the deviant went unconvicted"
+    print("committee pass ok: N=4 f=1 settles like the trusted referee, "
+          f"{len(served.outcome['certificates'])} certificate(s) archived")
+
+
 def cli_pass() -> None:
     env = dict(os.environ)
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
@@ -109,6 +135,7 @@ def cli_pass() -> None:
 
 def main() -> int:
     in_process_pass()
+    committee_pass()
     cli_pass()
     print("service smoke passed")
     return 0

@@ -16,9 +16,14 @@ rational.
 """
 
 from repro.agents.behaviors import (
+    REFEREE_EQUIVOCATE,
+    REFEREE_FINE_STEAL,
+    REFEREE_SILENT,
+    REFEREE_STRATEGIES,
     AgentBehavior,
     Deviation,
     abstaining,
+    byzantine_referee,
     misreport,
     slow_execution,
     truthful,
@@ -32,5 +37,10 @@ __all__ = [
     "truthful",
     "misreport",
     "slow_execution",
+    "REFEREE_SILENT",
+    "REFEREE_EQUIVOCATE",
+    "REFEREE_FINE_STEAL",
+    "REFEREE_STRATEGIES",
+    "byzantine_referee",
     "ProcessorAgent",
 ]

@@ -20,7 +20,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
-__all__ = ["Deviation", "AgentBehavior", "truthful", "misreport", "slow_execution"]
+__all__ = [
+    "Deviation",
+    "AgentBehavior",
+    "truthful",
+    "misreport",
+    "slow_execution",
+    "REFEREE_SILENT",
+    "REFEREE_EQUIVOCATE",
+    "REFEREE_FINE_STEAL",
+    "REFEREE_STRATEGIES",
+    "byzantine_referee",
+]
 
 
 class Deviation(Enum):
@@ -139,3 +150,45 @@ def misreport(bid_factor: float) -> AgentBehavior:
 def slow_execution(exec_factor: float) -> AgentBehavior:
     """Bid truthfully but execute at ``exec_factor * w`` (>= 1 meaningful)."""
     return AgentBehavior(exec_factor=exec_factor)
+
+
+# ---------------------------------------------------------------------------
+# deviant referees
+# ---------------------------------------------------------------------------
+#
+# Committee members are adversaries too.  Their strategies are plain
+# strings (the transport knows nothing about them) and live here beside
+# the processor strategies so experiment sweeps enumerate both from one
+# module.  The canonical definitions are in :mod:`repro.core.quorum`;
+# the literals below are pinned equal by a test so this module stays
+# import-independent of the core layer.
+
+REFEREE_SILENT = "silent"
+"""Crash-faulty member: never proposes as leader, never votes."""
+
+REFEREE_EQUIVOCATE = "equivocate"
+"""Byzantine member: signs conflicting verdicts for different peers."""
+
+REFEREE_FINE_STEAL = "fine-steal"
+"""Byzantine member: rewrites verdicts to route the fine pot to itself."""
+
+REFEREE_STRATEGIES = (REFEREE_SILENT, REFEREE_EQUIVOCATE,
+                      REFEREE_FINE_STEAL)
+"""Every deviant committee-member strategy, for sweep enumeration."""
+
+
+def byzantine_referee(index: int, strategy: str = REFEREE_SILENT
+                      ) -> tuple[int, str]:
+    """``(index, strategy)`` entry for ``CommitteeConfig.byzantine``.
+
+    ``index`` is the committee seat (0-based; seat ``r % N`` leads
+    round ``r``), so corrupting seat 0 exercises leader rotation on the
+    very first round.
+    """
+    idx = int(index)
+    if idx < 0:
+        raise ValueError(f"committee seat must be >= 0, got {index}")
+    if strategy not in REFEREE_STRATEGIES:
+        raise ValueError(f"unknown referee strategy {strategy!r}; pick one "
+                         f"of {list(REFEREE_STRATEGIES)}")
+    return (idx, strategy)

@@ -13,6 +13,9 @@
   (VCG-style overpayment measurements).
 * :mod:`repro.analysis.resilience` — crash/drop fault sweeps: makespan
   inflation, welfare loss and retry overhead under the fault layer.
+* :mod:`repro.analysis.committee` — referee-committee experiments:
+  quorum traffic overhead per committee size (vs the Theorem 5.4
+  fits) and Byzantine-member resilience against single-referee twins.
 * :mod:`repro.analysis.reporting` — fixed-width table rendering shared
   by the benchmark harness and the examples.
 """
@@ -36,6 +39,13 @@ from repro.analysis.sensitivity import (
     worst_case_condition,
 )
 from repro.analysis.resilience import ResilienceSample, crash_sweep, drop_sweep
+from repro.analysis.committee import (
+    CommitteeOverheadSample,
+    CommitteeResilienceSample,
+    committee_overhead,
+    committee_resilience_sweep,
+    overhead_slopes,
+)
 
 __all__ = [
     "CoalitionResult",
@@ -65,4 +75,9 @@ __all__ = [
     "ResilienceSample",
     "crash_sweep",
     "drop_sweep",
+    "CommitteeOverheadSample",
+    "CommitteeResilienceSample",
+    "committee_overhead",
+    "committee_resilience_sweep",
+    "overhead_slopes",
 ]

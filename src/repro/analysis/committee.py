@@ -1,0 +1,254 @@
+"""Committee experiments: quorum overhead and Byzantine resilience.
+
+The referee committee (:mod:`repro.core.quorum`) replaces the paper's
+single minimally-trusted referee with ``N`` members that certify every
+verdict with ``N - f`` signed votes.  Two questions follow:
+
+* **What does it cost?**  :func:`committee_overhead` runs the same
+  engagement at increasing committee sizes and records the extra
+  control messages and bytes.  Adjudication traffic is Θ(N) per decided
+  case (one proposal and one vote per member, plus a certificate
+  announcement), so the overhead grows *linearly* in the committee size
+  while Theorem 5.4's Θ(m²) payment traffic is untouched — the fits
+  from :func:`~repro.analysis.complexity.fit_loglog_slope` make both
+  claims measurable.
+* **Does it still convict correctly?**  :func:`committee_resilience_sweep`
+  replays honest, deviant and faulty engagements with an ``N = 4``
+  committee carrying one Byzantine member per strategy, and checks
+  every run against its single-referee twin: same verdicts, same
+  settlement, conserved ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agents.behaviors import AgentBehavior, Deviation
+from repro.analysis.complexity import fit_loglog_slope
+from repro.core.dls_bl_ncp import DLSBLNCP, EngineConfig
+from repro.core.quorum import BYZANTINE_STRATEGIES, CommitteeConfig, HONEST
+from repro.core.referee import verdict_to_dict
+from repro.dlt.platform import NetworkKind
+from repro.network.faults import CrashFault, FaultPlan, MessageFault
+from repro.network.messages import MessageKind
+from repro.protocol.phases import Phase
+
+__all__ = [
+    "CommitteeOverheadSample",
+    "CommitteeResilienceSample",
+    "committee_overhead",
+    "committee_resilience_sweep",
+    "overhead_slopes",
+]
+
+QUORUM_KINDS = (MessageKind.QUORUM_PROPOSAL, MessageKind.QUORUM_VOTE,
+                MessageKind.QUORUM_CERT)
+
+
+@dataclass(frozen=True)
+class CommitteeOverheadSample:
+    """Traffic of one engagement at a given committee size.
+
+    ``size == 0`` is the single-trusted-referee baseline; overheads are
+    differences against it.
+    """
+
+    size: int
+    tolerated: int                 # f — Byzantine members survivable
+    control_messages: int
+    control_bytes: int
+    quorum_messages: int           # committee-internal traffic only
+    quorum_bytes: int
+    quorum_rounds: int
+    certificates: int
+    message_overhead: int          # vs the size-0 baseline
+    byte_overhead: int
+
+
+@dataclass(frozen=True)
+class CommitteeResilienceSample:
+    """One committee run checked against its single-referee twin."""
+
+    scenario: str
+    strategy: str                  # seat-0 strategy ("honest" or Byzantine)
+    completed: bool
+    verdicts_match: bool           # fined verdicts equal the twin's
+    settlement_match: bool         # payments/balances/utilities equal
+    ledger_error: float            # |sum of balances| (~0 when conserved)
+    quorum_rounds: int
+    certificates: int
+
+
+def _run(w, kind, z, *, num_blocks, pki_seed, behaviors=None,
+         fault_plan=None, bidding_mode="atomic", committee=None):
+    config = EngineConfig(
+        behaviors=behaviors, num_blocks=num_blocks, pki_seed=pki_seed,
+        fault_plan=fault_plan, bidding_mode=bidding_mode,
+        committee=committee)
+    return DLSBLNCP(list(w), kind, z, config=config).run()
+
+
+def _quorum_traffic(result) -> tuple[int, int]:
+    stats = result.traffic
+    msgs = sum(stats.by_kind[k] for k in QUORUM_KINDS)
+    size = sum(stats.bytes_by_kind[k] for k in QUORUM_KINDS)
+    return msgs, size
+
+
+def _quorum_rounds(result) -> int:
+    return sum(span.quorum_rounds for span in result.spans)
+
+
+def _settlement_view(result) -> dict:
+    """The economically meaningful outcome, for twin comparison."""
+    return {
+        "completed": result.completed,
+        "terminal_phase": result.terminal_phase.name,
+        "payments": dict(result.payments),
+        "balances": dict(result.balances),
+        "utilities": dict(result.utilities),
+        "fine_amount": result.fine_amount,
+        "verdicts": [verdict_to_dict(v) for v in result.verdicts],
+    }
+
+
+def _ledger_error(result) -> float:
+    return abs(sum(result.balances.values()))
+
+
+def committee_overhead(
+    sizes=(1, 4, 7, 10),
+    w=(2.0, 3.0, 5.0, 4.0),
+    kind: NetworkKind = NetworkKind.NCP_FE,
+    z: float = 0.4,
+    *,
+    num_blocks: int = 60,
+    pki_seed: int = 7,
+    deviant: bool = True,
+) -> list[CommitteeOverheadSample]:
+    """Measure quorum traffic per committee size, baseline first.
+
+    The first returned sample is the single-referee baseline
+    (``size=0``); each following sample runs the identical engagement
+    with an ``N``-member honest committee.  ``deviant`` plants one
+    multiple-bids equivocator so the run exercises a *fining* verdict
+    (without it the only adjudication is the terminal payment check).
+    """
+    behaviors = ({1: AgentBehavior(deviations={Deviation.MULTIPLE_BIDS})}
+                 if deviant else None)
+
+    def sample(size: int, committee: CommitteeConfig | None,
+               base: CommitteeOverheadSample | None):
+        result = _run(w, kind, z, num_blocks=num_blocks, pki_seed=pki_seed,
+                      behaviors=behaviors, committee=committee)
+        qmsgs, qbytes = _quorum_traffic(result)
+        stats = result.traffic
+        return CommitteeOverheadSample(
+            size=size,
+            tolerated=committee.f if committee is not None else 0,
+            control_messages=stats.control_messages,
+            control_bytes=stats.control_bytes,
+            quorum_messages=qmsgs,
+            quorum_bytes=qbytes,
+            quorum_rounds=_quorum_rounds(result),
+            certificates=len(result.certificates),
+            message_overhead=(stats.control_messages - base.control_messages
+                              if base is not None else 0),
+            byte_overhead=(stats.control_bytes - base.control_bytes
+                           if base is not None else 0),
+        )
+
+    baseline = sample(0, None, None)
+    samples = [baseline]
+    for size in sizes:
+        samples.append(sample(int(size), CommitteeConfig(size=int(size)),
+                              baseline))
+    return samples
+
+
+def overhead_slopes(samples: list[CommitteeOverheadSample]) -> dict:
+    """Log-log scaling of quorum overhead against committee size.
+
+    Expected ≈ 1 for both (adjudication is Θ(N) per decided case),
+    against Theorem 5.4's Θ(m²)-bytes / Θ(m)-messages protocol
+    baseline.  Needs at least two committee samples with positive
+    overhead (the size-0 baseline is skipped).
+    """
+    pts = [(s.size, s.message_overhead, s.byte_overhead)
+           for s in samples if s.size > 0 and s.message_overhead > 0
+           and s.byte_overhead > 0]
+    if len(pts) < 2:
+        raise ValueError("need >= 2 committee samples with positive overhead")
+    sizes = [p[0] for p in pts]
+    return {
+        "message_overhead_slope": fit_loglog_slope(
+            sizes, [p[1] for p in pts]),
+        "byte_overhead_slope": fit_loglog_slope(
+            sizes, [p[2] for p in pts]),
+    }
+
+
+def _scenarios(w, kind):
+    """(label, engagement-kwargs) pairs covering the threat surface."""
+    names = [f"P{i + 1}" for i in range(len(w))]
+    originator_idx = kind.originator_index(len(w))
+    victim = next(n for i, n in enumerate(names) if i != originator_idx)
+    return [
+        ("honest", {}),
+        ("deviant-multiple-bids",
+         {"behaviors": {1: AgentBehavior(
+             deviations={Deviation.MULTIPLE_BIDS})}}),
+        ("deviant-wrong-payments",
+         {"behaviors": {2: AgentBehavior(
+             deviations={Deviation.WRONG_PAYMENTS})}}),
+        ("crash-worker",
+         {"fault_plan": FaultPlan(crashes=(CrashFault(
+             victim, phase=Phase.PROCESSING_LOAD, progress=0.5),))}),
+        ("drop-bids",
+         {"bidding_mode": "commit",
+          "fault_plan": FaultPlan(seed=11, messages=(MessageFault(
+              kind=MessageKind.BID, probability=0.2),))}),
+    ]
+
+
+def committee_resilience_sweep(
+    w=(2.0, 3.0, 5.0, 4.0),
+    kind: NetworkKind = NetworkKind.NCP_FE,
+    z: float = 0.4,
+    *,
+    size: int = 4,
+    num_blocks: int = 60,
+    pki_seed: int = 7,
+    strategies=(HONEST,) + BYZANTINE_STRATEGIES,
+) -> list[CommitteeResilienceSample]:
+    """Check committee verdicts against single-referee twins.
+
+    For every scenario (honest, two deviant offences, a mid-Processing
+    crash, a lossy point-to-point bidding round) and every seat-0
+    strategy, runs the ``size``-member committee and compares the
+    settlement against the identical single-referee engagement.  Seat 0
+    leads round 0, so a Byzantine seat 0 always forces at least one
+    leader rotation.
+    """
+    samples = []
+    for label, kwargs in _scenarios(w, kind):
+        twin = _run(w, kind, z, num_blocks=num_blocks, pki_seed=pki_seed,
+                    **kwargs)
+        twin_view = _settlement_view(twin)
+        for strategy in strategies:
+            byzantine = () if strategy == HONEST else ((0, strategy),)
+            committee = CommitteeConfig(size=size, byzantine=byzantine)
+            result = _run(w, kind, z, num_blocks=num_blocks,
+                          pki_seed=pki_seed, committee=committee, **kwargs)
+            view = _settlement_view(result)
+            samples.append(CommitteeResilienceSample(
+                scenario=label,
+                strategy=strategy,
+                completed=result.completed,
+                verdicts_match=view["verdicts"] == twin_view["verdicts"],
+                settlement_match=view == twin_view,
+                ledger_error=_ledger_error(result),
+                quorum_rounds=_quorum_rounds(result),
+                certificates=len(result.certificates),
+            ))
+    return samples

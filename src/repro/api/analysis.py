@@ -9,8 +9,21 @@ plain re-export; the implementations live in :mod:`repro.analysis`.
 
 from __future__ import annotations
 
+from repro.analysis.committee import (
+    committee_overhead,
+    committee_resilience_sweep,
+    overhead_slopes,
+)
 from repro.analysis.reporting import format_table
 from repro.analysis.resilience import crash_sweep, drop_sweep
 from repro.analysis.welfare import kind_comparison
 
-__all__ = ["format_table", "kind_comparison", "crash_sweep", "drop_sweep"]
+__all__ = [
+    "format_table",
+    "kind_comparison",
+    "crash_sweep",
+    "drop_sweep",
+    "committee_overhead",
+    "committee_resilience_sweep",
+    "overhead_slopes",
+]

@@ -196,6 +196,12 @@ class EngagementRequest(_Payload):
     (``deviants``: ``[index, deviation-name]`` pairs), injected faults
     (``crash``: ``[index, progress]`` pairs; ``drop_rate`` with
     ``seed``), and the determinism hook ``pki_seed``.
+
+    ``committee`` (with optional ``byzantine`` ``[seat, strategy]``
+    pairs) replaces the single trusted referee with an N-member quorum
+    committee.  Both fields are *sparse* on the wire: ``to_dict``
+    omits them at their defaults, so pre-committee payloads and their
+    digests are unchanged (additive-with-defaults evolution).
     """
 
     TYPE = "engagement"
@@ -212,6 +218,8 @@ class EngagementRequest(_Payload):
     drop_rate: float = 0.0
     seed: int | None = None
     pki_seed: int | None = None
+    committee: int = 0
+    byzantine: tuple[tuple[int, str], ...] = ()
 
     def __post_init__(self) -> None:
         if not isinstance(self.w, (list, tuple)) or len(self.w) < 2:
@@ -275,6 +283,35 @@ class EngagementRequest(_Payload):
             object.__setattr__(self, "pki_seed",
                                _check_int("pki_seed", self.pki_seed))
 
+        object.__setattr__(self, "committee", _check_int(
+            "committee", self.committee, minimum=0))
+        from repro.core.quorum import BYZANTINE_STRATEGIES, tolerated_faults
+
+        if self.byzantine and not self.committee:
+            _fail("byzantine referees need a committee; set committee >= 1")
+        byzantine = []
+        for entry in self.byzantine:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                _fail(f"each byzantine entry must be [seat, strategy]; "
+                      f"got {entry!r}")
+            seat = _check_int("byzantine seat", entry[0], minimum=0)
+            if seat >= self.committee:
+                _fail(f"byzantine seat {seat} out of range for a "
+                      f"{self.committee}-member committee")
+            if entry[1] not in BYZANTINE_STRATEGIES:
+                _fail(f"unknown referee strategy {entry[1]!r}; "
+                      f"choose from {list(BYZANTINE_STRATEGIES)}")
+            byzantine.append((seat, str(entry[1])))
+        if len({s for s, _ in byzantine}) != len(byzantine):
+            _fail("byzantine seats must be distinct; "
+                  f"got {[s for s, _ in byzantine]}")
+        limit = tolerated_faults(self.committee)
+        if len(byzantine) > limit:
+            _fail(f"a {self.committee}-member committee tolerates at most "
+                  f"{limit} Byzantine member(s) (f = (N-1)//3); "
+                  f"got {len(byzantine)}")
+        object.__setattr__(self, "byzantine", tuple(byzantine))
+
     def to_dict(self) -> dict:
         return _tagged(self.TYPE, {
             "w": list(self.w),
@@ -289,6 +326,11 @@ class EngagementRequest(_Payload):
             "drop_rate": self.drop_rate,
             "seed": self.seed,
             "pki_seed": self.pki_seed,
+            # Sparse: omitted at defaults so pre-committee payloads and
+            # digests are byte-identical to earlier v1 emissions.
+            **({"committee": self.committee} if self.committee else {}),
+            **({"byzantine": [list(b) for b in self.byzantine]}
+               if self.byzantine else {}),
         })
 
     def engine_config(self, *, memo=None, signature_cache=None):
@@ -320,6 +362,12 @@ class EngagementRequest(_Payload):
         if crashes or messages:
             fault_plan = FaultPlan(seed=self.seed or 0, crashes=crashes,
                                    messages=messages)
+        committee = None
+        if self.committee:
+            from repro.core.quorum import CommitteeConfig
+
+            committee = CommitteeConfig(size=self.committee,
+                                        byzantine=self.byzantine)
         return EngineConfig(
             behaviors=behaviors or None,
             policy=FinePolicy(self.fine_factor),
@@ -330,6 +378,7 @@ class EngagementRequest(_Payload):
             pki_seed=self.pki_seed,
             memo=memo if self.redundancy == "memoized" else None,
             signature_cache=signature_cache,
+            committee=committee,
         )
 
 

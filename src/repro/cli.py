@@ -170,6 +170,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "probability (default 0: reliable transport)")
     p.add_argument("--seed", type=int, default=None,
                    help="fault-plan seed for --drop-rate (default 0)")
+    p.add_argument("--committee", type=int, default=0, metavar="N",
+                   help="adjudicate with an N-member referee committee "
+                        "instead of the single trusted referee "
+                        "(default 0: trusted referee)")
+    p.add_argument("--byzantine", type=int, default=0, metavar="K",
+                   help="make the first K committee seats Byzantine "
+                        "(requires --committee; K <= (N-1)//3)")
+    p.add_argument("--byzantine-mode",
+                   choices=("silent", "equivocate", "fine-steal"),
+                   default="silent",
+                   help="strategy of the --byzantine seats "
+                        "(default silent)")
 
     p = sub.add_parser("resilience",
                        help="protocol under injected crash/drop faults")
@@ -337,7 +349,10 @@ def cmd_protocol(args) -> int:
         w=tuple(args.w), z=args.z, kind=args.kind.value,
         bidding_mode=args.bidding_mode, fine_factor=args.fine_factor,
         deviants=tuple(args.deviant), crash=tuple(args.crash),
-        drop_rate=args.drop_rate, seed=args.seed)
+        drop_rate=args.drop_rate, seed=args.seed,
+        committee=args.committee,
+        byzantine=tuple((seat, args.byzantine_mode)
+                        for seat in range(args.byzantine)))
     mech = build_mechanism(request)
     outcome = mech.run()
     if args.trace_json is not None:
@@ -710,9 +725,14 @@ def cmd_call(args) -> int:
         response = send_envelope(args.socket, envelope,
                                  timeout=args.timeout)
     except OSError as exc:
-        print(f"error: cannot reach service at {args.socket!r}: {exc}",
+        # A missing or stale socket is a usage error (wrong --socket, or
+        # the daemon is not running) — exit 2 with a readable message,
+        # never a traceback.
+        print(f"error: cannot reach service at {args.socket!r}: "
+              f"{exc.strerror or exc} (is the daemon running? "
+              f"start one with `repro serve --socket {args.socket}`)",
               file=sys.stderr)
-        return 1
+        return 2
     print(json.dumps(response, indent=2))
     return 0 if response.get("ok") else 1
 

@@ -30,8 +30,14 @@ from repro.core.dls_star import DLSStar, star_payments, star_utilities
 from repro.core.dls_chain import DLSChain, chain_payments, chain_utilities
 from repro.core.dls_tree import DLSTree, tree_bonus, tree_excluded_makespan
 from repro.core.fines import FinePolicy
-from repro.core.referee import Referee, RefereeVerdict, Fine
-from repro.core.dls_bl_ncp import DLSBLNCP, NCPOutcome
+from repro.core.referee import EvidenceCase, Referee, RefereeVerdict, Fine
+from repro.core.quorum import (
+    CommitteeConfig,
+    QuorumError,
+    RefereeCommittee,
+    tolerated_faults,
+)
+from repro.core.dls_bl_ncp import DLSBLNCP, EngineConfig, NCPOutcome
 
 __all__ = [
     "bonus",
@@ -55,6 +61,12 @@ __all__ = [
     "Referee",
     "RefereeVerdict",
     "Fine",
+    "EvidenceCase",
+    "CommitteeConfig",
+    "RefereeCommittee",
+    "QuorumError",
+    "tolerated_faults",
     "DLSBLNCP",
+    "EngineConfig",
     "NCPOutcome",
 ]

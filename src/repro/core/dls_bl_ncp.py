@@ -23,6 +23,7 @@ from dataclasses import dataclass, fields, replace
 from repro.agents.behaviors import AgentBehavior, truthful
 from repro.agents.processor import ProcessorAgent
 from repro.core.fines import FinePolicy
+from repro.core.quorum import CommitteeConfig
 from repro.crypto.pki import PKI
 from repro.dlt.platform import NetworkKind
 from repro.network.faults import FaultPlan
@@ -81,6 +82,11 @@ class EngineConfig:
         are keyed by ``(signer, payload+signature digest)``, so entries
         from a differently keyed universe can never collide with — let
         alone answer for — this one.
+    committee:
+        ``None`` (default) adjudicates with the single trusted referee;
+        a :class:`~repro.core.quorum.CommitteeConfig` replaces it with a
+        Byzantine referee committee — every verdict then requires a
+        verified quorum certificate before its fines bind.
     """
 
     behaviors: dict[int, AgentBehavior] | list[AgentBehavior] | None = None
@@ -95,6 +101,7 @@ class EngineConfig:
     pki_seed: int | None = None
     memo: ComputationCache | None = None
     signature_cache: SignatureCache | None = None
+    committee: CommitteeConfig | None = None
 
     def __post_init__(self) -> None:
         if self.memo is not None and self.redundancy != "memoized":
@@ -190,6 +197,7 @@ class DLSBLNCP:
             fault_plan=config.fault_plan, deadlines=config.deadlines,
             retry=config.retry,
             redundancy=config.redundancy, memo=config.memo,
+            committee=config.committee,
         )
 
     @classmethod

@@ -39,7 +39,15 @@ from repro.crypto.signatures import SignedMessage
 from repro.dlt.closed_form import allocate
 from repro.dlt.platform import BusNetwork, NetworkKind
 
-__all__ = ["Fine", "RefereeVerdict", "Referee"]
+__all__ = [
+    "Fine",
+    "RefereeVerdict",
+    "EvidenceCase",
+    "Referee",
+    "JUDGING_METHODS",
+    "verdict_to_dict",
+    "verdict_from_dict",
+]
 
 
 @dataclass(frozen=True)
@@ -86,6 +94,74 @@ def _no_action(case: str) -> RefereeVerdict:
     return RefereeVerdict(case=case, fines=(), terminates=False)
 
 
+#: The referee's public judging surface.  An :class:`EvidenceCase` may
+#: dispatch onto exactly these methods — the committee replays cases
+#: through the same catalogue, so a malformed case can never reach a
+#: private helper.
+JUDGING_METHODS = frozenset({
+    "judge_equivocation",
+    "judge_commitment_violation",
+    "judge_unresponsive",
+    "judge_allocation_dispute",
+    "judge_payment_vectors",
+})
+
+
+@dataclass(frozen=True, eq=False)
+class EvidenceCase:
+    """One adjudication request: a judging method plus its evidence.
+
+    Splitting the *case* from the *judging* lets several referees
+    adjudicate the same evidence independently: a committee leader
+    proposes :meth:`Referee.propose_verdict` output and every validator
+    re-derives it with :meth:`Referee.validate_verdict` before voting.
+    ``label`` is the stable identifier quoted in quorum certificates;
+    ``kwargs`` holds the evidence exactly as the engine collected it
+    (signed messages, block lists, bid vectors — not serialized, so the
+    case itself never leaves the process; only verdicts do).
+    """
+
+    method: str
+    kwargs: dict
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.method not in JUDGING_METHODS:
+            raise ValueError(
+                f"unknown judging method {self.method!r}; "
+                f"expected one of {sorted(JUDGING_METHODS)}")
+
+
+def verdict_to_dict(verdict: RefereeVerdict) -> dict:
+    """Plain-data encoding of a verdict — the value quorum votes certify.
+
+    Matches the archival flattening in :mod:`repro.io` field for field,
+    so a certified verdict and a dumped verdict are byte-identical under
+    canonical JSON.
+    """
+    return {
+        "case": verdict.case,
+        "fines": [{"who": f.who, "amount": f.amount, "offence": f.offence}
+                  for f in verdict.fines],
+        "rewards": dict(verdict.rewards),
+        "compensated": dict(verdict.compensated),
+        "terminates": verdict.terminates,
+    }
+
+
+def verdict_from_dict(data: dict) -> RefereeVerdict:
+    """Inverse of :func:`verdict_to_dict`."""
+    return RefereeVerdict(
+        case=str(data["case"]),
+        fines=tuple(Fine(str(f["who"]), float(f["amount"]), str(f["offence"]))
+                    for f in data["fines"]),
+        rewards={str(k): float(v) for k, v in data["rewards"].items()},
+        compensated={str(k): float(v)
+                     for k, v in data["compensated"].items()},
+        terminates=bool(data["terminates"]),
+    )
+
+
 class Referee:
     """Judges evidence; never initiates anything.
 
@@ -109,6 +185,30 @@ class Referee:
         self.pki = pki
         self.policy = policy or FinePolicy()
         self.memo = memo
+
+    # ------------------------------------------------------------------
+    # proposal / validation split (committee support)
+    # ------------------------------------------------------------------
+
+    def propose_verdict(self, case: EvidenceCase) -> RefereeVerdict:
+        """Adjudicate *case* by dispatching onto the judging catalogue.
+
+        A single trusted referee proposes and applies in one step; in a
+        committee the round leader proposes and N-f validators must
+        independently reach the same verdict before it binds.
+        """
+        return getattr(self, case.method)(**case.kwargs)
+
+    def validate_verdict(self, case: EvidenceCase,
+                         verdict: RefereeVerdict) -> bool:
+        """Re-derive *case* locally; True iff it encodes to *verdict*.
+
+        Judging is deterministic given the evidence (recomputation over
+        authenticated inputs), so honest validators agree bit-for-bit
+        with an honest leader and reject any corrupted proposal.
+        """
+        return verdict_to_dict(self.propose_verdict(case)) == \
+            verdict_to_dict(verdict)
 
     # ------------------------------------------------------------------
     # helpers

@@ -19,6 +19,12 @@ from repro.crypto.signatures import SignedMessage, SigningKey, canonical_bytes
 from repro.crypto.pki import PKI, Principal
 from repro.crypto.blocks import LoadBlock, divide_load, quantize_blocks, verify_blocks
 from repro.crypto.commitments import Commitment, commit, verify_commitment
+from repro.crypto.certificates import (
+    QuorumCertificate,
+    value_digest,
+    verify_certificate,
+    vote_payload,
+)
 
 __all__ = [
     "SignedMessage",
@@ -33,4 +39,8 @@ __all__ = [
     "Commitment",
     "commit",
     "verify_commitment",
+    "QuorumCertificate",
+    "value_digest",
+    "verify_certificate",
+    "vote_payload",
 ]

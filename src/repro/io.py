@@ -139,6 +139,11 @@ def protocol_result_to_dict(result: ProtocolResult) -> dict:
             "retries": result.traffic.retries,
         },
         "spans": [s.to_dict() for s in result.spans],
+        # Committee-mode runs archive their quorum certificates; the key
+        # is absent under the single trusted referee so pre-committee
+        # dumps stay byte-identical.
+        **({"certificates": [c.to_dict() for c in result.certificates]}
+           if result.certificates else {}),
     }
 
 

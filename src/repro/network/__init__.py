@@ -32,6 +32,7 @@ from repro.network.faults import (
     FaultRecord,
     FaultyBus,
     MessageFault,
+    RefereeFault,
     StallFault,
 )
 
@@ -47,5 +48,6 @@ __all__ = [
     "FaultRecord",
     "FaultyBus",
     "MessageFault",
+    "RefereeFault",
     "StallFault",
 ]

@@ -55,6 +55,7 @@ __all__ = [
     "CrashFault",
     "MessageFault",
     "StallFault",
+    "RefereeFault",
     "FaultPlan",
     "FaultRecord",
     "FaultyBus",
@@ -64,6 +65,14 @@ DROP = "drop"
 DELAY = "delay"
 DUPLICATE = "duplicate"
 _ACTIONS = (DROP, DELAY, DUPLICATE)
+
+#: Referee-fault actions.  ``crash`` silences the member at the bus
+#: level; ``drop``/``delay`` hit its quorum traffic; the remaining three
+#: are *strategy* injections — the engine flips the named member to the
+#: matching Byzantine behaviour from :mod:`repro.core.quorum`.
+REFEREE_CRASH = "crash"
+REFEREE_STRATEGY_ACTIONS = ("silent", "equivocate", "fine-steal")
+_REFEREE_ACTIONS = (REFEREE_CRASH, DROP, DELAY) + REFEREE_STRATEGY_ACTIONS
 
 
 @dataclass(frozen=True)
@@ -124,6 +133,12 @@ class MessageFault:
     def matches(self, msg: Message, recipient: str) -> bool:
         if msg.kind is MessageKind.LOAD:
             return False
+        if self.kind is None and msg.kind.is_quorum_traffic:
+            # Wildcard rules never touch committee-internal traffic:
+            # arming a committee must not change which processor
+            # messages a seeded plan hits (RNG-draw alignment).  Target
+            # quorum kinds explicitly, or use a RefereeFault.
+            return False
         if self.kind is not None and msg.kind is not self.kind:
             return False
         if self.sender is not None and msg.sender != self.sender:
@@ -158,6 +173,49 @@ class StallFault:
 
 
 @dataclass(frozen=True)
+class RefereeFault:
+    """A fault targeting one referee-committee member.
+
+    ``crash`` silences *member* at the bus from the start of the run —
+    it neither proposes nor votes, and quorum traffic addressed to it is
+    lost.  ``drop`` / ``delay`` hit the member's committee-internal
+    traffic (proposals, votes, certificate announcements) in either
+    direction, with the same probability/budget semantics as
+    :class:`MessageFault`.  ``silent`` / ``equivocate`` / ``fine-steal``
+    are strategy injections: the engine flips the member to the matching
+    Byzantine behaviour before the run starts (the bus passes them
+    through untouched).
+    """
+
+    member: str
+    action: str = REFEREE_CRASH
+    probability: float = 1.0
+    delay: float = 0.0
+    max_applications: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _REFEREE_ACTIONS:
+            raise ValueError(
+                f"action must be one of {_REFEREE_ACTIONS}, got {self.action!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if self.action == DELAY and self.delay <= 0:
+            raise ValueError("delay faults need delay > 0")
+
+    @property
+    def is_strategy(self) -> bool:
+        return self.action in REFEREE_STRATEGY_ACTIONS
+
+    def matches(self, msg: Message, recipient: str) -> bool:
+        """Transport-level match: quorum traffic touching this member."""
+        if self.action not in (DROP, DELAY):
+            return False
+        if not msg.kind.is_quorum_traffic:
+            return False
+        return msg.sender == self.member or recipient == self.member
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything that will go wrong in one run, declaratively.
 
@@ -170,6 +228,7 @@ class FaultPlan:
     messages: tuple[MessageFault, ...] = ()
     stalls: tuple[StallFault, ...] = ()
     meter_outages: tuple[str, ...] = ()
+    referees: tuple[RefereeFault, ...] = ()
 
     def __post_init__(self) -> None:
         named = [c.name for c in self.crashes]
@@ -180,7 +239,16 @@ class FaultPlan:
     def empty(self) -> bool:
         """True when the plan injects nothing (strict no-op guarantee)."""
         return not (self.crashes or self.messages or self.stalls
-                    or self.meter_outages)
+                    or self.meter_outages or self.referees)
+
+    def referee_strategies(self) -> dict[str, str]:
+        """Member -> Byzantine strategy, for the engine to inject."""
+        return {rf.member: rf.action for rf in self.referees
+                if rf.is_strategy}
+
+    def referee_crashes(self) -> tuple[str, ...]:
+        return tuple(rf.member for rf in self.referees
+                     if rf.action == REFEREE_CRASH)
 
     def crash_for(self, name: str) -> CrashFault | None:
         for c in self.crashes:
@@ -218,7 +286,12 @@ class FaultyBus(Bus):
         self._rng = random.Random(self.plan.seed)
         self._crashed: set[str] = set()
         self._applications: dict[int, int] = {}
+        self._referee_applications: dict[int, int] = {}
         self._phase: Phase | None = None
+        # Referee-member crashes take effect before any phase: a crashed
+        # committee member never proposes or votes in any round.
+        for name in self.plan.referee_crashes():
+            self._mark_crashed(name)
         if self.plan.empty:
             # Strict no-op when disabled: rebind the hot-path methods to
             # the base implementations so the wrapper costs one extra
@@ -353,6 +426,22 @@ class FaultyBus(Bus):
             if fires:
                 self._applications[idx] = used + 1
                 return rule
+        # Referee-targeted transport rules only ever match quorum
+        # traffic, so their RNG draws cannot perturb processor-facing
+        # fault sequences under a shared seed.
+        for idx, ref_rule in enumerate(self.plan.referees):
+            if not ref_rule.matches(msg, recipient):
+                continue
+            used = self._referee_applications.get(idx, 0)
+            if (ref_rule.max_applications is not None
+                    and used >= ref_rule.max_applications):
+                continue
+            fires = (ref_rule.probability >= 1.0
+                     or self._rng.random() < ref_rule.probability)
+            if fires:
+                self._referee_applications[idx] = used + 1
+                return MessageFault(action=ref_rule.action, kind=msg.kind,
+                                    delay=ref_rule.delay)
         return None
 
     # -- faulty data plane ---------------------------------------------------

@@ -32,6 +32,21 @@ class MessageKind(Enum):
     PAYMENT_VECTOR = "payment-vector"  # Computing Payments: S_Pi(P_i, Q)
     VERDICT = "verdict"              # referee -> all: fines and rewards
     BILL = "bill"                    # referee -> payment infrastructure / user
+    QUORUM_PROPOSAL = "quorum-proposal"  # committee leader -> member: proposed verdict
+    QUORUM_VOTE = "quorum-vote"      # committee member -> leader: signed vote
+    QUORUM_CERT = "quorum-cert"      # committee leader -> all: certificate announce
+
+    @property
+    def is_quorum_traffic(self) -> bool:
+        """Committee-internal traffic (proposals, votes, certificates).
+
+        Wildcard fault rules (``kind=None``) skip these kinds so arming
+        a committee never changes which *processor* messages a seeded
+        fault plan hits; referee-targeted faults name them explicitly.
+        """
+        return self in (MessageKind.QUORUM_PROPOSAL,
+                        MessageKind.QUORUM_VOTE,
+                        MessageKind.QUORUM_CERT)
 
     @property
     def is_load_transfer(self) -> bool:

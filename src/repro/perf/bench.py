@@ -34,6 +34,12 @@ commit (fec0be7, pre-``repro.perf``), taken on the same machine and
 with the same best-of-N methodology as :func:`run_bench`.  They are the
 denominator of the ``speedup_vs_seed`` column, not a regression gate —
 the gate compares against the *checked-in* ``BENCH_protocol.json``.
+
+Kernels added after the seed commit have no ``SEED_TIMINGS`` entry;
+their first measurement is pinned in the report's ``auto_baselined``
+map (see :func:`auto_baselines`), so every kernel — seed-era or new —
+carries a trajectory entry and regression-gate coverage from its first
+run onward.
 """
 
 from __future__ import annotations
@@ -50,6 +56,7 @@ __all__ = [
     "SEED_COMMIT",
     "REPORT_NAME",
     "run_bench",
+    "auto_baselines",
     "check_regression",
     "write_report",
     "repo_root",
@@ -226,19 +233,54 @@ def check_regression(
     return failures
 
 
-def write_report(path: Path, head: dict[str, float], *, quick: bool) -> dict:
-    """Compose and write the BENCH_protocol.json document; returns it."""
+def auto_baselines(head: dict[str, float],
+                   prior: dict | None = None) -> dict[str, float]:
+    """Reference timings for kernels the seed commit never measured.
+
+    A kernel added after the seed has no ``SEED_TIMINGS`` entry, so
+    without care it shows up in ``head`` with no trajectory — the
+    ``sweep_surface_m512`` gap.  The fix is self-baselining: the first
+    measurement of a new kernel is *pinned* as its reference, persisted
+    in the report's ``auto_baselined`` map, and every later run reports
+    speedup against that pin (exactly how ``SEED_TIMINGS`` anchors the
+    original kernels).  Precedence: an already-pinned value wins over
+    the prior head (pins must not drift), which wins over the current
+    measurement (only brand-new kernels pin from it).
+    """
+    prior = prior or {}
+    pinned: dict[str, float] = {
+        k: v for k, v in prior.get("head", {}).items()
+        if k not in SEED_TIMINGS}
+    pinned.update(prior.get("auto_baselined", {}))
+    for name, timing in head.items():
+        if name not in SEED_TIMINGS and name not in pinned:
+            pinned[name] = round(timing, 7)
+    return pinned
+
+
+def write_report(path: Path, head: dict[str, float], *, quick: bool,
+                 prior: dict | None = None) -> dict:
+    """Compose and write the BENCH_protocol.json document; returns it.
+
+    *prior* is the previously checked-in report (when one exists); it
+    carries the pinned baselines of kernels added after the seed commit,
+    so every ``head`` entry — seed-era or not — gets a
+    ``speedup_vs_seed`` trajectory entry.
+    """
+    pinned = auto_baselines(head, prior)
+    reference = {**SEED_TIMINGS, **pinned}
     report = {
         "schema": 1,
         "units": "seconds (best-of-N wall clock)",
         "quick": quick,
         "seed_commit": SEED_COMMIT,
         "seed": SEED_TIMINGS,
+        "auto_baselined": pinned,
         "head": {k: round(v, 7) for k, v in head.items()},
         "speedup_vs_seed": {
-            k: round(SEED_TIMINGS[k] / v, 2)
+            k: round(reference[k] / v, 2)
             for k, v in head.items()
-            if k in SEED_TIMINGS and v > 0
+            if k in reference and v > 0
         },
     }
     path.write_text(json.dumps(report, indent=2) + "\n")
@@ -273,12 +315,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     out_path = args.output or repo_root() / REPORT_NAME
-    baseline: dict[str, float] = {}
+    prior: dict = {}
     if out_path.exists():
         try:
-            baseline = json.loads(out_path.read_text()).get("head", {})
+            prior = json.loads(out_path.read_text())
         except (ValueError, OSError):
-            baseline = {}
+            prior = {}
+    baseline: dict[str, float] = prior.get("head", {})
 
     workers = max(1, args.workers)
     print(f"sweep workers: {workers}"
@@ -287,12 +330,12 @@ def main(argv: list[str] | None = None) -> int:
     from repro.sweep import RunOptions
 
     head = run_bench(quick=args.quick, options=RunOptions(workers=workers))
-    report = write_report(out_path, head, quick=args.quick)
+    report = write_report(out_path, head, quick=args.quick, prior=prior)
 
     width = max(len(k) for k in head)
     print(f"{'kernel':<{width}}  {'head (s)':>12}  {'seed (s)':>12}  {'speedup':>8}")
     for name, t in head.items():
-        seed = SEED_TIMINGS.get(name)
+        seed = SEED_TIMINGS.get(name, report["auto_baselined"].get(name))
         seed_s = f"{seed:.6f}" if seed is not None else "-"
         speed = report["speedup_vs_seed"].get(name)
         speed_s = f"{speed:.2f}x" if speed is not None else "-"

@@ -70,15 +70,22 @@ class PhaseDeadlines:
     ``processing_grace`` is how long past a worker's *bid-asserted*
     finishing time the referee waits before declaring it unresponsive
     (the referee holds no private ``w~``, so the bid is the only
-    finishing estimate available to it).
+    finishing estimate available to it).  ``evidence`` bounds the retry
+    window for evidence submitted to the referee (claims and bid
+    vectors), which can happen in *any* phase; ``committee_round`` is
+    one quorum round's budget — a committee leader that produces no
+    verifiable certificate within it is rotated out.
     """
 
     bidding: float = 1.0
     payments: float = 1.0
     processing_grace: float = 0.25
+    evidence: float = 1.0
+    committee_round: float = 0.5
 
     def __post_init__(self) -> None:
-        for name in ("bidding", "payments", "processing_grace"):
+        for name in ("bidding", "payments", "processing_grace",
+                     "evidence", "committee_round"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be >= 0")
 
@@ -192,6 +199,10 @@ class EngagementContext:
     order: list[str]                              # all agent names, in order
     bulletin: dict = field(default_factory=dict)  # commit-mode bulletin board
     received: dict[str, list] = field(default_factory=dict)  # load inboxes
+    # Committee mode: the adjudicator behind ``referee`` (None when a
+    # single trusted referee adjudicates).  When set, every verdict must
+    # carry a verifiable quorum certificate before its fines bind.
+    adjudicator: Any = None
 
     # --- engagement state (produced phase by phase) ---------------------
     blocks: tuple = ()                            # the user's signed load
@@ -216,6 +227,7 @@ class EngagementContext:
     degraded: bool = False
     crashed: tuple[str, ...] = ()
     reallocations: dict[str, float] = field(default_factory=dict)
+    certificates: list = field(default_factory=list)  # verified quorum certs
 
     # --- shared services -------------------------------------------------
 
@@ -225,7 +237,28 @@ class EngagementContext:
         return self.bus.queue.now
 
     def apply_verdict(self, verdict: "RefereeVerdict") -> None:
-        """Record a verdict and execute its monetary consequences."""
+        """Record a verdict and execute its monetary consequences.
+
+        In committee mode no verdict binds on anyone's word alone: the
+        engine demands the quorum certificate minted for exactly this
+        verdict and re-verifies it against the PKI before any fine is
+        collected.  A missing or non-verifying certificate is a protocol
+        violation, not a judgement call — it raises.
+        """
+        if self.adjudicator is not None:
+            from repro.core.quorum import QuorumError
+            from repro.crypto.certificates import verify_certificate
+
+            cert = self.adjudicator.certificate_for(verdict)
+            if cert is None:
+                raise QuorumError(
+                    f"verdict {verdict.case!r} reached the engine without "
+                    "a quorum certificate")
+            if not verify_certificate(cert, self.pki):
+                raise QuorumError(
+                    f"quorum certificate for {verdict.case!r} failed "
+                    "verification")
+            self.certificates.append(cert)
         self.verdicts.append(verdict)
         for f in verdict.fines:
             self.infra.collect_fine(f.who, f.amount, f.offence)

@@ -26,6 +26,7 @@ import gc
 
 from repro.agents.processor import ProcessorAgent
 from repro.core.fines import FinePolicy
+from repro.core.quorum import CommitteeConfig, RefereeCommittee
 from repro.core.referee import Referee
 from repro.crypto.blocks import divide_load
 from repro.crypto.pki import PKI
@@ -35,6 +36,7 @@ from repro.network.bus import Bus
 from repro.network.faults import FaultPlan, FaultyBus
 from repro.network.messages import Message, MessageKind
 from repro.perf import REDUNDANCY_MODES, ComputationCache
+from repro.protocol.committee import CommitteeAdjudicator
 from repro.protocol.context import (
     REFEREE,
     USER,
@@ -113,6 +115,7 @@ class ProtocolEngine:
         retry: RetryPolicy | None = None,
         redundancy: str = "memoized",
         memo: ComputationCache | None = None,
+        committee: CommitteeConfig | None = None,
     ) -> None:
         if bidding_mode not in self.BIDDING_MODES:
             raise ValueError(f"bidding_mode must be one of {self.BIDDING_MODES}, "
@@ -147,7 +150,24 @@ class ProtocolEngine:
             self.memo = None
         for agent in agents:
             agent.memo = self.memo
-        self.referee = Referee(pki, self.policy, memo=self.memo)
+        # Adjudication: a single trusted referee by default; with a
+        # committee config, N referees behind the same interface — the
+        # adjudicator drives quorum rounds over the bus and the engine
+        # verifies every verdict's certificate before applying it.
+        self.committee: RefereeCommittee | None = None
+        self._adjudicator: CommitteeAdjudicator | None = None
+        if committee is None:
+            self.referee = Referee(pki, self.policy, memo=self.memo)
+        else:
+            self.committee = RefereeCommittee(pki, self.policy,
+                                              config=committee,
+                                              memo=self.memo)
+            if fault_plan is not None:
+                for member, strategy in \
+                        fault_plan.referee_strategies().items():
+                    self.committee.set_strategy(member, strategy)
+            self._adjudicator = CommitteeAdjudicator(self.committee)
+            self.referee = self._adjudicator
         self.infra = PaymentInfrastructure(USER)
         # Per-engagement deltas: the PKI (with its verification cache)
         # and an injected memo may outlive this engine, so snapshot the
@@ -177,6 +197,13 @@ class ProtocolEngine:
                                               self._bulletin))
         self.bus.attach(REFEREE, lambda msg: None)
         self.bus.attach(USER, lambda msg: None)
+        if self.committee is not None:
+            # Committee members are bus endpoints so their proposal and
+            # vote traffic is real, countable, and fault-targetable; the
+            # adjudicator moves the payloads in-process, so the handler
+            # is a sink like the referee's and the user's.
+            for name in self.committee.names:
+                self.bus.attach(name, lambda msg: None)
 
     @property
     def originator(self) -> ProcessorAgent:
@@ -222,7 +249,10 @@ class ProtocolEngine:
             bus=self.bus, memo=self.memo, deadlines=self.deadlines,
             retry=self.retry, fault_plan=self._fault_plan, order=self.order,
             bulletin=self._bulletin, received=self._received, blocks=blocks,
+            adjudicator=self._adjudicator,
         )
+        if self._adjudicator is not None:
+            self._adjudicator.bind(ctx)
         spans: list[PhaseSpan] = []
         phase: Phase | None = Phase.BIDDING
         while phase is not None:
@@ -244,19 +274,22 @@ class ProtocolEngine:
                 sig_cache_misses=after[6] - before[6],
                 verdicts=tuple(v.case for v in outcome.verdicts),
                 fines=outcome.fines,
+                quorum_rounds=after[7] - before[7],
             ))
             phase = outcome.next_phase
         return self.settle(ctx, tuple(spans))
 
-    def _counters(self) -> tuple[int, int, int, int, int, int, int]:
+    def _counters(self) -> tuple[int, int, int, int, int, int, int, int]:
         """Snapshot of the traffic/cache counters, for span deltas."""
         stats = self.bus.stats
         memo = self.memo.stats if self.memo is not None else None
         sig = self.pki.signature_cache.stats
+        adjudicator = self._adjudicator
         return (stats.messages, stats.bytes, stats.retries,
                 memo.hits if memo is not None else 0,
                 memo.misses if memo is not None else 0,
-                sig.hits, sig.misses)
+                sig.hits, sig.misses,
+                adjudicator.rounds_used if adjudicator is not None else 0)
 
     # ---- settlement ----------------------------------------------------
 
@@ -306,4 +339,6 @@ class ProtocolEngine:
             crashed=tuple(ctx.crashed),
             reallocations=dict(ctx.reallocations),
             spans=spans,
+            certificates=(tuple(self.committee.certificates)
+                          if self.committee is not None else ()),
         )

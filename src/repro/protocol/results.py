@@ -41,6 +41,11 @@ class ProtocolResult:
 
     ``spans`` holds one :class:`~repro.protocol.trace.PhaseSpan` per
     phase executed — the structured per-phase observability record.
+
+    Committee-mode runs additionally carry ``certificates`` — one
+    verified :class:`~repro.crypto.certificates.QuorumCertificate` per
+    adjudicated case, in decision order (empty under the single trusted
+    referee).
     """
 
     completed: bool
@@ -62,6 +67,7 @@ class ProtocolResult:
     crashed: tuple[str, ...] = ()
     reallocations: dict[str, float] = field(default_factory=dict)
     spans: tuple[PhaseSpan, ...] = ()
+    certificates: tuple = ()
 
     def utility(self, name: str) -> float:
         return self.utilities[name]

@@ -81,14 +81,24 @@ class AllocationRunner(PhaseRunner):
         if claimant_agent is not None:
             work_done = self._work_commenced_before(
                 ctx, claimant_agent.name, active)
-            ctx.bus.send(Message(MessageKind.CLAIM, claimant_agent.name,
-                                 (REFEREE,), {"case": "allocation"}))
+            # Evidence traffic is retried like any other control
+            # message: a dropped claim or bid vector must surface at the
+            # referee, not silently vanish (deadlines.evidence window).
+            window = ctx.deadlines.evidence
+            ctx.send_with_retry(
+                Message(MessageKind.CLAIM, claimant_agent.name,
+                        (REFEREE,), {"case": "allocation"}),
+                window=window)
             c_vec = claimant_agent.bid_vector_messages(active)
             o_vec = originator.bid_vector_messages(active)
-            ctx.bus.send(Message(MessageKind.BID_VECTOR, claimant_agent.name,
-                                 (REFEREE,), c_vec))
-            ctx.bus.send(Message(MessageKind.BID_VECTOR, originator.name,
-                                 (REFEREE,), o_vec))
+            ctx.send_with_retry(
+                Message(MessageKind.BID_VECTOR, claimant_agent.name,
+                        (REFEREE,), c_vec),
+                window=window)
+            ctx.send_with_retry(
+                Message(MessageKind.BID_VECTOR, originator.name,
+                        (REFEREE,), o_vec),
+                window=window)
             verdict = ctx.referee.judge_allocation_dispute(
                 claimant=claimant_agent.name,
                 originator=originator.name,

@@ -108,9 +108,10 @@ class BiddingRunner(PhaseRunner):
             violation = self._first_commitment_claim(participants)
             if violation is not None:
                 claimant, accused, evidence = violation
-                ctx.bus.send(Message(MessageKind.CLAIM, claimant, (REFEREE,),
-                                     {"case": "commitment",
-                                      "accused": accused}))
+                ctx.send_with_retry(
+                    Message(MessageKind.CLAIM, claimant, (REFEREE,),
+                            {"case": "commitment", "accused": accused}),
+                    window=ctx.deadlines.evidence)
                 verdict = ctx.referee.judge_commitment_violation(
                     claimant, accused, evidence,
                     ctx.bulletin.get(accused), active, ctx.fine)
@@ -120,8 +121,10 @@ class BiddingRunner(PhaseRunner):
         claim = self._first_bidding_claim(participants, active)
         if claim is not None:
             claimant, accused, evidence = claim
-            ctx.bus.send(Message(MessageKind.CLAIM, claimant, (REFEREE,),
-                                 {"case": "equivocation", "accused": accused}))
+            ctx.send_with_retry(
+                Message(MessageKind.CLAIM, claimant, (REFEREE,),
+                        {"case": "equivocation", "accused": accused}),
+                window=ctx.deadlines.evidence)
             verdict = ctx.referee.judge_equivocation(
                 claimant, accused, evidence, active, ctx.fine)
             ctx.apply_verdict(verdict)

@@ -59,6 +59,7 @@ class PhaseSpan:
     sig_cache_misses: int
     verdicts: tuple[str, ...] = ()
     fines: float = 0.0
+    quorum_rounds: int = 0
 
     @property
     def duration(self) -> float:
@@ -81,6 +82,11 @@ class PhaseSpan:
             "sig_cache_misses": self.sig_cache_misses,
             "verdicts": list(self.verdicts),
             "fines": self.fines,
+            # Sparse on the wire, like every committee-era field: spans
+            # from runs without a committee stay byte-identical to the
+            # pre-committee trace schema.
+            **({"quorum_rounds": self.quorum_rounds}
+               if self.quorum_rounds else {}),
         }
 
 
@@ -131,6 +137,17 @@ def describe_message(msg: Message) -> str:
         detail = f"digest={body.get('digest', '')[:16]}..."
     elif msg.kind is MessageKind.COHORT:
         detail = f"{len(body)} signed bids (view sync)"
+    elif msg.kind is MessageKind.QUORUM_PROPOSAL and isinstance(body, SignedMessage):
+        payload = body.payload
+        detail = (f"case={payload.get('case')} round={payload.get('round')} "
+                  f"leader={body.signer}")
+    elif msg.kind is MessageKind.QUORUM_VOTE and isinstance(body, SignedMessage):
+        payload = body.payload
+        detail = (f"case={payload.get('case')} round={payload.get('round')} "
+                  f"value={str(payload.get('value', ''))[:12]}...")
+    elif msg.kind is MessageKind.QUORUM_CERT:
+        detail = (f"case={body.get('case')} round={body.get('round')} "
+                  f"voters={len(body.get('voters', []))}")
     else:  # pragma: no cover - future kinds
         detail = ""
     return (f"[{msg.kind.value:>14}] {msg.sender:>8} -> {dst:<8} "

@@ -62,3 +62,42 @@ class TestValueMapping:
         # below 1 clamp to w_i.
         assert AgentBehavior(exec_factor=0.5).exec_value_for(2.0) == pytest.approx(2.0)
         assert AgentBehavior(exec_factor=1.5).exec_value_for(2.0) == pytest.approx(3.0)
+
+
+class TestDeviantReferees:
+    def test_strategy_literals_pin_core_quorum(self):
+        # behaviors.py keeps these as literals so the agents layer never
+        # imports repro.core (layering); this test is the contract that
+        # the two copies cannot drift apart.
+        from repro.agents.behaviors import (
+            REFEREE_EQUIVOCATE,
+            REFEREE_FINE_STEAL,
+            REFEREE_SILENT,
+            REFEREE_STRATEGIES,
+        )
+        from repro.core import quorum
+
+        assert REFEREE_SILENT == quorum.SILENT
+        assert REFEREE_EQUIVOCATE == quorum.EQUIVOCATE
+        assert REFEREE_FINE_STEAL == quorum.FINE_STEAL
+        assert REFEREE_STRATEGIES == quorum.BYZANTINE_STRATEGIES
+
+    def test_byzantine_referee_builds_config_entries(self):
+        from repro.agents.behaviors import (
+            REFEREE_EQUIVOCATE,
+            byzantine_referee,
+        )
+        from repro.core.quorum import CommitteeConfig
+
+        entry = byzantine_referee(2, REFEREE_EQUIVOCATE)
+        assert entry == (2, REFEREE_EQUIVOCATE)
+        cfg = CommitteeConfig(size=4, byzantine=(byzantine_referee(0),))
+        assert cfg.strategy_for(0) == "silent"
+
+    def test_byzantine_referee_validates(self):
+        from repro.agents.behaviors import byzantine_referee
+
+        with pytest.raises(ValueError):
+            byzantine_referee(-1)
+        with pytest.raises(ValueError):
+            byzantine_referee(0, "bribable")

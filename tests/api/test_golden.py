@@ -24,7 +24,8 @@ from repro.sweep.spec import canonical_json
 GOLDEN = Path(__file__).parent / "golden"
 DIGESTS = json.loads((GOLDEN / "digests.json").read_text())
 
-REQUEST_FIXTURES = ("engagement_request", "sweep_request", "bench_request")
+REQUEST_FIXTURES = ("engagement_request", "committee_request",
+                    "sweep_request", "bench_request")
 
 
 def load(name: str) -> dict:
@@ -47,16 +48,19 @@ class TestFrozenRequests:
             f"{name}: canonical digest changed — identical requests no "
             "longer deduplicate across versions")
 
-    def test_engagement_fixture_exercises_every_field(self):
-        # The fixture is only a meaningful contract if it pins the whole
-        # surface: every EngagementRequest field non-defaulted or listed.
-        data = load("engagement_request")
-        body = {k: v for k, v in data.items() if k not in ("schema", "type")}
+    def test_engagement_fixtures_exercise_every_field(self):
+        # The fixtures are only a meaningful contract if together they
+        # pin the whole surface: every EngagementRequest field appears
+        # in at least one frozen body.  (The committee fields are
+        # sparse on the wire, so they live in the committee fixture.)
+        body: set[str] = set()
+        for name in ("engagement_request", "committee_request"):
+            body |= {k for k in load(name) if k not in ("schema", "type")}
         from dataclasses import fields
 
         from repro.api import EngagementRequest
 
-        assert set(body) == {f.name for f in fields(EngagementRequest)}
+        assert body == {f.name for f in fields(EngagementRequest)}
 
 
 class TestFrozenExecution:
@@ -71,3 +75,14 @@ class TestFrozenExecution:
     def test_sweep_digest_is_frozen(self):
         result = execute(request_from_dict(load("sweep_request")))
         assert result.digest() == DIGESTS["sweep_result"]
+
+    def test_committee_settlement_digest_is_frozen(self):
+        # An N=4 committee carrying a fine-stealing seat-0 leader must
+        # settle exactly as frozen: the quorum out-votes the thief.
+        result = execute(request_from_dict(load("committee_request")))
+        assert result.digest() == DIGESTS["committee_result"], (
+            "the committee settlement changed for a frozen request — "
+            "quorum adjudication semantics moved (update EXPERIMENTS.md "
+            "and refresh deliberately) or determinism broke")
+        assert result.outcome["certificates"], (
+            "a committee run must archive its quorum certificates")

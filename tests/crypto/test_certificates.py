@@ -1,0 +1,113 @@
+"""Unit tests for quorum-certificate encoding and verification."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.crypto.certificates import (
+    CERTIFICATE_FORMAT,
+    QuorumCertificate,
+    value_digest,
+    verify_certificate,
+    vote_payload,
+)
+from repro.crypto.pki import PKI
+
+ROSTER = ("referee-1", "referee-2", "referee-3", "referee-4")
+VALUE = {"case": "bidding-equivocation", "fines": [
+    {"who": "P2", "amount": 10.0, "offence": "equivocation"}],
+    "rewards": {"P1": 5.0, "P3": 5.0}, "compensated": {}, "terminates": True}
+
+
+@pytest.fixture
+def world():
+    pki = PKI(seed=3)
+    keys = {name: pki.register(name) for name in ROSTER}
+    return pki, keys
+
+
+def make_cert(keys, *, voters=ROSTER[:3], case="judge_equivocation#1",
+              round_index=0, value=VALUE, threshold=3):
+    digest = value_digest(value)
+    votes = tuple(keys[name].sign(vote_payload(case, round_index, digest))
+                  for name in voters)
+    return QuorumCertificate(
+        case=case, round_index=round_index, leader=ROSTER[0], value=value,
+        votes=votes, committee=ROSTER, threshold=threshold)
+
+
+class TestVerification:
+    def test_valid_certificate_verifies(self, world):
+        pki, keys = world
+        assert verify_certificate(make_cert(keys), pki)
+
+    def test_below_threshold_fails(self, world):
+        pki, keys = world
+        cert = make_cert(keys, voters=ROSTER[:2])
+        assert not verify_certificate(cert, pki)
+
+    def test_tampered_value_fails(self, world):
+        pki, keys = world
+        cert = make_cert(keys)
+        stolen = dict(VALUE, rewards={"referee-1": 10.0})
+        assert not verify_certificate(replace(cert, value=stolen), pki)
+
+    def test_duplicate_voter_fails(self, world):
+        pki, keys = world
+        cert = make_cert(keys, voters=("referee-1", "referee-1", "referee-2"))
+        assert not verify_certificate(cert, pki)
+
+    def test_non_roster_signer_fails(self, world):
+        pki, keys = world
+        keys["mallory"] = pki.register("mallory")
+        cert = make_cert(keys, voters=("referee-1", "referee-2", "mallory"))
+        assert not verify_certificate(cert, pki)
+
+    def test_vote_replayed_across_rounds_fails(self, world):
+        # A vote binds (case, round, digest): re-badging the certificate
+        # under a different round invalidates every signature binding.
+        pki, keys = world
+        cert = make_cert(keys, round_index=0)
+        assert not verify_certificate(replace(cert, round_index=1), pki)
+
+    def test_vote_replayed_across_cases_fails(self, world):
+        pki, keys = world
+        cert = make_cert(keys, case="judge_equivocation#1")
+        assert not verify_certificate(
+            replace(cert, case="judge_equivocation#2"), pki)
+
+    def test_leader_off_roster_fails(self, world):
+        pki, keys = world
+        cert = make_cert(keys)
+        assert not verify_certificate(replace(cert, leader="mallory"), pki)
+
+    def test_insane_threshold_fails(self, world):
+        pki, keys = world
+        cert = make_cert(keys)
+        assert not verify_certificate(replace(cert, threshold=0), pki)
+        assert not verify_certificate(
+            replace(cert, threshold=len(ROSTER) + 1), pki)
+
+    def test_forged_signature_fails(self, world):
+        pki, keys = world
+        cert = make_cert(keys)
+        forged = replace(cert.votes[0],
+                         signature=bytes(32))
+        assert not verify_certificate(
+            replace(cert, votes=(forged,) + cert.votes[1:]), pki)
+
+
+class TestEncoding:
+    def test_to_dict_is_archival(self, world):
+        _, keys = world
+        doc = make_cert(keys).to_dict()
+        assert doc["format"] == CERTIFICATE_FORMAT
+        assert doc["digest"] == value_digest(VALUE)
+        assert [v["signer"] for v in doc["votes"]] == list(ROSTER[:3])
+        for vote in doc["votes"]:
+            bytes.fromhex(vote["signature"])  # hex round-trips
+
+    def test_size_bytes_counts_value_and_votes(self, world):
+        _, keys = world
+        cert = make_cert(keys)
+        assert cert.size_bytes > len(cert.votes) * 32

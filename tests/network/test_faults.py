@@ -8,6 +8,7 @@ from repro.network.faults import (
     FaultPlan,
     FaultyBus,
     MessageFault,
+    RefereeFault,
     StallFault,
 )
 from repro.network.messages import Message, MessageKind
@@ -207,3 +208,92 @@ class TestStalls:
         bus, _ = make_bus(plan)
         bus.transfer_load("P1", "P2", 1.0, ["blk"])
         assert bus.fault_counts() == {"stall": 1}
+
+
+def quorum_bus(plan):
+    bus = FaultyBus(0.5, plan=plan)
+    inboxes = {}
+    for name in ("referee-1", "referee-2", "P1"):
+        inboxes[name] = []
+        bus.attach(name, inboxes[name].append)
+    return bus, inboxes
+
+
+class TestRefereeFaults:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="action"):
+            RefereeFault("referee-1", action="bribable")
+        with pytest.raises(ValueError, match="delay"):
+            RefereeFault("referee-1", action="delay")
+        with pytest.raises(ValueError, match="probability"):
+            RefereeFault("referee-1", action="drop", probability=2.0)
+
+    def test_strategy_vs_transport_split(self):
+        assert RefereeFault("referee-1", action="silent").is_strategy
+        assert RefereeFault("referee-1", action="fine-steal").is_strategy
+        assert not RefereeFault("referee-1", action="crash").is_strategy
+        assert not RefereeFault("referee-1", action="drop").is_strategy
+
+    def test_plan_partitions_referee_faults(self):
+        plan = FaultPlan(referees=(
+            RefereeFault("referee-1", action="crash"),
+            RefereeFault("referee-2", action="equivocate"),
+            RefereeFault("referee-3", action="drop"),
+        ))
+        assert plan.referee_crashes() == ("referee-1",)
+        assert plan.referee_strategies() == {"referee-2": "equivocate"}
+        assert not plan.empty
+
+    def test_transport_rule_only_matches_quorum_traffic(self):
+        rule = RefereeFault("referee-1", action="drop")
+        quorum = Message(MessageKind.QUORUM_VOTE, "referee-1",
+                         ("referee-2",), {})
+        control = Message(MessageKind.CLAIM, "referee-1", ("P1",), {})
+        assert rule.matches(quorum, "referee-2")
+        assert rule.matches(
+            Message(MessageKind.QUORUM_PROPOSAL, "referee-2",
+                    ("referee-1",), {}), "referee-1")
+        assert not rule.matches(control, "P1")
+        assert rule.matches(quorum, "P1")  # the member is the sender
+        assert not rule.matches(
+            Message(MessageKind.QUORUM_VOTE, "referee-3",
+                    ("referee-4",), {}), "referee-4")
+
+    def test_drop_applies_on_the_bus(self):
+        plan = FaultPlan(referees=(
+            RefereeFault("referee-1", action="drop", max_applications=1),))
+        bus, inboxes = quorum_bus(plan)
+        vote = Message(MessageKind.QUORUM_VOTE, "referee-2",
+                       ("referee-1",), {})
+        assert bus.send(vote) == ()
+        assert bus.send(vote) == ("referee-1",)
+        assert len(inboxes["referee-1"]) == 1
+        assert bus.fault_counts() == {"drop": 1}
+
+    def test_referee_crash_precedes_all_phases(self):
+        plan = FaultPlan(referees=(RefereeFault("referee-1",
+                                                action="crash"),))
+        bus, inboxes = quorum_bus(plan)
+        assert bus.is_crashed("referee-1")
+        got = bus.send(Message(MessageKind.QUORUM_PROPOSAL, "referee-2",
+                               ("referee-1",), {}))
+        assert got == ()
+        assert inboxes["referee-1"] == []
+        # ...and it cannot speak either.
+        assert bus.send(Message(MessageKind.QUORUM_VOTE, "referee-1",
+                                ("referee-2",), {})) == ()
+
+    def test_wildcard_message_fault_skips_quorum_traffic(self):
+        # A seeded plan written before committees existed must hit the
+        # same processor messages after one is armed: wildcard rules
+        # never consume an RNG draw on committee-internal traffic.
+        plan = FaultPlan(messages=(MessageFault(action="drop"),))
+        bus, inboxes = quorum_bus(plan)
+        vote = Message(MessageKind.QUORUM_VOTE, "referee-2",
+                       ("referee-1",), {})
+        assert bus.send(vote) == ("referee-1",)
+        # An explicitly-typed rule still can.
+        typed = FaultPlan(messages=(
+            MessageFault(action="drop", kind=MessageKind.QUORUM_VOTE),))
+        bus2, _ = quorum_bus(typed)
+        assert bus2.send(vote) == ()

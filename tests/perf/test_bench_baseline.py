@@ -1,0 +1,68 @@
+"""Self-baselining for bench kernels added after the seed commit.
+
+No kernel is actually timed here — these tests drive
+:func:`repro.perf.bench.auto_baselines` / :func:`write_report` with
+synthetic timings so they stay fast and deterministic.
+"""
+
+import json
+
+from repro.perf.bench import SEED_TIMINGS, auto_baselines, write_report
+
+SEED_KERNEL = next(iter(SEED_TIMINGS))
+
+
+class TestAutoBaselines:
+    def test_new_kernel_pins_from_first_measurement(self):
+        head = {SEED_KERNEL: 0.5, "brand_new_kernel": 0.123456789}
+        pinned = auto_baselines(head, prior=None)
+        assert pinned == {"brand_new_kernel": 0.1234568}  # rounded, pinned
+        assert SEED_KERNEL not in pinned  # seed kernels never re-pin
+
+    def test_existing_pin_wins_over_everything(self):
+        prior = {"head": {"k": 0.9}, "auto_baselined": {"k": 0.7}}
+        assert auto_baselines({"k": 0.5}, prior)["k"] == 0.7
+
+    def test_prior_head_wins_over_current_measurement(self):
+        # A report written before self-baselining existed has the kernel
+        # in head but no auto_baselined map: adopt the older timing.
+        prior = {"head": {"k": 0.9}}
+        assert auto_baselines({"k": 0.5}, prior)["k"] == 0.9
+
+    def test_prior_pins_survive_even_unmeasured(self):
+        # Quick runs may skip kernels; their pins must not be lost.
+        prior = {"auto_baselined": {"gone": 1.5}}
+        assert auto_baselines({}, prior) == {"gone": 1.5}
+
+
+class TestWriteReport:
+    def test_every_head_key_gets_a_speedup(self, tmp_path):
+        head = {SEED_KERNEL: SEED_TIMINGS[SEED_KERNEL] / 2.0,
+                "new_kernel": 0.2}
+        report = write_report(tmp_path / "b.json", head, quick=True)
+        assert set(report["speedup_vs_seed"]) == set(head)
+        assert report["speedup_vs_seed"][SEED_KERNEL] == 2.0
+        # First sighting: speedup vs its own pin is exactly 1.
+        assert report["speedup_vs_seed"]["new_kernel"] == 1.0
+        assert report["auto_baselined"] == {"new_kernel": 0.2}
+
+    def test_second_run_reports_against_the_pin(self, tmp_path):
+        path = tmp_path / "b.json"
+        first = write_report(path, {"new_kernel": 0.2}, quick=True)
+        prior = json.loads(path.read_text())
+        assert prior == first
+        second = write_report(path, {"new_kernel": 0.1}, quick=True,
+                              prior=prior)
+        assert second["auto_baselined"] == {"new_kernel": 0.2}
+        assert second["speedup_vs_seed"]["new_kernel"] == 2.0
+
+    def test_checked_in_report_is_self_consistent(self):
+        from pathlib import Path
+
+        doc = json.loads((Path(__file__).resolve().parents[2]
+                          / "BENCH_protocol.json").read_text())
+        reference = {**doc["seed"], **doc.get("auto_baselined", {})}
+        for kernel in doc["head"]:
+            assert kernel in reference, (
+                f"{kernel} has no baseline: bench self-pinning regressed")
+            assert kernel in doc["speedup_vs_seed"]

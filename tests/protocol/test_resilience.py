@@ -153,6 +153,47 @@ class TestDropRecovery:
         assert_ledger_conserved(out)
 
 
+class TestEvidenceRetry:
+    """Evidence traffic (claims, forwarded bid vectors) is a fault
+    target like any other control message: a dropped claim must be
+    retried within the evidence window, not silently vanish before the
+    referee sees it."""
+
+    def test_dropped_claim_is_retried_and_still_convicts(self):
+        from repro.agents.behaviors import AgentBehavior, Deviation
+        from repro.network.messages import MessageKind
+
+        behaviors = {1: AgentBehavior(deviations={Deviation.MULTIPLE_BIDS})}
+        base = run(behaviors=behaviors)
+        plan = FaultPlan(messages=(
+            MessageFault(action="drop", kind=MessageKind.CLAIM,
+                         max_applications=1),))
+        out = run(behaviors=behaviors, fault_plan=plan)
+        assert out.traffic.retries > 0
+        # The retry made the drop invisible to the judgement itself.
+        assert [v.case for v in out.verdicts] == [v.case for v in base.verdicts]
+        assert out.verdicts and out.verdicts[0].fined_names == ("P2",)
+        assert_ledger_conserved(out)
+
+    def test_dropped_bid_vector_is_retried(self):
+        # The allocation dispute forwards both bid vectors to the
+        # referee; a short-changing originator is still convicted when
+        # the first vector is eaten by the wire.
+        from repro.agents.behaviors import AgentBehavior, Deviation
+        from repro.network.messages import MessageKind
+
+        behaviors = {0: AgentBehavior(
+            deviations={Deviation.SHORT_ALLOCATION},
+            deviation_params={"victim": "P2", "delta_blocks": 3})}
+        plan = FaultPlan(messages=(
+            MessageFault(action="drop", kind=MessageKind.BID_VECTOR,
+                         max_applications=1),))
+        out = run(behaviors=behaviors, fault_plan=plan)
+        assert out.traffic.retries > 0
+        assert out.verdicts and out.verdicts[0].fined_names == ("P1",)
+        assert_ledger_conserved(out)
+
+
 class TestMeterOutage:
     def test_billing_falls_back_to_bid(self, ncp_kind):
         out = run(ncp_kind, fault_plan=FaultPlan(meter_outages=("P3",)))

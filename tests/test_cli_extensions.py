@@ -128,3 +128,62 @@ class TestProtocolFlags:
         assert rc == 1
         data = json.loads(capsys.readouterr().out)
         assert data["completed"] is False
+
+
+class TestCommitteeFlags:
+    def test_committee_run_reports_quorum(self, capsys):
+        rc = main(["protocol", "--kind", "ncp-fe", "--z", "0.4",
+                   "2", "3", "5", "4", "--committee", "4",
+                   "--deviant", "1:multiple-bids"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "P2 fined" in out
+
+    def test_byzantine_member_changes_nothing(self, capsys):
+        base = main(["protocol", "--kind", "ncp-fe", "--z", "0.4",
+                     "2", "3", "5", "4", "--committee", "4",
+                     "--deviant", "1:multiple-bids", "--json"])
+        honest = json.loads(capsys.readouterr().out)
+        rc = main(["protocol", "--kind", "ncp-fe", "--z", "0.4",
+                   "2", "3", "5", "4", "--committee", "4",
+                   "--byzantine", "1", "--byzantine-mode", "fine-steal",
+                   "--deviant", "1:multiple-bids", "--json"])
+        faulty = json.loads(capsys.readouterr().out)
+        assert rc == base == 1
+        assert faulty["balances"] == honest["balances"]
+        assert faulty["verdicts"] == honest["verdicts"]
+
+    def test_too_many_byzantine_rejected(self, capsys):
+        # N = 4 tolerates f = 1; asking for 2 is a usage error.
+        rc = main(["protocol", "--kind", "ncp-fe", "--z", "0.4",
+                   "2", "3", "5", "4", "--committee", "4",
+                   "--byzantine", "2"])
+        assert rc == 2
+
+    def test_byzantine_without_committee_rejected(self, capsys):
+        rc = main(["protocol", "--kind", "ncp-fe", "--z", "0.4",
+                   "2", "3", "5", "--byzantine", "1"])
+        assert rc == 2
+
+
+class TestCallUnreachableSocket:
+    def test_missing_socket_exits_2_with_hint(self, tmp_path, capsys):
+        sock = tmp_path / "nowhere.sock"
+        rc = main(["call", "--socket", str(sock), "--op", "ping"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: cannot reach service at {str(sock)!r}")
+        assert "repro serve --socket" in err
+
+    def test_stale_socket_file_exits_2(self, tmp_path, capsys):
+        # A socket file nobody is listening on (daemon died) is the
+        # same usage error as a missing one.
+        import socket as socketlib
+
+        sock = tmp_path / "stale.sock"
+        srv = socketlib.socket(socketlib.AF_UNIX, socketlib.SOCK_STREAM)
+        srv.bind(str(sock))
+        srv.close()  # file remains, listener gone
+        rc = main(["call", "--socket", str(sock), "--op", "ping"])
+        assert rc == 2
+        assert "cannot reach service" in capsys.readouterr().err

@@ -1,0 +1,110 @@
+"""E31 — batch kernels vs the scalar per-scenario loop.
+
+The ``repro.kernels`` package solves whole ``(S, m)`` grids in one
+array pass; these benchmarks quantify the win over looping the scalar
+solver (the per-scenario oracle the batch path is digest-pinned
+against), at the bench harness's reference size m = 512, and through
+the sweep engine end to end (the E29 utility surface with the batch
+task registry on versus off).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.payments import payments
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.kernels import allocate_batch, payments_batch
+
+
+@pytest.fixture(scope="module")
+def grid_512():
+    rng = np.random.default_rng(7)
+    return rng.uniform(1.0, 10.0, (100, 512))
+
+
+def _best_of(fn, rounds=5):
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_batch_kernels_vs_scalar_loop(grid_512, report):
+    """Identical workloads, scalar loop vs one batch pass."""
+    W = grid_512
+    z = 0.2
+    nets = [BusNetwork(tuple(row), z, NetworkKind.NCP_FE) for row in W]
+    W20 = W[:20]
+    nets20 = nets[:20]
+
+    def alloc_loop():
+        for net in nets:
+            allocate(net)
+
+    def pay_loop():
+        for net, row in zip(nets20, W20):
+            payments(net, row)
+
+    rows = []
+    t_loop = _best_of(alloc_loop)
+    t_batch = _best_of(lambda: allocate_batch(W, z, NetworkKind.NCP_FE))
+    rows.append(("allocation, 100 solves @ m=512", f"{t_loop * 1e3:.3f}",
+                 f"{t_batch * 1e3:.3f}", f"{t_loop / t_batch:.1f}x"))
+    t_loop = _best_of(pay_loop)
+    t_batch = _best_of(
+        lambda: payments_batch(W20, z, NetworkKind.NCP_FE, W20))
+    rows.append(("payments, 20 solves @ m=512", f"{t_loop * 1e3:.3f}",
+                 f"{t_batch * 1e3:.3f}", f"{t_loop / t_batch:.1f}x"))
+    report(format_table(
+        ("workload", "scalar loop (ms)", "batch pass (ms)", "speedup"),
+        rows, title="Batch kernel pass vs scalar per-instance loop"))
+
+    # The batch pass must also be *worth it*: same math, fewer Python
+    # frames, so anything below parity would mean the mirroring went
+    # wrong structurally.
+    assert float(rows[0][3][:-1]) > 1.0
+    assert float(rows[1][3][:-1]) > 1.0
+
+
+def test_batch_results_match_scalar_exactly(grid_512):
+    """Row-for-row bit identity (the digest contract, spot-checked)."""
+    W = grid_512[:8]
+    z = 0.2
+    A = allocate_batch(W, z, NetworkKind.NCP_FE)
+    Q = payments_batch(W, z, NetworkKind.NCP_FE, W)
+    for s, row in enumerate(W):
+        net = BusNetwork(tuple(row), z, NetworkKind.NCP_FE)
+        assert np.array_equal(A[s], allocate(net))
+        assert np.array_equal(Q[s], payments(net, row))
+
+
+def test_sweep_surface_batch_vs_scalar(report):
+    """The E29 utility surface through the sweep engine, batch on/off."""
+    from repro.analysis.strategyproofness import surface_plan
+    from repro.sweep import RunOptions, run_plan
+
+    rng = np.random.default_rng(5)
+    net = BusNetwork(tuple(rng.uniform(1.0, 10.0, 512)), 0.2,
+                     NetworkKind.NCP_FE)
+    plan = surface_plan(net, 1,
+                        list(np.linspace(0.5, 1.5, 24)),
+                        list(np.linspace(1.0, 2.0, 12)))
+    t_batch = _best_of(lambda: run_plan(plan, RunOptions()), rounds=3)
+    t_scalar = _best_of(lambda: run_plan(plan, RunOptions(batch=False)),
+                        rounds=3)
+    d_batch = run_plan(plan, RunOptions()).digest()
+    d_scalar = run_plan(plan, RunOptions(batch=False)).digest()
+    assert d_batch == d_scalar  # byte-identical record streams
+    report(format_table(
+        ("path", "wall seconds", "digest (first 12)"),
+        [("batch kernels", f"{t_batch:.4f}", d_batch[:12]),
+         ("scalar oracle", f"{t_scalar:.4f}", d_scalar[:12])],
+        title=f"24x12 utility surface @ m=512 through the sweep engine "
+              f"(batch speedup {t_scalar / t_batch:.1f}x, identical digest)"))
+    assert t_batch < t_scalar

@@ -272,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit records + digest + shard stats as JSON")
     p.add_argument("--progress", action="store_true",
                    help="report completion to stderr while running")
+    p.add_argument("--no-batch", action="store_true",
+                   help="disable the batch kernel path and run the "
+                        "scalar per-scenario reference (records and "
+                        "digest are identical either way)")
 
     p = sub.add_parser("serve",
                        help="run the engagement service daemon on a "
@@ -630,7 +634,8 @@ def cmd_sweep(args) -> int:
 
     t0 = _time.perf_counter()
     result = run_plan(plan, RunOptions(workers=max(1, args.workers),
-                                       progress=progress))
+                                       progress=progress,
+                                       batch=not args.no_batch))
     wall = _time.perf_counter() - t0
     if args.progress:
         print(file=sys.stderr)

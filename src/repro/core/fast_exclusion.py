@@ -25,23 +25,25 @@ The result is bit-for-bit interchangeable with the naive loop (property
 tested) and turns the full payment vector from O(m²)·O(m) into O(m²)
 (the per-``i`` realized-makespan terms remain), making thousand-worker
 markets interactive.
+
+The splice algebra itself now lives in
+:func:`repro.kernels.payments.excluded_makespans_batch`, which computes
+it for a whole ``(S, m)`` grid of bid vectors with no Python loop over
+either axis; this module is the single-network entry point (``S = 1``)
+that the payment algebra and the computation cache call.  The batched
+expressions evaluate each row in the same operation order as the
+historical per-``j`` loop, so results remain bit-identical — the
+property suite pins this against the naive per-index solver.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.platform import BusNetwork
+from repro.kernels.payments import excluded_makespans_batch
 
 __all__ = ["all_excluded_optimal_makespans"]
-
-
-def _chain_weights(w: np.ndarray, z: float) -> np.ndarray:
-    """Weights ``u`` with ``u_1 = 1``, ``u_{i+1} = k_i u_i``."""
-    if len(w) == 1:
-        return np.ones(1)
-    k = w[:-1] / (z + w[1:])
-    return np.concatenate(([1.0], np.cumprod(k)))
 
 
 def all_excluded_optimal_makespans(network_bids: BusNetwork) -> np.ndarray:
@@ -51,61 +53,7 @@ def all_excluded_optimal_makespans(network_bids: BusNetwork) -> np.ndarray:
     :func:`repro.core.payments.excluded_optimal_makespan` per index.
     Requires ``m >= 2``.
     """
-    m = network_bids.m
-    if m < 2:
+    if network_bids.m < 2:
         raise ValueError("the mechanism requires m >= 2 workers")
-    w = network_bids.w_array
-    z = network_bids.z
-    kind = network_bids.kind
-
-    # Weight chain for the *receiving* part of the system.  For NCP-NFE
-    # the last weight uses the z-free coupling (Eq. 9).
-    u = _chain_weights(w, z)
-    if kind is NetworkKind.NCP_NFE and m >= 2:
-        u = u.copy()
-        u[m - 1] = u[m - 2] * w[m - 2] / w[m - 1]
-    P = np.cumsum(u)
-    S = float(P[-1])
-
-    # First-worker completion coefficient of the full system.
-    def head_coeff(first_w: float, originator_is_first: bool) -> float:
-        if kind is NetworkKind.NCP_FE and originator_is_first:
-            return first_w        # front end: no reception delay
-        return z + first_w        # receives over the bus
-
-    out = np.empty(m)
-    for j in range(m):
-        if j == network_bids.originator_index:
-            # Originator keeps distributing, stops computing: the
-            # residual is the CP system over the remaining workers.
-            keep = np.delete(w, j)
-            u_cp = _chain_weights(keep, z)
-            out[j] = (z + keep[0]) / float(np.sum(u_cp))
-            continue
-        if j == 0:
-            # Head removal: remaining chain rescales by 1/u_2; its head
-            # is the old second worker, which now receives first —
-            # except an NFE originator left alone, which holds its own
-            # data and simply computes it (no bus at all).
-            if kind is NetworkKind.NCP_NFE and m == 2:
-                out[j] = float(w[1])
-                continue
-            S_p = (S - u[0]) / u[1]
-            out[j] = head_coeff(w[1], originator_is_first=False) / S_p
-        elif j == m - 1:
-            S_p = float(P[m - 2])
-            out[j] = head_coeff(w[0], originator_is_first=True) / S_p
-        elif kind is NetworkKind.NCP_NFE and j == m - 2:
-            # Splice directly onto the originator's z-free coupling.
-            if m == 2:  # pragma: no cover - j==m-2==0 handled above
-                raise AssertionError
-            S_p = float(P[m - 3]) + u[m - 3] * w[m - 3] / w[m - 1]
-            out[j] = head_coeff(w[0], originator_is_first=True) / S_p
-        else:
-            k_jm1 = w[j - 1] / (z + w[j])
-            k_j = w[j] / (z + w[j + 1])
-            k_splice = w[j - 1] / (z + w[j + 1])
-            r = k_splice / (k_jm1 * k_j)
-            S_p = float(P[j - 1]) + r * (S - float(P[j]))
-            out[j] = head_coeff(w[0], originator_is_first=True) / S_p
-    return out
+    return excluded_makespans_batch(
+        network_bids.w_array[None, :], network_bids.z, network_bids.kind)[0]

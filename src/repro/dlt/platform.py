@@ -153,6 +153,8 @@ class BusNetwork:
     def __post_init__(self) -> None:
         w = validate_positive(self.w, "w")
         object.__setattr__(self, "w", tuple(float(x) for x in w))
+        w.setflags(write=False)
+        object.__setattr__(self, "_w_array", w)
         if not np.isfinite(self.z) or self.z <= 0.0:
             raise ValueError(f"z must be strictly positive, got {self.z}")
         if not isinstance(self.kind, NetworkKind):
@@ -172,8 +174,16 @@ class BusNetwork:
 
     @property
     def w_array(self) -> np.ndarray:
-        """Per-unit processing times as a fresh float array."""
-        return np.asarray(self.w, dtype=float)
+        """Per-unit processing times as a cached **read-only** array.
+
+        Validated once in ``__post_init__`` and shared by every caller —
+        the tuple-to-array conversion used to dominate the m=512
+        allocation kernel.  Consumers that perturb values (dynamics,
+        coalitions, sensitivity) already ``.copy()`` first; the write
+        lock turns any future in-place mutation into a loud error
+        instead of silent cross-caller corruption.
+        """
+        return self._w_array
 
     @property
     def processors(self) -> tuple[Processor, ...]:

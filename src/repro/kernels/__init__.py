@@ -1,0 +1,76 @@
+"""Batch numpy kernels: whole sweep grids solved in one array pass.
+
+Every function in this package operates on 2-D arrays of shape
+``(S, m)`` — ``S`` scenarios stacked as rows, ``m`` processors as
+columns — and evaluates the same closed forms as the per-scenario
+modules (:mod:`repro.dlt.closed_form`, :mod:`repro.dlt.timing`,
+:mod:`repro.core.payments`) for all ``S`` rows at once, with no
+Python-level loop over scenarios *or* processors.
+
+Contract with the scalar path
+-----------------------------
+The scalar modules are the **oracle**: each batch kernel mirrors its
+scalar twin operation-for-operation (same expressions, same evaluation
+order, row-wise), so a batch result row is bit-identical to the scalar
+result for that row's inputs.  That is what lets the sweep engine swap
+the batch path in underneath consumers whose merged record digests are
+pinned byte-for-byte (see ``tests/kernels/``).  When tightening a batch
+kernel, never "simplify" the algebra relative to the scalar twin — a
+mathematically equal reformulation that reassociates floating point is
+a digest break.
+
+Layering
+--------
+``repro.kernels`` sits at the bottom of the stack next to ``repro.dlt``
+and may import **numpy and repro.dlt only** (enforced by the AST lint
+in ``tests/test_architecture.py``).  The simulation stack (protocol,
+network, agents, service) must never import it directly — protocol
+code reaches these kernels through the computation-cache layer
+(:mod:`repro.perf.cache` via :mod:`repro.core.fast_exclusion`), and
+sweep consumers reach them through the batch task registry
+(:mod:`repro.sweep.tasks`).
+"""
+
+from repro.kernels.closed_form import (
+    allocate_batch,
+    allocate_cp_batch,
+    allocate_ncp_fe_batch,
+    allocate_ncp_nfe_batch,
+    chain_ratios_batch,
+)
+from repro.kernels.payments import (
+    bonus_vector_batch,
+    compensation_batch,
+    excluded_makespans_batch,
+    payments_batch,
+    utilities_batch,
+)
+from repro.kernels.surface import (
+    allocation_sensitivities_batch,
+    payment_sensitivities_batch,
+    utility_points_batch,
+)
+from repro.kernels.timing import (
+    communication_finish_times_batch,
+    finish_times_batch,
+    makespans_batch,
+)
+
+__all__ = [
+    "chain_ratios_batch",
+    "allocate_batch",
+    "allocate_cp_batch",
+    "allocate_ncp_fe_batch",
+    "allocate_ncp_nfe_batch",
+    "communication_finish_times_batch",
+    "finish_times_batch",
+    "makespans_batch",
+    "excluded_makespans_batch",
+    "compensation_batch",
+    "bonus_vector_batch",
+    "payments_batch",
+    "utilities_batch",
+    "utility_points_batch",
+    "allocation_sensitivities_batch",
+    "payment_sensitivities_batch",
+]

@@ -1,0 +1,124 @@
+"""Batched closed-form allocations: Algorithms 2.1/2.2 over (S, m) grids.
+
+Row ``s`` of every result equals :func:`repro.dlt.closed_form.allocate`
+applied to ``(W[s], z[s])`` bit-for-bit: the expressions below are the
+scalar module's, with ``axis=1`` reductions in place of 1-D ones
+(numpy's cumulative and pairwise reductions over the last axis of a
+C-contiguous matrix perform the identical operation sequence per row).
+
+``z`` may be a scalar (one bus shared by every scenario — the common
+sweep shape) or a vector of ``S`` per-scenario values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dlt.platform import NetworkKind
+
+__all__ = [
+    "chain_ratios_batch",
+    "allocate_batch",
+    "allocate_cp_batch",
+    "allocate_ncp_fe_batch",
+    "allocate_ncp_nfe_batch",
+]
+
+
+def as_grid(W) -> np.ndarray:
+    """Coerce *W* to a C-contiguous float64 ``(S, m)`` matrix."""
+    W = np.ascontiguousarray(W, dtype=float)
+    if W.ndim != 2:
+        raise ValueError(f"expected a 2-D (scenarios, processors) grid, "
+                         f"got shape {W.shape}")
+    if W.shape[1] == 0:
+        raise ValueError("grids must have at least one processor column")
+    return W
+
+
+def z_column(z, S: int):
+    """``z`` as a broadcastable column: scalar stays scalar, a vector of
+    per-scenario values becomes an ``(S, 1)`` column."""
+    if np.ndim(z) == 0:
+        return float(z)
+    z = np.asarray(z, dtype=float)
+    if z.shape != (S,):
+        raise ValueError(f"z must be scalar or shape ({S},), got {z.shape}")
+    return z[:, None]
+
+
+def chain_ratios_batch(W, z) -> np.ndarray:
+    """``k_j = w_j / (z + w_{j+1})`` for every row; shape ``(S, m-1)``.
+
+    Batched :func:`repro.dlt.closed_form.chain_ratios`.
+    """
+    W = as_grid(W)
+    if W.shape[1] < 2:
+        return np.empty((W.shape[0], 0), dtype=float)
+    zc = z_column(z, W.shape[0])
+    return W[:, :-1] / (zc + W[:, 1:])
+
+
+def _normalized_rows(weights: np.ndarray) -> np.ndarray:
+    """Row-wise mirror of ``closed_form._normalized``."""
+    totals = np.sum(weights, axis=1)
+    if not np.all(np.isfinite(totals)) or np.any(totals <= 0.0):
+        bad = np.flatnonzero(~np.isfinite(totals) | (totals <= 0.0))
+        raise ArithmeticError(
+            f"degenerate chain weights in {bad.size} row(s) "
+            f"(first: row {bad[0]}, sum={totals[bad[0]]}); "
+            f"instance too extreme for float64")
+    return weights / totals[:, None]
+
+
+def _with_leading_ones(tail: np.ndarray) -> np.ndarray:
+    S = tail.shape[0]
+    out = np.empty((S, tail.shape[1] + 1), dtype=float)
+    out[:, 0] = 1.0
+    out[:, 1:] = tail
+    return out
+
+
+def allocate_ncp_fe_batch(W, z) -> np.ndarray:
+    """Batched Algorithm 2.1 (BUS-LINEAR-NCP-FE): ``(S, m)`` fractions."""
+    W = as_grid(W)
+    k = chain_ratios_batch(W, z)
+    weights = _with_leading_ones(np.cumprod(k, axis=1))
+    return _normalized_rows(weights)
+
+
+def allocate_cp_batch(W, z) -> np.ndarray:
+    """Batched BUS-LINEAR-CP fractions (identical recursion to NCP-FE)."""
+    return allocate_ncp_fe_batch(W, z)
+
+
+def allocate_ncp_nfe_batch(W, z) -> np.ndarray:
+    """Batched Algorithm 2.2 (BUS-LINEAR-NCP-NFE): ``(S, m)`` fractions."""
+    W = as_grid(W)
+    S, m = W.shape
+    if m == 1:
+        return np.ones((S, 1), dtype=float)
+    k = chain_ratios_batch(W[:, :-1], z)            # (S, m-2)
+    head = _with_leading_ones(np.cumprod(k, axis=1))  # alpha_1..alpha_{m-1}
+    tail = head[:, -1] * (W[:, -2] / W[:, -1])        # alpha_m over alpha_1
+    weights = np.empty((S, m), dtype=float)
+    weights[:, : m - 1] = head
+    weights[:, m - 1] = tail
+    return _normalized_rows(weights)
+
+
+_DISPATCH = {
+    NetworkKind.CP: allocate_cp_batch,
+    NetworkKind.NCP_FE: allocate_ncp_fe_batch,
+    NetworkKind.NCP_NFE: allocate_ncp_nfe_batch,
+}
+
+
+def allocate_batch(W, z, kind: NetworkKind) -> np.ndarray:
+    """Optimal fractions for every ``(w, z)`` row under *kind*.
+
+    No input validation beyond shape: callers (the sweep batch tasks,
+    the bench kernels) guarantee strictly positive finite grids, or
+    fall back to the scalar path — which *does* validate — on failure.
+    """
+    return _DISPATCH[kind](W, z)

@@ -1,0 +1,178 @@
+"""Batched sweep-surface math: utility grids and conditioning probes.
+
+These are the array-pass equivalents of the per-scenario analysis
+functions the sweep tasks call
+(:func:`repro.analysis.strategyproofness.agent_utility` and the two
+sensitivity probes of :mod:`repro.analysis.sensitivity`).  The batch
+task registry in :mod:`repro.sweep.tasks` routes whole shard chunks
+here; the analysis modules themselves stay scalar and serve as the
+differential oracle.
+
+Bit-identity notes
+------------------
+* ``utility_points_batch`` mirrors ``agent_utility`` + ``bonus``: the
+  exclusion term uses the *naive* reduced-network solve (exactly the
+  scalar :func:`repro.core.payments.excluded_optimal_makespan` path,
+  duplicated here because ``repro.kernels`` may not import
+  ``repro.core``), and the realized term substitutes ``w~_i`` into the
+  full finishing-time maximum, batched along the scenario axis.  The
+  exclusion is solved **once per grid** — removing worker ``i`` erases
+  the only bid the grid varies, so every scenario shares the value.
+* The sensitivity probes mirror the central-difference expressions of
+  ``allocation_sensitivity`` / ``payment_sensitivity`` including the
+  response-normalization order of ``_relative_response``.
+
+Inputs are validated to the same strictness the scalar path enforces
+(strictly positive, finite); on any violation these functions raise and
+the sweep layer falls back to the scalar path, which reports the
+per-scenario error the serial loop would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.timing import makespan
+from repro.kernels.closed_form import allocate_batch
+from repro.kernels.payments import payments_batch
+from repro.kernels.timing import communication_finish_times_batch
+
+__all__ = [
+    "utility_points_batch",
+    "allocation_sensitivities_batch",
+    "payment_sensitivities_batch",
+]
+
+
+def _excluded_optimal_makespan(network_bids: BusNetwork, i: int) -> float:
+    """``T(alpha(b_{-i}), b_{-i})`` by the naive reduced solve.
+
+    Operation-for-operation mirror of
+    :func:`repro.core.payments.excluded_optimal_makespan` (which this
+    package may not import); the originator's non-participation yields
+    the CP-distributor system over the remaining workers — see the
+    scalar twin for the Theorem 3.2 rationale.
+    """
+    if network_bids.m < 2:
+        raise ValueError("the mechanism requires m >= 2 workers")
+    if i == network_bids.originator_index:
+        reduced = BusNetwork(
+            tuple(w for j, w in enumerate(network_bids.w) if j != i),
+            network_bids.z,
+            NetworkKind.CP,
+            tuple(n for j, n in enumerate(network_bids.names) if j != i),
+        )
+    else:
+        reduced = network_bids.without(i)
+    return makespan(allocate(reduced), reduced)
+
+
+def _require_positive_grid(arr: np.ndarray, name: str) -> None:
+    """The scalar path's validation, applied grid-wide up front.
+
+    The batch kernels skip per-call validation for speed, so anything a
+    scalar ``BusNetwork``/``_validate`` would reject must be rejected
+    here — otherwise the batch path would silently compute where the
+    scalar oracle raises, and the digests would diverge.
+    """
+    if not np.all(np.isfinite(arr)) or np.any(arr <= 0.0):
+        raise ValueError(f"{name} must be strictly positive and finite")
+
+
+def utility_points_batch(
+    network_true: BusNetwork,
+    i: int,
+    bid_factors,
+    exec_factors,
+    others_bid_factors=None,
+) -> np.ndarray:
+    """Utilities ``U_i = B_i`` for ``S`` (bid, exec) strategy pairs.
+
+    One array pass over the whole grid: ``bid_factors`` and
+    ``exec_factors`` are parallel length-``S`` vectors (one entry per
+    scenario — a full cartesian surface arrives here already flattened
+    by the sweep plan).
+    """
+    w = network_true.w_array
+    m = network_true.m
+    if not 0 <= i < m:
+        raise IndexError(f"agent index {i} out of range for m={m}")
+    bf = np.asarray(bid_factors, dtype=float)
+    ef = np.asarray(exec_factors, dtype=float)
+    if bf.shape != ef.shape or bf.ndim != 1:
+        raise ValueError("bid_factors and exec_factors must be parallel "
+                         f"1-D vectors, got {bf.shape} and {ef.shape}")
+    factors = (np.ones(m) if others_bid_factors is None
+               else np.asarray(others_bid_factors, dtype=float))
+    bids_base = w * factors
+
+    B = np.repeat(bids_base[None, :], bf.shape[0], axis=0)
+    B[:, i] = bf * w[i]
+    _require_positive_grid(B, "bid grid")
+
+    w_exec_i = np.maximum(1.0, ef) * w[i]
+    _require_positive_grid(w_exec_i, "execution values")
+
+    A = allocate_batch(B, network_true.z, network_true.kind)
+    Mixed = B.copy()
+    Mixed[:, i] = w_exec_i
+    T = (communication_finish_times_batch(A, network_true.z,
+                                          network_true.kind) + A * Mixed)
+    realized = np.max(T, axis=1)
+
+    # The exclusion removes worker i — the one column the grid varies —
+    # so it is constant across scenarios; solve it once, by the same
+    # naive path the scalar bonus() takes.
+    excl = _excluded_optimal_makespan(network_true.with_w(B[0]), i)
+    return excl - realized
+
+
+def _relative_responses(base: np.ndarray, perturbed: np.ndarray) -> np.ndarray:
+    """Row-wise mirror of ``sensitivity._relative_response``."""
+    denom = float(np.max(np.abs(base)))
+    if denom == 0.0:
+        return np.zeros(perturbed.shape[0])
+    return np.max(np.abs(perturbed - base[None, :]), axis=1) / denom
+
+
+def _perturbed_grids(w: np.ndarray, indices: np.ndarray,
+                     eps: float) -> tuple[np.ndarray, np.ndarray]:
+    rows = np.arange(indices.shape[0])
+    U = np.repeat(w[None, :], indices.shape[0], axis=0)
+    D = U.copy()
+    U[rows, indices] *= 1.0 + eps
+    D[rows, indices] *= 1.0 - eps
+    return U, D
+
+
+def allocation_sensitivities_batch(network: BusNetwork, indices,
+                                   eps: float = 1e-4) -> np.ndarray:
+    """``allocation_sensitivity(network, i)`` for every ``i`` at once."""
+    idx = np.asarray(indices, dtype=int)
+    w = network.w_array
+    base = allocate(network)
+    U, D = _perturbed_grids(w, idx, eps)
+    _require_positive_grid(U, "perturbed w")
+    _require_positive_grid(D, "perturbed w")
+    a_up = allocate_batch(U, network.z, network.kind)
+    a_down = allocate_batch(D, network.z, network.kind)
+    perturbed = (a_up - a_down) / 2.0 + base[None, :]
+    return _relative_responses(base, perturbed) / eps
+
+
+def payment_sensitivities_batch(network: BusNetwork, indices,
+                                eps: float = 1e-4) -> np.ndarray:
+    """``payment_sensitivity(network, i)`` for every ``i`` at once."""
+    idx = np.asarray(indices, dtype=int)
+    w = network.w_array
+    z, kind = network.z, network.kind
+    base = payments_batch(w[None, :], z, kind, w[None, :])[0]
+    U, D = _perturbed_grids(w, idx, eps)
+    _require_positive_grid(U, "perturbed w")
+    _require_positive_grid(D, "perturbed w")
+    q_up = payments_batch(U, z, kind, U)
+    q_down = payments_batch(D, z, kind, D)
+    perturbed = (q_up - q_down) / 2.0 + base[None, :]
+    return _relative_responses(base, perturbed) / eps

@@ -1,0 +1,62 @@
+"""Batched finishing-time equations (1)-(3) over (S, m) grids.
+
+Row-wise mirror of :mod:`repro.dlt.timing`: the prefix structure of the
+one-port bus becomes a ``cumsum`` along ``axis=1``, and the makespan a
+``max`` along ``axis=1``.  Expression order matches the scalar module
+exactly so rows are bit-identical to per-scenario evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dlt.platform import NetworkKind
+from repro.kernels.closed_form import as_grid, z_column
+
+__all__ = [
+    "communication_finish_times_batch",
+    "finish_times_batch",
+    "makespans_batch",
+]
+
+
+def communication_finish_times_batch(A, z, kind: NetworkKind) -> np.ndarray:
+    """When each worker holds its fraction, for every scenario row.
+
+    Batched :func:`repro.dlt.timing.communication_finish_times`;
+    ``A`` is the ``(S, m)`` allocation grid.
+    """
+    A = as_grid(A)
+    S, m = A.shape
+    zc = z_column(z, S)
+    prefix = zc * np.cumsum(A, axis=1)
+    if kind is NetworkKind.CP:
+        return prefix
+    if kind is NetworkKind.NCP_FE:
+        # Transmissions start with alpha_2: P_1 keeps its own fraction.
+        ready = prefix - zc * A[:, :1]
+        ready[:, 0] = 0.0
+        return ready
+    # NCP_NFE: P_m transmits alpha_1..alpha_{m-1}, then starts computing.
+    ready = prefix.copy()
+    ready[:, m - 1] = prefix[:, m - 2] if m >= 2 else 0.0
+    return ready
+
+
+def finish_times_batch(A, W, z, kind: NetworkKind, W_exec=None) -> np.ndarray:
+    """Per-processor finishing times ``T_i`` for every scenario row.
+
+    ``W_exec`` optionally overrides the scheduling grid ``W`` with
+    observed execution values (the mechanism's mixed evaluation).
+    """
+    A = as_grid(A)
+    use = as_grid(W if W_exec is None else W_exec)
+    if use.shape != A.shape:
+        raise ValueError(f"grid shapes differ: alpha {A.shape} vs "
+                         f"execution {use.shape}")
+    return communication_finish_times_batch(A, z, kind) + A * use
+
+
+def makespans_batch(A, W, z, kind: NetworkKind, W_exec=None) -> np.ndarray:
+    """``T(alpha) = max_i T_i`` per scenario row; shape ``(S,)``."""
+    return np.max(finish_times_batch(A, W, z, kind, W_exec), axis=1)

@@ -9,6 +9,16 @@ produce identical message logs and fines).
 The kernel is intentionally generic (no knowledge of buses, agents or
 mechanisms) so both the bus transport and the multiround pipeline can
 be expressed on it.
+
+Performance notes
+-----------------
+The heap stores bare ``(time, seq, event)`` tuples rather than the
+:class:`Event` objects themselves: tuple comparison happens entirely in
+C (two number compares — ``seq`` is unique, so the :class:`Event` slot
+is never compared), where a dataclass-generated ``__lt__`` costs a
+Python frame per sift step.  The drain loops additionally bind the heap
+and ``heappop`` to locals; together these buy back the ~10% the 20k
+event benchmark had drifted.
 """
 
 from __future__ import annotations
@@ -20,9 +30,10 @@ from typing import Callable
 __all__ = ["Event", "EventQueue"]
 
 
-@dataclass(order=True, slots=True)
+@dataclass(slots=True)
 class Event:
-    """A scheduled action; ordering is (time, seq) so FIFO within a tick.
+    """A scheduled action; the queue orders by (time, seq), FIFO within
+    a tick.
 
     ``__slots__`` (via ``slots=True``): protocol runs schedule one event
     per load transfer and per deferred fan-out, and DES throughput
@@ -32,9 +43,9 @@ class Event:
 
     time: float
     seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    action: Callable[[], None]
+    label: str = ""
+    cancelled: bool = False
 
     def cancel(self) -> None:
         """Mark the event dead; the kernel skips it when popped."""
@@ -52,7 +63,7 @@ class EventQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._now = 0.0
         self._processed = 0
@@ -65,7 +76,7 @@ class EventQueue:
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for _, _, e in self._heap if not e.cancelled)
 
     @property
     def processed(self) -> int:
@@ -76,9 +87,10 @@ class EventQueue:
         """Schedule *action* at absolute *time* (>= now)."""
         if time < self._now - 1e-12:
             raise ValueError(f"cannot schedule into the past: {time} < now={self._now}")
-        ev = Event(max(time, self._now), self._seq, action, label)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(max(time, self._now), seq, action, label)
+        heapq.heappush(self._heap, (ev.time, seq, ev))
         return ev
 
     def schedule_in(self, delay: float, action: Callable[[], None], *, label: str = "") -> Event:
@@ -99,11 +111,12 @@ class EventQueue:
 
     def step(self) -> Event | None:
         """Execute the next live event; return it (or None if drained)."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            time, _, ev = heapq.heappop(heap)
             if ev.cancelled:
                 continue
-            self._now = ev.time
+            self._now = time
             ev.action()
             self._processed += 1
             return ev
@@ -115,8 +128,16 @@ class EventQueue:
         ``max_events`` guards against runaway self-rescheduling loops in
         buggy agents (raises rather than hanging the test suite).
         """
+        heap = self._heap
+        pop = heapq.heappop
         count = 0
-        while self.step() is not None:
+        while heap:
+            time, _, ev = pop(heap)
+            if ev.cancelled:
+                continue
+            self._now = time
+            ev.action()
+            self._processed += 1
             count += 1
             if count > max_events:
                 raise RuntimeError(f"event budget exceeded ({max_events}); likely a scheduling loop")
@@ -124,15 +145,20 @@ class EventQueue:
 
     def run_until(self, deadline: float, *, max_events: int = 1_000_000) -> int:
         """Run events with time <= deadline; advance clock to deadline."""
+        heap = self._heap
+        pop = heapq.heappop
         count = 0
-        while self._heap:
-            nxt = self._heap[0]
-            if nxt.cancelled:
-                heapq.heappop(self._heap)
+        while heap:
+            time, _, ev = heap[0]
+            if ev.cancelled:
+                pop(heap)
                 continue
-            if nxt.time > deadline:
+            if time > deadline:
                 break
-            self.step()
+            pop(heap)
+            self._now = time
+            ev.action()
+            self._processed += 1
             count += 1
             if count > max_events:
                 raise RuntimeError(f"event budget exceeded ({max_events})")

@@ -37,7 +37,7 @@ from typing import Any, Callable, Sequence
 
 from repro.sweep.aggregate import PhaseTotals, TrafficTotals, aggregate_records
 from repro.sweep.spec import ScenarioSpec, SweepPlan, digest_records
-from repro.sweep.tasks import run_scenario
+from repro.sweep.tasks import iter_task_groups, run_scenario, try_run_batch
 
 __all__ = ["SweepError", "RunOptions", "ShardStats", "SweepResult", "run_plan"]
 
@@ -62,6 +62,11 @@ class RunOptions:
     * ``progress`` — ``progress(done, total)`` parent-side callback
       (not serialized; excluded from equality by design of use, carried
       here only as plumbing).
+    * ``batch`` — route same-task spec groups through their registered
+      batch executors (:data:`repro.sweep.tasks.BATCH_TASKS`), solving a
+      whole chunk in one ``repro.kernels`` array pass.  Records are
+      byte-identical either way (differential-tested); ``False`` forces
+      the scalar per-scenario reference path everywhere.
     """
 
     workers: int = 1
@@ -69,6 +74,7 @@ class RunOptions:
     shard_order: Sequence[int] | None = None
     max_restarts: int = 2
     progress: Callable[[int, int], None] | None = None
+    batch: bool = True
 
 
 _OPTION_FIELDS = tuple(f.name for f in fields(RunOptions))
@@ -129,24 +135,34 @@ class SweepResult:
 # worker side
 # ---------------------------------------------------------------------------
 
-def _run_chunk(payload: tuple[int, Sequence[ScenarioSpec]]
+def _run_chunk(payload: tuple[int, Sequence[ScenarioSpec], bool]
                ) -> tuple[int, list[tuple[int, bool, Any]], dict]:
     """Execute one chunk inside a worker process.
 
     Returns ``(chunk_id, [(index, ok, record_or_error), ...], stats)``.
     Exceptions are captured per scenario so one bad spec cannot take the
-    worker (and the other chunks queued on it) down with it.
+    worker (and the other chunks queued on it) down with it.  With
+    ``batch`` on, each same-task run of the chunk first tries its batch
+    executor (one array pass); a group whose executor raises is re-run
+    scenario-by-scenario so error attribution is identical to the
+    scalar path.
     """
-    chunk_id, specs = payload
+    chunk_id, specs, batch = payload
     t0 = time.perf_counter()
     results: list[tuple[int, bool, Any]] = []
-    for spec in specs:
-        try:
-            results.append((spec.index, True, run_scenario(spec)))
-        except Exception as exc:  # noqa: BLE001 — shipped to the parent
-            results.append((spec.index, False,
-                            {"task": spec.task, "key": spec.key,
-                             "error": f"{type(exc).__name__}: {exc}"}))
+    for _, group in iter_task_groups(specs):
+        batch_records = try_run_batch(group) if batch else None
+        if batch_records is not None:
+            results.extend((spec.index, True, rec)
+                           for spec, rec in zip(group, batch_records))
+            continue
+        for spec in group:
+            try:
+                results.append((spec.index, True, run_scenario(spec)))
+            except Exception as exc:  # noqa: BLE001 — shipped to the parent
+                results.append((spec.index, False,
+                                {"task": spec.task, "key": spec.key,
+                                 "error": f"{type(exc).__name__}: {exc}"}))
     traffic, phases = aggregate_records(
         rec for _, ok, rec in results if ok)
     stats = {"start": specs[0].index if specs else 0,
@@ -186,18 +202,30 @@ def _raise_first_failure(indexed: dict[int, tuple[bool, Any]]) -> None:
 
 
 def _run_serial(plan: SweepPlan,
-                progress: Callable[[int, int], None] | None) -> SweepResult:
+                progress: Callable[[int, int], None] | None,
+                batch: bool = True) -> SweepResult:
     total = len(plan)
     records = []
-    for done, spec in enumerate(plan, start=1):
-        try:
-            records.append(run_scenario(spec))
-        except Exception as exc:
-            raise SweepError(
-                f"scenario {spec.index} ({spec.task}) failed: "
-                f"{type(exc).__name__}: {exc}") from exc
-        if progress is not None:
-            progress(done, total)
+    done = 0
+    for _, group in iter_task_groups(tuple(plan)):
+        batch_records = try_run_batch(group) if batch else None
+        if batch_records is not None:
+            for rec in batch_records:
+                records.append(rec)
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+            continue
+        for spec in group:
+            try:
+                records.append(run_scenario(spec))
+            except Exception as exc:
+                raise SweepError(
+                    f"scenario {spec.index} ({spec.task}) failed: "
+                    f"{type(exc).__name__}: {exc}") from exc
+            done += 1
+            if progress is not None:
+                progress(done, total)
     traffic, phases = aggregate_records(records)
     shard = ShardStats(shard=0, start=0, scenarios=total, wall_time=0.0,
                        traffic=traffic, phases=phases)
@@ -236,9 +264,10 @@ def run_plan(
     shard_order = options.shard_order
     max_restarts = options.max_restarts
 
+    batch = bool(options.batch)
     workers = int(options.workers)
     if workers <= 1:
-        return _run_serial(plan, progress)
+        return _run_serial(plan, progress, batch)
     total = len(plan)
     if total == 0:
         return SweepResult(records=(), shards=(), workers=workers)
@@ -265,7 +294,7 @@ def run_plan(
                                        mp_context=ctx)
         broken = False
         try:
-            futures = {executor.submit(_run_chunk, (cid, specs)): cid
+            futures = {executor.submit(_run_chunk, (cid, specs, batch)): cid
                        for cid, specs in pending.items()}
             not_done = set(futures)
             while not_done:

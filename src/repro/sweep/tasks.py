@@ -16,13 +16,30 @@ acyclic.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.sweep.spec import ScenarioSpec
 
-__all__ = ["TASKS", "register", "run_scenario"]
+__all__ = [
+    "TASKS",
+    "BATCH_TASKS",
+    "register",
+    "register_batch",
+    "run_scenario",
+    "iter_task_groups",
+    "try_run_batch",
+]
 
 TASKS: dict[str, Callable[[ScenarioSpec], dict]] = {}
+
+# Batch-aware variants: a batch executor receives a whole chunk of specs
+# (all sharing one task name) and returns one record per spec, in order.
+# Registration is optional — tasks without one always take the scalar
+# per-scenario path.  A batch executor MUST produce records that are
+# canonical-JSON byte-identical to the scalar task's (the differential
+# suite in tests/kernels/ pins this), which in practice means routing
+# through the repro.kernels mirrors rather than reimplementing math.
+BATCH_TASKS: dict[str, Callable[[Sequence[ScenarioSpec]], list[dict]]] = {}
 
 
 def register(name: str):
@@ -37,6 +54,18 @@ def register(name: str):
     return deco
 
 
+def register_batch(name: str):
+    """Register a whole-chunk batch executor under *name* (decorator)."""
+
+    def deco(fn: Callable[[Sequence[ScenarioSpec]], list[dict]]):
+        if name in BATCH_TASKS:
+            raise ValueError(f"batch task {name!r} already registered")
+        BATCH_TASKS[name] = fn
+        return fn
+
+    return deco
+
+
 def run_scenario(spec: ScenarioSpec) -> dict:
     """Execute one scenario; returns its plain-data record."""
     try:
@@ -46,6 +75,48 @@ def run_scenario(spec: ScenarioSpec) -> dict:
             f"unknown sweep task {spec.task!r}; "
             f"registered: {sorted(TASKS)}") from None
     return task(spec)
+
+
+def iter_task_groups(
+    specs: Sequence[ScenarioSpec],
+) -> Iterator[tuple[str, list[ScenarioSpec]]]:
+    """Contiguous runs of same-task specs, in original order.
+
+    Grouping is contiguous (never a sort) so the execution order — and
+    therefore which scenario's failure surfaces first on the serial
+    path — is exactly the plan order.
+    """
+    group: list[ScenarioSpec] = []
+    for spec in specs:
+        if group and spec.task != group[-1].task:
+            yield group[-1].task, group
+            group = []
+        group.append(spec)
+    if group:
+        yield group[-1].task, group
+
+
+def try_run_batch(specs: Sequence[ScenarioSpec]) -> list[dict] | None:
+    """Run one same-task group through its batch executor, if it can.
+
+    Returns the per-spec records, or ``None`` when no batch executor is
+    registered or the executor raised — the caller then takes the scalar
+    per-scenario path, which re-raises (or captures) each scenario's own
+    exception with exact attribution.  This makes the batch path purely
+    an optimization: it can never change *which* error a sweep reports.
+    """
+    if not specs:
+        return []
+    executor = BATCH_TASKS.get(specs[0].task)
+    if executor is None:
+        return None
+    try:
+        records = executor(specs)
+    except Exception:  # noqa: BLE001 — scalar fallback re-attributes
+        return None
+    if len(records) != len(specs):  # defensive: a buggy executor
+        return None
+    return records
 
 
 # ---------------------------------------------------------------------------
@@ -133,6 +204,83 @@ def _sensitivity(spec: ScenarioSpec) -> dict:
     value = probe(_network(p), int(p["i"]), eps=float(p.get("eps", 1e-4)))
     return {"target": p["target"], "i": int(p["i"]),
             "sensitivity": float(value)}
+
+
+# ---------------------------------------------------------------------------
+# batch executors (repro.kernels array passes over whole chunks)
+# ---------------------------------------------------------------------------
+
+def _network_key(p: Mapping[str, Any]) -> tuple:
+    return (tuple(float(x) for x in p["w"]), float(p["z"]), p["kind"])
+
+
+@register_batch("utility-point")
+def _utility_point_batch(specs: Sequence[ScenarioSpec]) -> list[dict]:
+    """A chunk of utility-surface cells as one (S, m) kernel pass.
+
+    Cells are grouped by everything except (bid_factor, exec_factor) —
+    a surface chunk is normally a single group — and each group becomes
+    one :func:`repro.kernels.surface.utility_points_batch` call.  Any
+    input the scalar path would reject makes the kernel raise, which
+    sends the whole chunk down the scalar fallback for per-scenario
+    error attribution.
+    """
+    from repro.kernels.surface import utility_points_batch
+
+    records: list[dict | None] = [None] * len(specs)
+    groups: dict[tuple, list[int]] = {}
+    for pos, spec in enumerate(specs):
+        p = spec.params
+        others = p.get("others_bid_factors")
+        key = (_network_key(p), int(p["i"]),
+               None if others is None else tuple(float(x) for x in others))
+        groups.setdefault(key, []).append(pos)
+    for ((w, z, kind), i, others), positions in groups.items():
+        from repro.dlt.platform import BusNetwork, NetworkKind
+
+        net = BusNetwork(w, z, NetworkKind(kind))
+        bf = [float(specs[pos].params["bid_factor"]) for pos in positions]
+        ef = [float(specs[pos].params["exec_factor"]) for pos in positions]
+        values = utility_points_batch(
+            net, i, bf, ef,
+            None if others is None else list(others))
+        for pos, b, e, u in zip(positions, bf, ef, values):
+            records[pos] = {"bid_factor": b, "exec_factor": e,
+                            "utility": float(u)}
+    return records  # type: ignore[return-value]
+
+
+@register_batch("sensitivity")
+def _sensitivity_batch(specs: Sequence[ScenarioSpec]) -> list[dict]:
+    """A chunk of conditioning probes as one kernel pass per network.
+
+    Probes are grouped by (network, target, eps); the varying agent
+    indices become one vector passed to the batched probe.
+    """
+    from repro.kernels.surface import (
+        allocation_sensitivities_batch,
+        payment_sensitivities_batch,
+    )
+
+    probes = {"allocation": allocation_sensitivities_batch,
+              "payments": payment_sensitivities_batch}
+    records: list[dict | None] = [None] * len(specs)
+    groups: dict[tuple, list[int]] = {}
+    for pos, spec in enumerate(specs):
+        p = spec.params
+        key = (_network_key(p), p["target"], float(p.get("eps", 1e-4)))
+        groups.setdefault(key, []).append(pos)
+    for ((w, z, kind), target, eps), positions in groups.items():
+        from repro.dlt.platform import BusNetwork, NetworkKind
+
+        probe = probes[target]
+        net = BusNetwork(w, z, NetworkKind(kind))
+        idx = [int(specs[pos].params["i"]) for pos in positions]
+        values = probe(net, idx, eps=eps)
+        for pos, i, v in zip(positions, idx, values):
+            records[pos] = {"target": target, "i": i,
+                            "sensitivity": float(v)}
+    return records  # type: ignore[return-value]
 
 
 def _resilience_outcome(p: Mapping[str, Any], fault_plan) -> dict:

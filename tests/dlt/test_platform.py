@@ -108,11 +108,16 @@ class TestBusNetwork:
         with pytest.raises(TypeError):
             BusNetwork((2.0,), 0.5, "cp")
 
-    def test_w_array_is_copy(self):
+    def test_w_array_is_read_only(self):
+        # The cached array refuses in-place writes, so a buggy consumer
+        # fails loudly instead of corrupting every other caller's view.
         net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.CP)
         arr = net.w_array
-        arr[0] = 99.0
+        with pytest.raises(ValueError):
+            arr[0] = 99.0
         assert net.w == (2.0, 3.0)
+        np.testing.assert_array_equal(arr.copy(), [2.0, 3.0])
+        assert net.w_array is arr  # cached, not rebuilt per access
 
     def test_with_w_replaces_values_keeps_rest(self):
         net = BusNetwork((2.0, 3.0), 0.5, NetworkKind.NCP_FE, names=("x", "y"))

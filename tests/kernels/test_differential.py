@@ -1,0 +1,231 @@
+"""Differential suite: batch kernels are byte-identical to the scalar oracle.
+
+Two layers of pinning:
+
+* **Kernel level** — every ``repro.kernels`` function is compared
+  row-for-row against its scalar twin with ``np.array_equal`` (bit
+  equality, not allclose) across random grids, all three network kinds,
+  the degenerate ``m = 1`` case and extreme ``w``/``z`` spreads.
+* **Sweep level** — whole plans are executed with the batch task
+  registry on and off, serial and sharded, and compared by
+  canonical-JSON SHA-256 record digest.  Digest equality is byte
+  equality of everything any consumer ever reads.
+
+The scalar path is the oracle: these tests are what allows the sweep
+engine to route chunks through one array pass and still advertise the
+serial loop's determinism contract.
+"""
+
+import numpy as np
+import pytest
+
+import repro.kernels as K
+from repro.analysis.sensitivity import (
+    allocation_sensitivity,
+    condition_plan,
+    payment_sensitivity,
+)
+from repro.analysis.strategyproofness import agent_utility, surface_plan
+from repro.core.payments import bonus_vector, payments, utilities
+from repro.dlt.closed_form import allocate
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.timing import communication_finish_times, makespan
+from repro.sweep import RunOptions, SweepError, run_plan
+from repro.sweep.spec import SweepPlan
+
+KINDS = list(NetworkKind)
+SIZES = (2, 3, 5, 17, 64)
+
+
+def _grid(rng, S, m, spread=False):
+    W = rng.uniform(0.5, 20.0, (S, m))
+    if spread and m >= 2:
+        W[0] = np.geomspace(1e-3, 1e3, m)
+        W[1] = np.geomspace(1e3, 1e-3, m)
+    return W
+
+
+@pytest.mark.parametrize("kind", KINDS, ids=lambda k: k.value)
+@pytest.mark.parametrize("m", SIZES)
+class TestKernelBitIdentity:
+    def test_allocate_rows_equal_scalar(self, kind, m):
+        rng = np.random.default_rng(100 + m)
+        W = _grid(rng, 6, m, spread=True)
+        A = K.allocate_batch(W, 0.3, kind)
+        for s, row in enumerate(W):
+            net = BusNetwork(tuple(row), 0.3, kind)
+            assert np.array_equal(A[s], allocate(net))
+
+    def test_ready_and_makespans_equal_scalar(self, kind, m):
+        rng = np.random.default_rng(200 + m)
+        W = _grid(rng, 4, m)
+        A = K.allocate_batch(W, 0.3, kind)
+        ready = K.communication_finish_times_batch(A, 0.3, kind)
+        ms = K.makespans_batch(A, W, 0.3, kind)
+        for s, row in enumerate(W):
+            net = BusNetwork(tuple(row), 0.3, kind)
+            alpha = allocate(net)
+            assert np.array_equal(ready[s],
+                                  communication_finish_times(alpha, net))
+            assert ms[s] == makespan(alpha, net)
+
+    def test_payment_algebra_equals_scalar(self, kind, m):
+        rng = np.random.default_rng(300 + m)
+        W = _grid(rng, 5, m, spread=True)
+        W_exec = W * rng.uniform(1.0, 1.3, W.shape)
+        Q = K.payments_batch(W, 0.3, kind, W_exec)
+        U = K.utilities_batch(W, 0.3, kind, W_exec)
+        B = K.bonus_vector_batch(W, 0.3, kind, W_exec)
+        for s, row in enumerate(W):
+            net = BusNetwork(tuple(row), 0.3, kind)
+            assert np.array_equal(Q[s], payments(net, W_exec[s]))
+            assert np.array_equal(U[s], utilities(net, W_exec[s]))
+            assert np.array_equal(B[s], bonus_vector(net, W_exec[s]))
+
+    def test_vector_z_equals_per_row_scalar_z(self, kind, m):
+        rng = np.random.default_rng(400 + m)
+        W = _grid(rng, 5, m)
+        zv = rng.uniform(0.1, 0.45, 5)
+        A = K.allocate_batch(W, zv, kind)
+        for s, row in enumerate(W):
+            net = BusNetwork(tuple(row), float(zv[s]), kind)
+            assert np.array_equal(A[s], allocate(net))
+
+
+@pytest.mark.parametrize("kind", KINDS, ids=lambda k: k.value)
+class TestDegenerate:
+    def test_single_processor_allocation(self, kind):
+        A = K.allocate_batch([[3.5]], 0.2, kind)
+        net = BusNetwork((3.5,), 0.2, kind)
+        assert np.array_equal(A[0], allocate(net))
+        assert A.shape == (1, 1) and A[0, 0] == 1.0
+
+    def test_two_processors_payments(self, kind):
+        # m=2 exercises every head/tail/originator special case at once.
+        W = np.array([[2.0, 7.0], [9.0, 1.5]])
+        Q = K.payments_batch(W, 0.4, kind, W)
+        for s, row in enumerate(W):
+            net = BusNetwork(tuple(row), 0.4, kind)
+            assert np.array_equal(Q[s], payments(net, row))
+
+
+class TestSurfaceKernels:
+    @pytest.mark.parametrize("kind", KINDS, ids=lambda k: k.value)
+    def test_utility_points_equal_agent_utility(self, kind):
+        rng = np.random.default_rng(11)
+        w = rng.uniform(1.0, 10.0, 6)
+        net = BusNetwork(tuple(w), 0.25, kind)
+        bf = np.linspace(0.6, 1.4, 5)
+        ef = np.linspace(1.0, 1.8, 5)
+        BF, EF = (a.ravel() for a in np.meshgrid(bf, ef, indexing="ij"))
+        for i in (0, 2, 5):
+            got = K.utility_points_batch(net, i, BF, EF)
+            ref = [agent_utility(net, i, bid_factor=float(b),
+                                 exec_factor=float(e))
+                   for b, e in zip(BF, EF)]
+            assert np.array_equal(got, np.asarray(ref))
+
+    @pytest.mark.parametrize("kind", KINDS, ids=lambda k: k.value)
+    def test_sensitivities_equal_scalar_probes(self, kind):
+        rng = np.random.default_rng(13)
+        net = BusNetwork(tuple(rng.uniform(1.0, 10.0, 7)), 0.2, kind)
+        idx = np.arange(7)
+        ga = K.allocation_sensitivities_batch(net, idx)
+        gp = K.payment_sensitivities_batch(net, idx)
+        for i in idx:
+            assert ga[i] == allocation_sensitivity(net, int(i))
+            assert gp[i] == payment_sensitivity(net, int(i))
+
+
+# ---------------------------------------------------------------------------
+# sweep level: digests across batch on/off, worker counts, shard orders
+# ---------------------------------------------------------------------------
+
+def _reference_plans():
+    rng = np.random.default_rng(23)
+    net = BusNetwork(tuple(rng.uniform(1.0, 10.0, 24)), 0.2,
+                     NetworkKind.NCP_FE)
+    surface = surface_plan(net, 1, [0.7, 1.0, 1.3, 1.6], [1.0, 1.4, 1.9],
+                           root_seed=7)
+    condition = condition_plan(
+        BusNetwork(tuple(rng.uniform(1.0, 10.0, 10)), 0.3,
+                   NetworkKind.NCP_NFE))
+    return {"utility-point": surface, "sensitivity": condition}
+
+
+@pytest.fixture(scope="module")
+def plans():
+    return _reference_plans()
+
+
+@pytest.fixture(scope="module")
+def scalar_serial(plans):
+    return {name: run_plan(plan, RunOptions(batch=False))
+            for name, plan in plans.items()}
+
+
+@pytest.mark.parametrize("name", ["utility-point", "sensitivity"])
+class TestSweepDigests:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_batch_matches_scalar_at_any_worker_count(
+            self, plans, scalar_serial, name, workers):
+        batched = run_plan(plans[name], RunOptions(workers=workers))
+        assert batched.records == scalar_serial[name].records
+        assert batched.digest() == scalar_serial[name].digest()
+
+    def test_batch_matches_scalar_with_shuffled_shards(
+            self, plans, scalar_serial, name):
+        import random
+
+        plan = plans[name]
+        n_chunks = -(-len(plan) // 3)
+        order = list(range(n_chunks))
+        random.Random(5).shuffle(order)
+        batched = run_plan(plan, RunOptions(workers=2, chunk_size=3,
+                                            shard_order=order))
+        assert batched.digest() == scalar_serial[name].digest()
+
+    def test_scalar_off_switch_matches_too(self, plans, scalar_serial, name):
+        sharded_scalar = run_plan(plans[name],
+                                  RunOptions(workers=2, batch=False))
+        assert sharded_scalar.digest() == scalar_serial[name].digest()
+
+
+class TestBatchFallback:
+    """A failing batch executor must not change error attribution."""
+
+    def _poison_plan(self):
+        # Scenario 2 carries an invalid bid factor: the batch kernel
+        # rejects the grid, the group falls back, and the scalar task
+        # raises on exactly that scenario.
+        base = {"w": [2.0, 3.0, 5.0], "z": 0.4, "kind": "ncp-fe", "i": 0,
+                "exec_factor": 1.0}
+        return SweepPlan.from_grid(
+            "utility-point", base, {"bid_factor": [1.0, 1.1, -2.0, 1.3]})
+
+    def test_serial_error_is_scalar_identical(self):
+        plan = self._poison_plan()
+        with pytest.raises(SweepError) as batch_err:
+            run_plan(plan, RunOptions())
+        with pytest.raises(SweepError) as scalar_err:
+            run_plan(plan, RunOptions(batch=False))
+        assert str(batch_err.value) == str(scalar_err.value)
+        assert "scenario 2 (utility-point)" in str(batch_err.value)
+
+    def test_sharded_error_is_scalar_identical(self):
+        plan = self._poison_plan()
+        with pytest.raises(SweepError) as batch_err:
+            run_plan(plan, RunOptions(workers=2, chunk_size=2))
+        with pytest.raises(SweepError) as scalar_err:
+            run_plan(plan, RunOptions(workers=2, chunk_size=2, batch=False))
+        assert str(batch_err.value) == str(scalar_err.value)
+
+    def test_unbatched_tasks_are_untouched(self):
+        # A task with no batch executor takes the scalar path verbatim.
+        plan = SweepPlan.from_grid(
+            "resilience-baseline",
+            {"w": [2.0, 3.0], "z": 0.4, "kind": "ncp-fe", "num_blocks": 24},
+            {"bidding_mode": ["atomic"]})
+        on = run_plan(plan, RunOptions())
+        off = run_plan(plan, RunOptions(batch=False))
+        assert on.digest() == off.digest()

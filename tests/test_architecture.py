@@ -140,6 +140,50 @@ def test_cli_imports_analysis_only_through_facade():
         + "\n  ".join(bad))
 
 
+def test_kernels_import_only_numpy_and_dlt():
+    # repro.kernels sits at the bottom of the stack next to repro.dlt:
+    # batch kernels may use numpy and the dlt types/oracles they mirror,
+    # nothing above (no core, no sweep, no analysis) — otherwise the
+    # "sweep reaches kernels, kernels never reach back" cycle guarantee
+    # dies.  Stdlib modules are fine; anything repro.* outside dlt and
+    # the package itself is a violation.
+    allowed_prefixes = ("numpy", "repro.dlt", "repro.kernels")
+    bad = []
+    for path in sorted((SRC / "kernels").rglob("*.py")):
+        mod = _module_name(path)
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for imported in _imports(tree):
+            if imported.startswith("repro.") or imported == "repro":
+                if not imported.startswith(allowed_prefixes):
+                    bad.append(f"{mod} imports {imported}")
+            elif not (imported.startswith(allowed_prefixes)
+                      or imported.split(".")[0] in
+                      ("__future__", "typing", "math", "itertools",
+                       "functools", "dataclasses")):
+                bad.append(f"{mod} imports {imported}")
+    assert not bad, (
+        "repro.kernels may import numpy, the stdlib and repro.dlt only:\n  "
+        + "\n  ".join(bad))
+
+
+def test_simulation_stack_does_not_import_kernels_directly():
+    # The batch kernels are plumbed in at exactly two places: the
+    # computation-cache layer (repro.perf.cache via
+    # repro.core.fast_exclusion) and the sweep batch task registry
+    # (repro.sweep.tasks).  Protocol runners, transports, agents, the
+    # service daemon, the wire facade and the CLI must keep reaching the
+    # math through those layers — a direct import would bypass the
+    # cache's memoization and the digest-pinned task contract.
+    bad = _violations(
+        ("repro.protocol", "repro.network", "repro.agents",
+         "repro.service", "repro.api", "repro.cli"),
+        ("repro.kernels",))
+    assert not bad, (
+        "simulation/service layers must reach batch kernels through the "
+        "cache layer or the sweep task registry, never directly:\n  "
+        + "\n  ".join(bad))
+
+
 def test_facade_allowlist_is_not_stale():
     # If the facade stops importing the protocol stack, shrink ALLOWED.
     for mod in ALLOWED:

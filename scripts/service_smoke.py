@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """CI smoke for the engagement service: daemon up, answers right, drains.
 
-Two passes, both fast enough for the PR lane:
+Passes, all fast enough for the PR lane:
 
 1. **In-process** (ServiceClient): an engagement and a sweep served off
    the warm pool must be digest-identical to direct ``execute()`` calls;
@@ -87,6 +87,42 @@ def committee_pass() -> None:
           f"{len(served.outcome['certificates'])} certificate(s) archived")
 
 
+def multi_engagement_pass() -> None:
+    """K=2 engagements multiplexed over one bus, served off the pool.
+
+    The served multi-engagement answer must be digest-identical to the
+    direct arbiter call *and* to the serial reference (each engagement
+    run alone) — the settlement-invariance contract — and a repeat must
+    come back from the result cache.
+    """
+    from repro.api import (
+        MultiEngagementRequest,
+        serial_reference,
+    )
+
+    request = MultiEngagementRequest(
+        engagements=(
+            EngagementRequest(w=tuple(W), z=Z, num_blocks=60).to_dict(),
+            EngagementRequest(w=(3.0, 4.0, 6.0), z=Z, kind="ncp-nfe",
+                              num_blocks=60).to_dict(),
+        ),
+        policy="sjf")
+    with ServiceClient(workers=1) as client:
+        served = client.request(request)
+        assert served.digest() == execute(request).digest(), (
+            "served multi-engagement settlements diverged from the "
+            "direct arbiter run")
+        assert served.digest() == serial_reference(request), (
+            "arbiter settlements diverged from the serial reference")
+        assert set(served.outcomes) == {"E1", "E2"}
+        assert all(rec["completed"] for rec in served.outcomes.values())
+
+        again = client.request(request)
+        assert again.cached and again.digest() == served.digest()
+    print("multi-engagement pass ok: K=2 sjf settles like the serial "
+          f"reference (order {' -> '.join(served.order)})")
+
+
 def cli_pass() -> None:
     env = dict(os.environ)
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
@@ -136,6 +172,7 @@ def cli_pass() -> None:
 def main() -> int:
     in_process_pass()
     committee_pass()
+    multi_engagement_pass()
     cli_pass()
     print("service smoke passed")
     return 0

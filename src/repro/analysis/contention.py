@@ -1,0 +1,169 @@
+"""Strategyproofness under contention (the E32 measurement).
+
+The paper's Theorem 3.1 holds one engagement at a time: with a single
+load on the bus, truth-telling dominates.  Once K engagements multiplex
+one bus (:mod:`repro.protocol.arbiter`), a new strategy space opens: a
+processor holding roles in engagements A *and* B could misreport in A
+hoping to profit in B — shifting its allocation, its schedule slot, or
+(under a size-sensitive granting policy like SJF) B's position in the
+bus-window order.
+
+This module measures that space two ways:
+
+* :func:`cross_engagement_curve` sweeps the misreport-in-A strategy
+  over a bid-factor grid and evaluates the *combined* utility across
+  both engagements, through the sharded sweep engine with the batch
+  kernels as the inner solver (the ``contention-point`` task).  The
+  measured result — combined utility is maximized at truthful, and the
+  B-side utility is exactly flat along the A-sweep — is the separability
+  argument made empirical: settlements are per-engagement functions of
+  that engagement's bids alone, so the cross-engagement coupling a
+  misreporter could exploit simply is not there.
+* :func:`policy_flow_table` runs the same job set under each granting
+  policy and reports flow-time/makespan per policy alongside a
+  settlement-invariance check against solo reference runs.  Policies
+  move *waiting times* (a real externality, quantified here), never
+  *payments* — which is why strategyproofness survives contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dlt.platform import BusNetwork
+from repro.sweep import RunOptions, SweepPlan, run_plan
+
+__all__ = [
+    "ContentionPoint",
+    "PolicyFlow",
+    "contention_plan",
+    "cross_engagement_curve",
+    "best_cross_response",
+    "policy_flow_table",
+]
+
+
+@dataclass(frozen=True)
+class ContentionPoint:
+    """Combined two-engagement utility at one misreport-in-A strategy."""
+
+    bid_factor: float       # the deviation played in engagement A
+    utility_a: float        # agent's utility in A at that bid
+    utility_b: float        # agent's utility in B (bidding truthfully there)
+    combined: float         # utility_a + utility_b
+
+
+@dataclass(frozen=True)
+class PolicyFlow:
+    """One granting policy's scheduling outcome over a fixed job set."""
+
+    policy: str
+    order: tuple[str, ...]            # engagement ids, in grant order
+    mean_flow_time: float
+    makespan: float
+    settlements_match_solo: bool      # per-engagement digests == solo runs
+
+
+def contention_plan(
+    network_a: BusNetwork,
+    network_b: BusNetwork,
+    i_a: int,
+    i_b: int,
+    bid_factors,
+    *,
+    root_seed: int = 0,
+) -> SweepPlan:
+    """The cross-engagement misreport sweep as a sweep plan.
+
+    One scenario per bid factor: the shared processor (index *i_a* in A,
+    *i_b* in B) bids ``factor * w`` in A and truthfully in B.
+    """
+    if abs(network_a.z - network_b.z) > 1e-12:
+        raise ValueError("engagements sharing a bus share its z; got "
+                         f"{network_a.z} vs {network_b.z}")
+    base = {
+        "w_a": [float(x) for x in network_a.w],
+        "w_b": [float(x) for x in network_b.w],
+        "z": float(network_a.z),
+        "kind_a": network_a.kind.value,
+        "kind_b": network_b.kind.value,
+        "i_a": int(i_a),
+        "i_b": int(i_b),
+    }
+    return SweepPlan.from_grid(
+        "contention-point", base,
+        {"bid_factor": [float(f) for f in bid_factors]},
+        root_seed=root_seed)
+
+
+def cross_engagement_curve(
+    network_a: BusNetwork,
+    network_b: BusNetwork,
+    i_a: int,
+    i_b: int,
+    bid_factors,
+    *,
+    workers: int = 1,
+) -> list[ContentionPoint]:
+    """Combined utility along the misreport-in-A sweep.
+
+    ``workers > 1`` shards the grid across a process pool; the records
+    merge deterministically, and the batch executor solves each shard
+    as one array pass.
+    """
+    plan = contention_plan(network_a, network_b, i_a, i_b, bid_factors)
+    result = run_plan(plan, RunOptions(workers=workers))
+    return [ContentionPoint(rec["bid_factor"], rec["utility_a"],
+                            rec["utility_b"], rec["combined"])
+            for rec in result.records]
+
+
+def best_cross_response(
+    points: list[ContentionPoint],
+) -> tuple[float, float, float]:
+    """(argmax bid factor, max combined utility, B-side spread).
+
+    Strategyproofness under contention predicts the argmax sits at the
+    grid point closest to 1.0 and the B-side spread — ``max - min`` of
+    ``utility_b`` along the A-sweep — is exactly zero: nothing played
+    in A reaches B's settlement.  Callers assert both.
+    """
+    best = max(points, key=lambda p: p.combined)
+    b_values = [p.utility_b for p in points]
+    return best.bid_factor, best.combined, float(np.ptp(b_values))
+
+
+def policy_flow_table(z: float, jobs, *, policies=None) -> list[PolicyFlow]:
+    """Flow metrics per granting policy, with settlement invariance.
+
+    Runs the identical job set once per policy on a fresh shared bus,
+    and once serially solo (each engagement alone on its own bus) as
+    the settlement reference.  ``settlements_match_solo`` is the E32
+    acceptance check: contention may reorder waiting, never payments.
+    """
+    from repro.api.v1 import settlement_digest
+    from repro.core.dls_bl_ncp import DLSBLNCP
+    from repro.io import protocol_result_to_dict
+    from repro.protocol.arbiter import POLICIES, BusArbiter
+
+    jobs = tuple(jobs)
+    solo = {
+        job.engagement_id: settlement_digest(protocol_result_to_dict(
+            DLSBLNCP(job.w, job.kind, z, config=job.config).run()))
+        for job in jobs
+    }
+    rows = []
+    for policy in (policies if policies is not None else POLICIES):
+        out = BusArbiter(z, jobs, policy=policy).run()
+        digests = {eid: settlement_digest(protocol_result_to_dict(r))
+                   for eid, r in out.results.items()}
+        rows.append(PolicyFlow(
+            policy=policy,
+            order=out.order,
+            mean_flow_time=out.mean_flow_time,
+            makespan=out.makespan,
+            settlements_match_solo=digests == solo,
+        ))
+    return rows

@@ -26,7 +26,9 @@ from repro.api.execute import (
     result_from_outcome,
     run_bench_request,
     run_engagement,
+    run_multi_engagement,
     run_sweep,
+    serial_reference,
 )
 from repro.api.v1 import (
     SCHEMA,
@@ -35,6 +37,8 @@ from repro.api.v1 import (
     BenchResult,
     EngagementRequest,
     EngagementResult,
+    MultiEngagementRequest,
+    MultiEngagementResult,
     ServiceStats,
     SweepRequest,
     SweepResult,
@@ -49,9 +53,11 @@ __all__ = [
     "SCHEMA",
     "ApiError",
     "EngagementRequest",
+    "MultiEngagementRequest",
     "SweepRequest",
     "BenchRequest",
     "EngagementResult",
+    "MultiEngagementResult",
     "SweepResult",
     "BenchResult",
     "ServiceStats",
@@ -61,6 +67,8 @@ __all__ = [
     "build_mechanism",
     "result_from_outcome",
     "run_engagement",
+    "run_multi_engagement",
+    "serial_reference",
     "run_sweep",
     "run_bench_request",
     "execute",

@@ -14,6 +14,11 @@ from repro.analysis.committee import (
     committee_resilience_sweep,
     overhead_slopes,
 )
+from repro.analysis.contention import (
+    best_cross_response,
+    cross_engagement_curve,
+    policy_flow_table,
+)
 from repro.analysis.reporting import format_table
 from repro.analysis.resilience import crash_sweep, drop_sweep
 from repro.analysis.welfare import kind_comparison
@@ -26,4 +31,7 @@ __all__ = [
     "committee_overhead",
     "committee_resilience_sweep",
     "overhead_slopes",
+    "best_cross_response",
+    "cross_engagement_curve",
+    "policy_flow_table",
 ]

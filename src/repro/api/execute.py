@@ -22,6 +22,8 @@ from repro.api.v1 import (
     BenchResult,
     EngagementRequest,
     EngagementResult,
+    MultiEngagementRequest,
+    MultiEngagementResult,
     SweepRequest,
     SweepResult,
 )
@@ -30,6 +32,8 @@ __all__ = [
     "build_mechanism",
     "result_from_outcome",
     "run_engagement",
+    "run_multi_engagement",
+    "serial_reference",
     "run_sweep",
     "run_bench_request",
     "execute",
@@ -65,6 +69,53 @@ def run_engagement(request: EngagementRequest, *, memo=None,
     return result_from_outcome(outcome)
 
 
+def run_multi_engagement(request: MultiEngagementRequest, *, memo=None,
+                         signature_cache=None) -> MultiEngagementResult:
+    """Run K engagements over one shared bus via the window arbiter.
+
+    The result's ``digest_value`` covers settlements only, so it must
+    equal :func:`serial_reference` for any policy whenever the
+    engagements are fault-free (and for FIFO always at K=1) — the
+    correctness contract the differential suite pins.
+    """
+    from repro.io import protocol_result_to_dict
+    from repro.protocol.arbiter import BusArbiter
+
+    jobs = request.jobs(memo=memo, signature_cache=signature_cache)
+    out = BusArbiter(request.z, jobs, policy=request.policy).run()
+    return MultiEngagementResult(
+        outcomes={eid: protocol_result_to_dict(r)
+                  for eid, r in out.results.items()},
+        policy=request.policy,
+        order=out.order,
+        completions=out.completions,
+    )
+
+
+def serial_reference(request: MultiEngagementRequest, *, memo=None,
+                     signature_cache=None) -> str:
+    """Settlement digest of the serial reference execution.
+
+    Each engagement runs *alone* on its own bus through the ordinary
+    solo executor, in submission order; the combined digest is computed
+    exactly as :class:`MultiEngagementResult` computes its identity.
+    Contention moves flow times, never settlements, so the arbiter path
+    must reproduce this digest.
+    """
+    import hashlib
+
+    from repro.api.v1 import settlement_digest
+    from repro.sweep.spec import canonical_json
+
+    digests = {}
+    for eid, sub in zip(request.engagement_ids, request.sub_requests()):
+        solo = run_engagement(sub, memo=memo,
+                              signature_cache=signature_cache)
+        digests[eid] = settlement_digest(solo.outcome)
+    return hashlib.sha256(
+        canonical_json(digests).encode("ascii")).hexdigest()
+
+
 def run_sweep(request: SweepRequest) -> SweepResult:
     """Run a sweep plan through the sharded engine."""
     from repro.sweep import RunOptions, run_plan
@@ -89,10 +140,14 @@ def execute(request, *, memo=None, signature_cache=None):
     if isinstance(request, EngagementRequest):
         return run_engagement(request, memo=memo,
                               signature_cache=signature_cache)
+    if isinstance(request, MultiEngagementRequest):
+        return run_multi_engagement(request, memo=memo,
+                                    signature_cache=signature_cache)
     if isinstance(request, SweepRequest):
         return run_sweep(request)
     if isinstance(request, BenchRequest):
         return run_bench_request(request)
     raise ApiError(
         f"cannot execute a {type(request).__name__}; expected one of "
-        "EngagementRequest, SweepRequest, BenchRequest")
+        "EngagementRequest, MultiEngagementRequest, SweepRequest, "
+        "BenchRequest")

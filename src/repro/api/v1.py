@@ -36,9 +36,11 @@ __all__ = [
     "SCHEMA",
     "ApiError",
     "EngagementRequest",
+    "MultiEngagementRequest",
     "SweepRequest",
     "BenchRequest",
     "EngagementResult",
+    "MultiEngagementResult",
     "SweepResult",
     "BenchResult",
     "ServiceStats",
@@ -437,6 +439,91 @@ class BenchRequest(_Payload):
         })
 
 
+_ARBITER_POLICIES = ("fifo", "sjf", "rr")
+
+
+@dataclass(frozen=True)
+class MultiEngagementRequest(_Payload):
+    """K engagements multiplexed over one shared bus, as plain data.
+
+    ``engagements`` is a tuple of complete :class:`EngagementRequest`
+    payloads (each with its own schema/type envelope — the sub-payloads
+    are first-class v1 values, so a client can promote a solo request
+    into a multi-engagement one by wrapping it unchanged).  All entries
+    must share ``z``: engagements contending for one physical bus share
+    its per-unit communication time by definition.  ``policy`` selects
+    the bus-window granting discipline
+    (:data:`repro.protocol.arbiter.POLICIES`).
+
+    Engagement ids are assigned deterministically — ``E1 .. EK`` in
+    submission order — so the same payload always produces the same
+    result keys (and therefore the same digests).
+    """
+
+    TYPE = "multi-engagement"
+
+    engagements: tuple = ()
+    policy: str = "fifo"
+
+    def __post_init__(self) -> None:
+        _check_choice("policy", self.policy, _ARBITER_POLICIES)
+        if not isinstance(self.engagements, (list, tuple)) \
+                or not self.engagements:
+            _fail("engagements must list at least 1 engagement payload; "
+                  f"got {self.engagements!r}")
+        parsed = []
+        for pos, entry in enumerate(self.engagements):
+            if not isinstance(entry, Mapping):
+                _fail(f"engagements[{pos}] must be an engagement payload "
+                      f"object; got {type(entry).__name__}")
+            try:
+                parsed.append(EngagementRequest.from_dict(entry))
+            except ApiError as exc:
+                _fail(f"engagements[{pos}]: {exc}")
+        z0 = parsed[0].z
+        for pos, sub in enumerate(parsed[1:], start=1):
+            if abs(sub.z - z0) > 1e-12:
+                _fail(f"engagements sharing a bus share its z; "
+                      f"engagements[0].z = {z0} but "
+                      f"engagements[{pos}].z = {sub.z}")
+        object.__setattr__(self, "engagements",
+                           tuple(dict(e) for e in self.engagements))
+
+    @property
+    def z(self) -> float:
+        return float(self.engagements[0]["z"])
+
+    @property
+    def engagement_ids(self) -> tuple[str, ...]:
+        return tuple(f"E{i + 1}" for i in range(len(self.engagements)))
+
+    def sub_requests(self) -> tuple[EngagementRequest, ...]:
+        """The embedded engagements, parsed."""
+        return tuple(EngagementRequest.from_dict(e)
+                     for e in self.engagements)
+
+    def jobs(self, *, memo=None, signature_cache=None) -> tuple:
+        """The :class:`repro.protocol.arbiter.EngagementJob` tuple this
+        request describes (optionally wired to a host's caches)."""
+        from repro.dlt.platform import NetworkKind
+        from repro.protocol.arbiter import EngagementJob
+
+        return tuple(
+            EngagementJob(
+                engagement_id=eid,
+                w=sub.w,
+                kind=NetworkKind(sub.kind),
+                config=sub.engine_config(memo=memo,
+                                         signature_cache=signature_cache))
+            for eid, sub in zip(self.engagement_ids, self.sub_requests()))
+
+    def to_dict(self) -> dict:
+        return _tagged(self.TYPE, {
+            "engagements": [dict(e) for e in self.engagements],
+            "policy": self.policy,
+        })
+
+
 # ---------------------------------------------------------------------------
 # results
 # ---------------------------------------------------------------------------
@@ -574,6 +661,86 @@ class BenchResult(_Payload):
 
 
 @dataclass(frozen=True)
+class MultiEngagementResult(_Payload):
+    """Answer to a :class:`MultiEngagementRequest`.
+
+    ``outcomes`` maps each engagement id to its full
+    ``repro/protocol-result/v1`` record — the same records a solo run
+    of that engagement emits, so everything downstream of a solo result
+    works per engagement unchanged.  ``digest_value`` is the SHA-256 of
+    the canonical ``{id: settlement_digest(outcome)}`` map: it pins
+    *settlements only* (flow telemetry legitimately varies with the
+    granting policy), which is how the differential suite asserts the
+    arbiter path, the daemon and the serial reference executor agree
+    byte-for-byte where it matters.
+    """
+
+    TYPE = "multi-engagement-result"
+
+    outcomes: dict = field(default_factory=dict)
+    policy: str = "fifo"
+    order: tuple = ()
+    completions: dict = field(default_factory=dict)
+    digest_value: str = ""
+    cached: bool = False
+
+    def __post_init__(self) -> None:
+        _check_choice("policy", self.policy, _ARBITER_POLICIES)
+        if not isinstance(self.outcomes, Mapping) or not self.outcomes:
+            _fail("outcomes must map engagement ids to "
+                  "repro/protocol-result/v1 objects; got "
+                  f"{self.outcomes!r}")
+        for eid, rec in self.outcomes.items():
+            if not isinstance(rec, Mapping) \
+                    or rec.get("format") != "repro/protocol-result/v1":
+                _fail(f"outcomes[{eid!r}] must be a "
+                      "repro/protocol-result/v1 object")
+        object.__setattr__(self, "outcomes", dict(self.outcomes))
+        object.__setattr__(self, "order",
+                           tuple(str(x) for x in self.order))
+        if sorted(self.order) != sorted(self.outcomes):
+            _fail(f"order {list(self.order)} must be a permutation of the "
+                  f"outcome ids {sorted(self.outcomes)}")
+        object.__setattr__(
+            self, "completions",
+            {str(k): _check_number(f"completions[{k!r}]", v, minimum=0.0)
+             for k, v in dict(self.completions).items()})
+        expected = hashlib.sha256(canonical_json(
+            {eid: settlement_digest(rec)
+             for eid, rec in self.outcomes.items()}
+        ).encode("ascii")).hexdigest()
+        if not self.digest_value:
+            object.__setattr__(self, "digest_value", expected)
+        elif self.digest_value != expected:
+            _fail("digest_value does not match the settlement map "
+                  f"(expected {expected}, got {self.digest_value}) — "
+                  "payload corrupted in transit?")
+
+    @property
+    def mean_flow_time(self) -> float:
+        comps = list(self.completions.values())
+        return sum(comps) / len(comps) if comps else 0.0
+
+    @property
+    def makespan(self) -> float:
+        return max(self.completions.values()) if self.completions else 0.0
+
+    def digest(self) -> str:  # the settlement map IS the identity
+        return self.digest_value
+
+    def to_dict(self) -> dict:
+        return _tagged(self.TYPE, {
+            "outcomes": {eid: dict(rec)
+                         for eid, rec in self.outcomes.items()},
+            "policy": self.policy,
+            "order": list(self.order),
+            "completions": dict(self.completions),
+            "digest_value": self.digest_value,
+            "cached": self.cached,
+        })
+
+
+@dataclass(frozen=True)
 class ServiceStats(_Payload):
     """Service-level counters (answer to a ``stats`` request)."""
 
@@ -621,12 +788,14 @@ class ServiceStats(_Payload):
 
 REQUEST_TYPES: dict[str, type] = {
     EngagementRequest.TYPE: EngagementRequest,
+    MultiEngagementRequest.TYPE: MultiEngagementRequest,
     SweepRequest.TYPE: SweepRequest,
     BenchRequest.TYPE: BenchRequest,
 }
 
 RESULT_TYPES: dict[str, type] = {
     EngagementResult.TYPE: EngagementResult,
+    MultiEngagementResult.TYPE: MultiEngagementResult,
     SweepResult.TYPE: SweepResult,
     BenchResult.TYPE: BenchResult,
     ServiceStats.TYPE: ServiceStats,

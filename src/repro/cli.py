@@ -7,6 +7,7 @@ without writing Python:
 * ``schedule`` — the same, rendered as an ASCII Gantt (Figures 1-3);
 * ``mechanism`` — a DLS-BL round: payments, bonuses, utilities;
 * ``protocol`` — a full DLS-BL-NCP run, optionally with deviants;
+* ``contend`` — K engagements multiplexed over one bus via the arbiter;
 * ``survey``  — makespan comparison across the three system models;
 * ``serve`` / ``call`` — the engagement service daemon and its client.
 
@@ -182,6 +183,27 @@ def build_parser() -> argparse.ArgumentParser:
                    default="silent",
                    help="strategy of the --byzantine seats "
                         "(default silent)")
+
+    p = sub.add_parser("contend",
+                       help="K engagements contending for one shared bus")
+    add_common(p)
+    p.add_argument("--engagements", type=int, default=2, metavar="K",
+                   help="number of concurrent engagements (default 2); "
+                        "engagement j runs the base w scaled by "
+                        "1 + spread*(K-j), so earlier submissions are "
+                        "longer and SJF has something to reorder")
+    p.add_argument("--spread", type=float, default=0.25,
+                   help="per-engagement w scaling step (default 0.25; "
+                        "0 makes all K engagements identical)")
+    p.add_argument("--policy", choices=("fifo", "sjf", "rr"),
+                   default="fifo",
+                   help="bus-window granting policy (default fifo)")
+    p.add_argument("--fine-factor", type=float, default=2.0)
+    p.add_argument("--verify", action="store_true",
+                   help="also run each engagement solo (serial reference) "
+                        "and fail unless the settlement digests match")
+    p.add_argument("--json", action="store_true",
+                   help="emit the multi-engagement result as JSON")
 
     p = sub.add_parser("resilience",
                        help="protocol under injected crash/drop faults")
@@ -408,6 +430,59 @@ def cmd_protocol(args) -> int:
         print()
         print(render_spans(outcome.spans))
     return 0 if outcome.completed else 1
+
+
+def cmd_contend(args) -> int:
+    from repro.api import (
+        MultiEngagementRequest,
+        run_multi_engagement,
+        serial_reference,
+        settlement_digest,
+    )
+
+    if args.engagements < 1:
+        raise ValueError(f"--engagements must be >= 1, got {args.engagements}")
+    k = args.engagements
+    subs = []
+    for j in range(k):
+        scale = 1.0 + args.spread * (k - 1 - j)
+        subs.append(EngagementRequest(
+            w=tuple(x * scale for x in args.w), z=args.z,
+            kind=args.kind.value,
+            fine_factor=args.fine_factor).to_dict())
+    request = MultiEngagementRequest(engagements=tuple(subs),
+                                     policy=args.policy)
+    result = run_multi_engagement(request)
+    if args.verify:
+        reference = serial_reference(request)
+        if result.digest() != reference:
+            print("error: arbiter settlements diverge from the serial "
+                  f"reference\n  arbiter:   {result.digest()}\n"
+                  f"  reference: {reference}", file=sys.stderr)
+            return 1
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(format_table(
+            ("engagement", "m", "completion", "status", "settlement"),
+            [(eid, len(request.engagements[int(eid[1:]) - 1]["w"]),
+              result.completions[eid],
+              "COMPLETED" if result.outcomes[eid].get("completed")
+              else "TERMINATED",
+              settlement_digest(result.outcomes[eid])[:12])
+             for eid in result.order],
+            title=f"{k} engagements on one bus (policy={args.policy}, "
+                  f"z={args.z})"))
+        print(f"\ngrant order: {' -> '.join(result.order)}")
+        print(f"mean flow time = {result.mean_flow_time:.6g}; "
+              f"makespan = {result.makespan:.6g}")
+        print(f"settlement-map digest {result.digest()}"
+              + ("  (matches serial reference)" if args.verify else ""))
+    completed = all(rec.get("completed")
+                    for rec in result.outcomes.values())
+    return 0 if completed else 1
 
 
 def cmd_resilience(args) -> int:
@@ -747,6 +822,7 @@ _COMMANDS = {
     "schedule": cmd_schedule,
     "mechanism": cmd_mechanism,
     "protocol": cmd_protocol,
+    "contend": cmd_contend,
     "resilience": cmd_resilience,
     "survey": cmd_survey,
     "star": cmd_star,

@@ -149,6 +149,8 @@ class DLSBLNCP:
         z: float,
         *,
         config: EngineConfig | None = None,
+        bus=None,
+        engagement_id: str | None = None,
         **legacy_kwargs,
     ) -> None:
         if legacy_kwargs:
@@ -198,6 +200,10 @@ class DLSBLNCP:
             retry=config.retry,
             redundancy=config.redundancy, memo=config.memo,
             committee=config.committee,
+            # Transport injection (not part of the frozen EngineConfig —
+            # a live bus is wiring, not engagement data): the arbiter
+            # hands each mechanism a scoped view of the shared bus.
+            bus=bus, engagement_id=engagement_id,
         )
 
     @classmethod

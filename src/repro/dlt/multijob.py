@@ -27,7 +27,8 @@ import numpy as np
 from repro.dlt.closed_form import allocate
 from repro.dlt.platform import BusNetwork, NetworkKind
 
-__all__ = ["JobSchedule", "schedule_jobs", "flow_time_by_order", "sjf_order"]
+__all__ = ["JobSchedule", "schedule_jobs", "flow_time_by_order", "sjf_order",
+           "local_search_order", "EXHAUSTIVE_CAP"]
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,46 @@ def sjf_order(loads) -> list[int]:
     return sorted(range(len(loads)), key=lambda i: loads[i])
 
 
+def local_search_order(network: BusNetwork, loads,
+                       *, max_rounds: int = 64) -> list[int]:
+    """A good (near-optimal) order by SJF + adjacent-swap descent.
+
+    Starts from the SJF order — which on divisible-load pipelines is
+    already the dominant heuristic for mean flow time — and repeatedly
+    swaps adjacent jobs whenever the swap strictly lowers the mean flow
+    time of the *actual pipelined schedule* (SJF optimality arguments
+    assume independent service times; the one-port pipeline overlaps a
+    job's communication with its predecessor's compute, so rare
+    inversions pay).  Terminates at a local optimum: ``O(rounds · n)``
+    schedule evaluations instead of the ``n!`` of exhaustive search.
+    """
+    loads = [float(x) for x in loads]
+    order = sjf_order(loads)
+
+    def flow(candidate: list[int]) -> float:
+        return schedule_jobs(network, [loads[i] for i in candidate]).mean_flow_time
+
+    best = flow(order)
+    for _ in range(max_rounds):
+        improved = False
+        for k in range(len(order) - 1):
+            trial = order.copy()
+            trial[k], trial[k + 1] = trial[k + 1], trial[k]
+            trial_flow = flow(trial)
+            if trial_flow < best - 1e-12:
+                order, best = trial, trial_flow
+                improved = True
+        if not improved:
+            break
+    return order
+
+
+#: Above this batch size ``flow_time_by_order`` stops enumerating all
+#: ``n!`` permutations (8! = 40320 schedules is the last tolerable one)
+#: and falls back to the named heuristics + local search.
+EXHAUSTIVE_CAP = 8
+
+
 def flow_time_by_order(
     network: BusNetwork,
     loads,
@@ -98,18 +139,22 @@ def flow_time_by_order(
 ) -> list[tuple[tuple[int, ...], float, float]]:
     """(order, mean flow time, makespan) per order.
 
-    Exhaustive for small batches; otherwise just FIFO, SJF and LJF —
-    enough to exhibit the ordering effect.
+    Exhaustive for small batches (*exhaustive_limit* is clamped to
+    :data:`EXHAUSTIVE_CAP` — beyond 8 jobs the ``n!`` enumeration is
+    hopeless); otherwise FIFO, SJF, LJF and the adjacent-swap local
+    search — enough to exhibit the ordering effect, with the local
+    optimum standing in for the true one.
     """
     loads = [float(x) for x in loads]
     n = len(loads)
-    if n <= exhaustive_limit:
+    if n <= min(exhaustive_limit, EXHAUSTIVE_CAP):
         orders = list(permutations(range(n)))
     else:
         fifo = tuple(range(n))
         sjf = tuple(sjf_order(loads))
         ljf = tuple(reversed(sjf))
-        orders = list(dict.fromkeys([fifo, sjf, ljf]))
+        local = tuple(local_search_order(network, loads))
+        orders = list(dict.fromkeys([fifo, sjf, ljf, local]))
     out = []
     for order in orders:
         sched = schedule_jobs(network, [loads[i] for i in order])

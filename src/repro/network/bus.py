@@ -19,18 +19,36 @@ enforced here rather than attackable):
 
 Every message is appended to an ordered log with per-kind counters so
 experiments can report messages × bytes by phase and by kind.
+
+Engagement scopes
+-----------------
+One physical bus can carry several concurrent *engagements* (the
+multi-load contention setting).  Each engagement gets its own endpoint
+namespace, message log and traffic counters — a **scope** — selected by
+the :attr:`~repro.network.messages.Message.engagement` tag; the shared
+physics (event queue, one-port data clock) stay global, because there
+is only one wire.  Scope ``None`` is the bus's *root* scope and is what
+every pre-contention caller uses implicitly: a solo engagement on the
+root scope produces byte-identical logs, stats and schedules to a bus
+built before scopes existed.
+
+Protocol code never tags messages by hand: :meth:`Bus.scoped` returns
+an :class:`EngagementBusView` — a transport with the exact ``Bus``
+surface that stamps its engagement id on everything it carries — so the
+engine, runners and adjudicator run unmodified whether they own the bus
+or share it.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.network.events import EventQueue
 from repro.network.messages import Message, MessageKind
 
-__all__ = ["TrafficStats", "FanOutDelivery", "Bus"]
+__all__ = ["TrafficStats", "FanOutDelivery", "Bus", "EngagementBusView"]
 
 
 class FanOutDelivery:
@@ -48,7 +66,7 @@ class FanOutDelivery:
 
     def __init__(self, endpoints: dict[str, Callable[[Message], None]],
                  msg: Message, recipients: tuple[str, ...]) -> None:
-        self._endpoints = endpoints  # live view of the bus's endpoint table
+        self._endpoints = endpoints  # live view of the scope's endpoint table
         self.msg = msg
         self.recipients = list(recipients)
         self.event = None  # set by Bus right after scheduling
@@ -111,6 +129,28 @@ class TrafficStats:
         return self.messages - self.by_kind[MessageKind.LOAD]
 
 
+class _Scope:
+    """One engagement's slice of the bus: namespace, log, counters.
+
+    The endpoint table, message log, traffic stats, in-flight fan-out
+    index and broadcast-listener cache are all per scope — two
+    engagements sharing the bus can attach the same processor names
+    without collision and never see each other's traffic.  Only the
+    physics (event queue, one-port clock) are shared, on the bus.
+    """
+
+    __slots__ = ("endpoints", "log", "stats", "pending", "listeners")
+
+    def __init__(self) -> None:
+        self.endpoints: dict[str, Callable[[Message], None]] = {}
+        self.log: list[Message] = []
+        self.stats = TrafficStats()
+        # in-flight fan-outs per recipient, so detach can drop them
+        self.pending: dict[str, list[FanOutDelivery]] = {}
+        # broadcast fan-out snapshot, rebuilt lazily after attach/detach
+        self.listeners: tuple[tuple[str, Callable[[Message], None]], ...] | None = None
+
+
 class Bus:
     """The shared bus connecting processors, the referee and the user.
 
@@ -118,6 +158,11 @@ class Bus:
     delivered synchronously to every endpoint except the sender
     (atomicity: one log entry, identical payload to all).  Load
     transfers advance the one-port busy clock by ``units * z``.
+
+    Every membership and messaging method takes an optional
+    ``engagement`` selector (or reads it off the message tag) defaulting
+    to the root scope — see the module docstring.  Callers multiplexing
+    engagements should use :meth:`scoped` rather than tagging by hand.
     """
 
     def __init__(self, z: float, *, queue: EventQueue | None = None) -> None:
@@ -125,25 +170,58 @@ class Bus:
             raise ValueError(f"z must be positive, got {z}")
         self.z = float(z)
         self.queue = queue or EventQueue()
-        self.stats = TrafficStats()
-        self.log: list[Message] = []
-        self._endpoints: dict[str, Callable[[Message], None]] = {}
+        self._root = _Scope()
+        self._scopes: dict[str, _Scope] = {}
+        # Root-scope aliases: the historical single-engagement surface.
+        self.stats = self._root.stats
+        self.log = self._root.log
+        self._endpoints = self._root.endpoints
+        self._pending = self._root.pending
         self._port_free_at = 0.0
-        # in-flight fan-outs per recipient, so detach can drop them
-        self._pending: dict[str, list[FanOutDelivery]] = {}
-        # broadcast fan-out snapshot, rebuilt lazily after attach/detach
-        self._listeners: tuple[tuple[str, Callable[[Message], None]], ...] | None = None
+
+    # -- scopes --------------------------------------------------------------
+
+    def _scope(self, engagement: str | None) -> _Scope:
+        if engagement is None:
+            return self._root
+        scope = self._scopes.get(engagement)
+        if scope is None:
+            scope = self._scopes[engagement] = _Scope()
+        return scope
+
+    def scoped(self, engagement: str) -> "EngagementBusView":
+        """A transport bound to *engagement*'s scope (full Bus surface)."""
+        if not engagement:
+            raise ValueError("engagement id must be a non-empty string")
+        return EngagementBusView(self, engagement)
+
+    @property
+    def engagements(self) -> tuple[str, ...]:
+        """Named engagement scopes seen so far (root excluded)."""
+        return tuple(self._scopes)
+
+    def stats_for(self, engagement: str | None) -> TrafficStats:
+        """Traffic counters of one engagement's scope."""
+        return self._scope(engagement).stats
+
+    def log_for(self, engagement: str | None) -> list[Message]:
+        """Ordered message log of one engagement's scope."""
+        return self._scope(engagement).log
 
     # -- membership ---------------------------------------------------------
 
-    def attach(self, name: str, handler: Callable[[Message], None]) -> None:
-        """Register an endpoint; names must be unique on the bus."""
-        if name in self._endpoints:
-            raise ValueError(f"endpoint {name!r} already attached")
-        self._endpoints[name] = handler
-        self._listeners = None
+    def attach(self, name: str, handler: Callable[[Message], None], *,
+               engagement: str | None = None) -> None:
+        """Register an endpoint; names must be unique within a scope."""
+        scope = self._scope(engagement)
+        if name in scope.endpoints:
+            raise ValueError(f"endpoint {name!r} already attached"
+                             + (f" in engagement {engagement!r}"
+                                if engagement else ""))
+        scope.endpoints[name] = handler
+        scope.listeners = None
 
-    def detach(self, name: str) -> None:
+    def detach(self, name: str, *, engagement: str | None = None) -> None:
         """Remove an endpoint and cancel its in-flight deliveries.
 
         A detached endpoint must not receive events already scheduled
@@ -151,48 +229,60 @@ class Bus:
         pending fan-outs rather than delivered into the void (a fan-out
         whose last recipient leaves is cancelled outright).
         """
-        self._endpoints.pop(name, None)
-        self._listeners = None
-        for delivery in self._pending.pop(name, ()):
+        scope = self._scope(engagement)
+        scope.endpoints.pop(name, None)
+        scope.listeners = None
+        for delivery in scope.pending.pop(name, ()):
             delivery.drop(name)
 
-    def _fanout_pairs(self) -> tuple[tuple[str, Callable[[Message], None]], ...]:
+    def _fanout_pairs(self, scope: _Scope) -> tuple[tuple[str, Callable[[Message], None]], ...]:
         """Cached (name, handler) snapshot for broadcast fan-outs."""
-        pairs = self._listeners
+        pairs = scope.listeners
         if pairs is None:
-            pairs = self._listeners = tuple(self._endpoints.items())
+            pairs = scope.listeners = tuple(scope.endpoints.items())
         return pairs
 
     @property
     def endpoints(self) -> tuple[str, ...]:
         return tuple(self._endpoints)
 
-    def enter_phase(self, phase) -> None:
+    def endpoints_for(self, engagement: str | None) -> tuple[str, ...]:
+        return tuple(self._scope(engagement).endpoints)
+
+    def enter_phase(self, phase, *, engagement: str | None = None) -> None:
         """Protocol-phase hook; the plain bus ignores it.
 
         :class:`repro.network.faults.FaultyBus` overrides this to
-        activate phase-triggered faults.
+        activate phase-triggered faults (scoped to *engagement*).
         """
 
-    def _require_sender(self, sender: str) -> None:
-        if sender not in self._endpoints:
-            raise KeyError(f"unknown sender {sender!r}; attached: {self.endpoints}")
+    def is_crashed(self, name: str, *, engagement: str | None = None) -> bool:
+        """Crash-stop status; always False on the reliable bus."""
+        return False
+
+    def _require_sender(self, sender: str, scope: _Scope) -> None:
+        if sender not in scope.endpoints:
+            raise KeyError(f"unknown sender {sender!r}; "
+                           f"attached: {tuple(scope.endpoints)}")
 
     # -- control-plane messaging -------------------------------------------
 
     def broadcast(self, msg: Message) -> None:
-        """Reliable atomic broadcast to every endpoint except the sender."""
+        """Reliable atomic broadcast to every scope endpoint except the
+        sender (other engagements' scopes never hear it)."""
         if not msg.is_broadcast:
             raise ValueError("broadcast() requires recipients == ('*',)")
-        self._require_sender(msg.sender)
-        self._record(msg)
+        scope = self._scope(msg.engagement)
+        self._require_sender(msg.sender, scope)
+        self._record(msg, scope)
         sender = msg.sender
-        for name, handler in self._fanout_pairs():
+        for name, handler in self._fanout_pairs(scope):
             if name != sender:
                 handler(msg)
 
     def send(self, msg: Message) -> tuple[str, ...]:
-        """Unicast/multicast to the named recipients (must be attached).
+        """Unicast/multicast to the named recipients (must be attached
+        in the message's engagement scope).
 
         Returns the recipients the transport delivered to, which on the
         reliable bus is all of them.  Fault-injecting transports return
@@ -201,50 +291,61 @@ class Bus:
         """
         if msg.is_broadcast:
             raise ValueError("use broadcast() for '*' recipients")
-        missing = [r for r in msg.recipients if r not in self._endpoints]
+        scope = self._scope(msg.engagement)
+        missing = [r for r in msg.recipients if r not in scope.endpoints]
         if missing:
-            raise KeyError(f"unknown recipients {missing}; attached: {self.endpoints}")
-        self._require_sender(msg.sender)
-        self._record(msg)
+            raise KeyError(f"unknown recipients {missing}; "
+                           f"attached: {tuple(scope.endpoints)}")
+        self._require_sender(msg.sender, scope)
+        self._record(msg, scope)
         for r in msg.recipients:
-            self._endpoints[r](msg)
+            scope.endpoints[r](msg)
         return msg.recipients
 
     # -- data plane (one-port load transfers) --------------------------------
 
-    def transfer_load(self, sender: str, recipient: str, units: float, body) -> float:
+    def transfer_load(self, sender: str, recipient: str, units: float, body,
+                      *, engagement: str | None = None) -> float:
         """Ship *units* of load; returns the wall-clock completion time.
 
         The bus is exclusive: the transfer begins when the port frees up
         and occupies it for ``units * z``.  The message is delivered at
-        completion time via the event queue.
+        completion time via the event queue.  The one-port clock is
+        *global* — concurrent engagements queue behind each other here,
+        which is exactly the contention the arbiter schedules.
         """
         if units < 0:
             raise ValueError(f"units must be non-negative, got {units}")
-        if recipient not in self._endpoints:
+        scope = self._scope(engagement)
+        if recipient not in scope.endpoints:
             raise KeyError(f"unknown recipient {recipient!r}")
-        self._require_sender(sender)
+        self._require_sender(sender, scope)
         start = max(self._port_free_at, self.queue.now)
         done = start + units * self.z
         self._port_free_at = done
         msg = Message(MessageKind.LOAD, sender, (recipient,), body,
-                      size_bytes=max(1, int(round(units * 1024))))
-        self._record(msg)
-        self._deliver_at(done, (recipient,), msg, label=f"load->{recipient}")
+                      size_bytes=max(1, int(round(units * 1024))),
+                      engagement=engagement)
+        self._record(msg, scope)
+        self._deliver_at(done, (recipient,), msg, scope,
+                         label=f"load->{recipient}")
         return done
 
-    def _deliver_at(self, time: float, recipients: tuple[str, ...], msg: Message,
+    def _deliver_at(self, time: float, recipients: tuple[str, ...],
+                    msg: Message, scope: _Scope | None = None,
                     *, label: str = "") -> FanOutDelivery:
         """Schedule one queue event delivering *msg* to *recipients*.
 
         The whole fan-out is a single :class:`FanOutDelivery`; each
-        recipient's entry in ``_pending`` points at the shared delivery
-        so ``detach`` (and FaultyBus crashes) drop individuals without
-        disturbing the rest.
+        recipient's entry in the scope's pending index points at the
+        shared delivery so ``detach`` (and FaultyBus crashes) drop
+        individuals without disturbing the rest.
         """
-        delivery = FanOutDelivery(self._endpoints, msg, recipients)
+        if scope is None:
+            scope = self._scope(msg.engagement)
+        delivery = FanOutDelivery(scope.endpoints, msg, recipients)
         delivery.event = self.queue.schedule(time, delivery, label=label)
-        pending = self._pending
+        pending = scope.pending
         for r in recipients:
             pending.setdefault(r, []).append(delivery)
         return delivery
@@ -256,6 +357,97 @@ class Bus:
 
     # -- internals -----------------------------------------------------------
 
-    def _record(self, msg: Message) -> None:
-        self.log.append(msg)
-        self.stats.record(msg)
+    def _record(self, msg: Message, scope: _Scope | None = None) -> None:
+        if scope is None:
+            scope = self._scope(msg.engagement)
+        scope.log.append(msg)
+        scope.stats.record(msg)
+
+
+class EngagementBusView:
+    """A transport bound to one engagement scope of a shared bus.
+
+    Exposes the exact :class:`Bus` surface the protocol stack consumes
+    — ``attach`` / ``broadcast`` / ``send`` / ``transfer_load`` /
+    ``enter_phase`` / ``is_crashed`` / ``stats`` / ``log`` / ``queue``
+    / ``port_free_at`` — stamping its engagement id onto every message
+    so the engine, runners, retry machinery and committee adjudicator
+    run unmodified over a multiplexed bus.  The physics properties
+    (``queue``, ``port_free_at``, ``z``) deliberately read through to
+    the shared bus: simulated time and port contention are global.
+    """
+
+    __slots__ = ("_bus", "engagement")
+
+    def __init__(self, bus: Bus, engagement: str) -> None:
+        self._bus = bus
+        self.engagement = engagement
+
+    # -- shared physics ------------------------------------------------------
+
+    @property
+    def bus(self) -> Bus:
+        """The underlying shared transport."""
+        return self._bus
+
+    @property
+    def z(self) -> float:
+        return self._bus.z
+
+    @property
+    def queue(self) -> EventQueue:
+        return self._bus.queue
+
+    @property
+    def port_free_at(self) -> float:
+        return self._bus.port_free_at
+
+    # -- scoped state --------------------------------------------------------
+
+    @property
+    def stats(self) -> TrafficStats:
+        return self._bus.stats_for(self.engagement)
+
+    @property
+    def log(self) -> list[Message]:
+        return self._bus.log_for(self.engagement)
+
+    @property
+    def endpoints(self) -> tuple[str, ...]:
+        return self._bus.endpoints_for(self.engagement)
+
+    @property
+    def fault_log(self) -> list:
+        """Scope's applied-fault records (empty on a reliable bus)."""
+        return [rec for rec in getattr(self._bus, "fault_log", [])
+                if getattr(rec, "engagement", None) == self.engagement]
+
+    # -- scoped operations ---------------------------------------------------
+
+    def _tagged(self, msg: Message) -> Message:
+        if msg.engagement == self.engagement:
+            return msg
+        return replace(msg, engagement=self.engagement)
+
+    def attach(self, name: str, handler: Callable[[Message], None]) -> None:
+        self._bus.attach(name, handler, engagement=self.engagement)
+
+    def detach(self, name: str) -> None:
+        self._bus.detach(name, engagement=self.engagement)
+
+    def broadcast(self, msg: Message) -> None:
+        self._bus.broadcast(self._tagged(msg))
+
+    def send(self, msg: Message) -> tuple[str, ...]:
+        return self._bus.send(self._tagged(msg))
+
+    def transfer_load(self, sender: str, recipient: str, units: float,
+                      body) -> float:
+        return self._bus.transfer_load(sender, recipient, units, body,
+                                       engagement=self.engagement)
+
+    def enter_phase(self, phase) -> None:
+        self._bus.enter_phase(phase, engagement=self.engagement)
+
+    def is_crashed(self, name: str) -> bool:
+        return self._bus.is_crashed(name, engagement=self.engagement)

@@ -36,15 +36,28 @@ logs, traffic stats and event schedules are byte-identical to a plain
 decision comes from ``random.Random(plan.seed)`` consumed in the
 (deterministic) order the simulation asks, so a (plan, workload) pair
 fully determines the run.
+
+Engagement scoping
+------------------
+On a multiplexed bus each engagement carries its *own* plan
+(``FaultyBus(z, plans={"A": plan_a, ...})``), and each plan's mutable
+state — RNG stream, application budgets, crash set, phase marker — is
+held in a private :class:`_PlanState` keyed by engagement id.  The
+isolation is therefore structural, not behavioural: a rule targeting
+engagement A literally cannot consume a draw from, or mark a crash in,
+engagement B's state, so arming faults in one engagement leaves every
+other engagement's traffic and RNG alignment untouched (the chaos
+tests pin this).  The legacy ``plan=`` argument is engagement ``None``
+— the root scope — with semantics unchanged.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Mapping
 
-from repro.network.bus import Bus
+from repro.network.bus import Bus, _Scope
 from repro.network.events import EventQueue
 from repro.network.messages import Message, MessageKind
 
@@ -262,37 +275,78 @@ class FaultPlan:
 
 @dataclass(frozen=True)
 class FaultRecord:
-    """One applied fault, for experiment accounting."""
+    """One applied fault, for experiment accounting.
+
+    ``engagement`` names the scope the fault landed in (``None`` for
+    the root scope — the solo-engagement case).
+    """
 
     time: float
     kind: str        # "drop" | "delay" | "duplicate" | "stall" | "crash" | "lost-to-crashed"
     detail: str
+    engagement: str | None = None
+
+
+class _PlanState:
+    """Mutable application state of one engagement's fault plan.
+
+    Everything a plan consumes or accumulates while executing — the
+    seeded RNG stream, per-rule application budgets, the crash set and
+    the current phase — lives here, one instance per engagement.  Two
+    engagements therefore cannot perturb each other's RNG alignment or
+    crash bookkeeping by construction.
+    """
+
+    __slots__ = ("plan", "rng", "crashed", "applications",
+                 "referee_applications", "phase")
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.crashed: set[str] = set()
+        self.applications: dict[int, int] = {}
+        self.referee_applications: dict[int, int] = {}
+        self.phase: Phase | None = None
 
 
 class FaultyBus(Bus):
-    """A :class:`Bus` that executes a :class:`FaultPlan`.
+    """A :class:`Bus` that executes one :class:`FaultPlan` per scope.
 
     Crashed endpoints stay attached (their traffic history remains
     addressable) but are deaf and mute: broadcasts skip them, unicasts
     to them are reported undelivered, messages *from* them are
     suppressed, and load shipped to them occupies the port but is lost.
+
+    ``plan`` arms the root scope (the historical solo-engagement
+    surface); ``plans`` maps engagement ids to their own plans for a
+    multiplexed bus.  Scopes without a plan ride the reliable base-class
+    path message by message.
     """
 
     def __init__(self, z: float, *, plan: FaultPlan | None = None,
-                 queue: EventQueue | None = None) -> None:
+                 queue: EventQueue | None = None,
+                 plans: Mapping[str, FaultPlan] | None = None) -> None:
         super().__init__(z, queue=queue)
         self.plan = plan or FaultPlan()
         self.fault_log: list[FaultRecord] = []
-        self._rng = random.Random(self.plan.seed)
-        self._crashed: set[str] = set()
-        self._applications: dict[int, int] = {}
-        self._referee_applications: dict[int, int] = {}
-        self._phase: Phase | None = None
+        self._states: dict[str | None, _PlanState] = {}
+        root = _PlanState(self.plan)
+        self._states[None] = root
+        for eid, scoped_plan in (plans or {}).items():
+            if not eid:
+                raise ValueError("engagement ids in plans must be non-empty")
+            self._states[eid] = _PlanState(scoped_plan)
+        # Root-state aliases: the historical single-engagement surface.
+        self._rng = root.rng
+        self._crashed = root.crashed
+        self._applications = root.applications
+        self._referee_applications = root.referee_applications
         # Referee-member crashes take effect before any phase: a crashed
         # committee member never proposes or votes in any round.
-        for name in self.plan.referee_crashes():
-            self._mark_crashed(name)
-        if self.plan.empty:
+        for eid, state in self._states.items():
+            for name in state.plan.referee_crashes():
+                self._mark_crashed(name, state, eid)
+        if all(state.plan.empty for state in self._states.values()):
             # Strict no-op when disabled: rebind the hot-path methods to
             # the base implementations so the wrapper costs one extra
             # instance-dict lookup, nothing more.
@@ -301,58 +355,89 @@ class FaultyBus(Bus):
             self.send = base.send                    # type: ignore[method-assign]
             self.transfer_load = base.transfer_load  # type: ignore[method-assign]
 
+    def _state(self, engagement: str | None) -> _PlanState | None:
+        return self._states.get(engagement)
+
+    def plan_for(self, engagement: str | None) -> FaultPlan:
+        """The fault plan armed for one engagement (empty if none)."""
+        state = self._states.get(engagement)
+        return state.plan if state is not None else FaultPlan()
+
     # -- crash bookkeeping ---------------------------------------------------
 
-    def enter_phase(self, phase: Phase) -> None:
-        """Activate crash faults whose trigger phase has been reached."""
-        self._phase = phase
-        for c in self.plan.crashes:
+    def enter_phase(self, phase: Phase, *,
+                    engagement: str | None = None) -> None:
+        """Activate crash faults whose trigger phase has been reached
+        (in *engagement*'s plan only — other scopes are untouched)."""
+        state = self._states.get(engagement)
+        if state is None:
+            return
+        state.phase = phase
+        for c in state.plan.crashes:
             if c.phase is not None and c.phase.value <= phase.value:
-                self._mark_crashed(c.name)
+                self._mark_crashed(c.name, state, engagement)
 
-    def _mark_crashed(self, name: str) -> None:
-        if name not in self._crashed:
-            self._crashed.add(name)
-            self.fault_log.append(FaultRecord(self.queue.now, "crash", name))
+    def _mark_crashed(self, name: str, state: _PlanState,
+                      engagement: str | None) -> None:
+        if name not in state.crashed:
+            state.crashed.add(name)
+            self.fault_log.append(FaultRecord(self.queue.now, "crash", name,
+                                              engagement))
             # In-flight deliveries die with the endpoint; the rest of
-            # each fan-out is unaffected.
-            for delivery in self._pending.pop(name, ()):
+            # each fan-out is unaffected.  Only this engagement's scope
+            # is touched — the same name in another engagement lives on.
+            scope = self._scope(engagement)
+            for delivery in scope.pending.pop(name, ()):
                 delivery.drop(name)
 
-    def _check_timed_crashes(self) -> None:
-        for c in self.plan.crashes:
+    def _check_timed_crashes(self, state: _PlanState,
+                             engagement: str | None) -> None:
+        for c in state.plan.crashes:
             if c.at_time is not None and self.queue.now >= c.at_time:
-                self._mark_crashed(c.name)
+                self._mark_crashed(c.name, state, engagement)
 
-    def is_crashed(self, name: str) -> bool:
-        self._check_timed_crashes()
-        return name in self._crashed
+    def is_crashed(self, name: str, *, engagement: str | None = None) -> bool:
+        state = self._states.get(engagement)
+        if state is None:
+            return False
+        self._check_timed_crashes(state, engagement)
+        return name in state.crashed
 
     @property
     def crashed(self) -> tuple[str, ...]:
         return tuple(sorted(self._crashed))
 
+    def crashed_for(self, engagement: str | None) -> tuple[str, ...]:
+        state = self._states.get(engagement)
+        return tuple(sorted(state.crashed)) if state is not None else ()
+
     # -- faulty control plane ------------------------------------------------
 
     def broadcast(self, msg: Message) -> None:
         """Atomic broadcast; only crash-stop can silence a listener."""
+        state = self._states.get(msg.engagement)
+        if state is None or state.plan.empty:
+            return Bus.broadcast(self, msg)
         if not msg.is_broadcast:
             raise ValueError("broadcast() requires recipients == ('*',)")
-        self._require_sender(msg.sender)
-        self._check_timed_crashes()
-        if msg.sender in self._crashed:
+        scope = self._scope(msg.engagement)
+        self._require_sender(msg.sender, scope)
+        self._check_timed_crashes(state, msg.engagement)
+        if msg.sender in state.crashed:
             self.fault_log.append(FaultRecord(
-                self.queue.now, "lost-to-crashed", f"broadcast from {msg.sender}"))
+                self.queue.now, "lost-to-crashed",
+                f"broadcast from {msg.sender}", msg.engagement))
             return
-        self._record(msg)
+        self._record(msg, scope)
         sender = msg.sender
-        crashed = self._crashed
-        for name, handler in self._fanout_pairs():
+        crashed = state.crashed
+        for name, handler in self._fanout_pairs(scope):
             if name == sender:
                 continue
             if name in crashed:
                 self.fault_log.append(FaultRecord(
-                    self.queue.now, "lost-to-crashed", f"{msg.kind.value}->{name}"))
+                    self.queue.now, "lost-to-crashed",
+                    f"{msg.kind.value}->{name}", msg.engagement))
                 continue
             handler(msg)
 
@@ -364,40 +449,50 @@ class FaultyBus(Bus):
         is what triggers the engine's retry path (a late original plus a
         retransmission is harmless — agents de-duplicate payloads).
         """
+        state = self._states.get(msg.engagement)
+        if state is None or state.plan.empty:
+            return Bus.send(self, msg)
         if msg.is_broadcast:
             raise ValueError("use broadcast() for '*' recipients")
-        missing = [r for r in msg.recipients if r not in self._endpoints]
+        scope = self._scope(msg.engagement)
+        missing = [r for r in msg.recipients if r not in scope.endpoints]
         if missing:
-            raise KeyError(f"unknown recipients {missing}; attached: {self.endpoints}")
-        self._require_sender(msg.sender)
-        self._check_timed_crashes()
-        if msg.sender in self._crashed:
+            raise KeyError(f"unknown recipients {missing}; "
+                           f"attached: {tuple(scope.endpoints)}")
+        self._require_sender(msg.sender, scope)
+        self._check_timed_crashes(state, msg.engagement)
+        if msg.sender in state.crashed:
             self.fault_log.append(FaultRecord(
-                self.queue.now, "lost-to-crashed", f"send from {msg.sender}"))
+                self.queue.now, "lost-to-crashed",
+                f"send from {msg.sender}", msg.engagement))
             return ()
-        self._record(msg)
+        self._record(msg, scope)
         delivered: list[str] = []
         delayed: dict[float, list[str]] = {}
         for r in msg.recipients:
-            if r in self._crashed:
+            if r in state.crashed:
                 self.fault_log.append(FaultRecord(
-                    self.queue.now, "lost-to-crashed", f"{msg.kind.value}->{r}"))
+                    self.queue.now, "lost-to-crashed",
+                    f"{msg.kind.value}->{r}", msg.engagement))
                 continue
-            fate = self._fate(msg, r)
+            fate = self._fate(msg, r, state)
             if fate is None or fate.action == DUPLICATE:
-                self._endpoints[r](msg)
+                scope.endpoints[r](msg)
                 delivered.append(r)
                 if fate is not None:
-                    self._endpoints[r](msg)
+                    scope.endpoints[r](msg)
                     self.fault_log.append(FaultRecord(
-                        self.queue.now, DUPLICATE, f"{msg.kind.value}->{r}"))
+                        self.queue.now, DUPLICATE, f"{msg.kind.value}->{r}",
+                        msg.engagement))
             elif fate.action == DROP:
                 self.fault_log.append(FaultRecord(
-                    self.queue.now, DROP, f"{msg.kind.value}->{r}"))
+                    self.queue.now, DROP, f"{msg.kind.value}->{r}",
+                    msg.engagement))
             else:  # DELAY
                 delayed.setdefault(fate.delay, []).append(r)
                 self.fault_log.append(FaultRecord(
-                    self.queue.now, DELAY, f"{msg.kind.value}->{r} +{fate.delay:g}"))
+                    self.queue.now, DELAY, f"{msg.kind.value}->{r} "
+                    f"+{fate.delay:g}", msg.engagement))
         # Recipients sharing a delay ride one fan-out event.  Fates were
         # already decided (and logged) above in recipient order, so the
         # RNG draw sequence and fault-log order are unchanged; delivery
@@ -405,82 +500,103 @@ class FaultyBus(Bus):
         for delay, group in delayed.items():
             recipients = tuple(group)
             copy = replace(msg, recipients=recipients)
-            self._deliver_at(self.queue.now + delay, recipients, copy,
+            self._deliver_at(self.queue.now + delay, recipients, copy, scope,
                              label=f"delayed-{msg.kind.value}->{','.join(group)}")
         return tuple(delivered)
 
-    def _fate(self, msg: Message, recipient: str) -> MessageFault | None:
+    def _fate(self, msg: Message, recipient: str,
+              state: _PlanState) -> MessageFault | None:
         """First applicable message fault for this (message, recipient).
 
         The RNG is consumed for every probabilistic rule that *matches*,
         whether or not it fires, so the draw sequence depends only on
         the message schedule — the determinism the golden tests demand.
+        Each engagement's state carries its own RNG stream, so matching
+        here can never perturb another engagement's draw sequence.
         """
-        for idx, rule in enumerate(self.plan.messages):
+        for idx, rule in enumerate(state.plan.messages):
             if not rule.matches(msg, recipient):
                 continue
-            used = self._applications.get(idx, 0)
+            used = state.applications.get(idx, 0)
             if rule.max_applications is not None and used >= rule.max_applications:
                 continue
-            fires = rule.probability >= 1.0 or self._rng.random() < rule.probability
+            fires = rule.probability >= 1.0 or state.rng.random() < rule.probability
             if fires:
-                self._applications[idx] = used + 1
+                state.applications[idx] = used + 1
                 return rule
         # Referee-targeted transport rules only ever match quorum
         # traffic, so their RNG draws cannot perturb processor-facing
         # fault sequences under a shared seed.
-        for idx, ref_rule in enumerate(self.plan.referees):
+        for idx, ref_rule in enumerate(state.plan.referees):
             if not ref_rule.matches(msg, recipient):
                 continue
-            used = self._referee_applications.get(idx, 0)
+            used = state.referee_applications.get(idx, 0)
             if (ref_rule.max_applications is not None
                     and used >= ref_rule.max_applications):
                 continue
             fires = (ref_rule.probability >= 1.0
-                     or self._rng.random() < ref_rule.probability)
+                     or state.rng.random() < ref_rule.probability)
             if fires:
-                self._referee_applications[idx] = used + 1
+                state.referee_applications[idx] = used + 1
                 return MessageFault(action=ref_rule.action, kind=msg.kind,
                                     delay=ref_rule.delay)
         return None
 
     # -- faulty data plane ---------------------------------------------------
 
-    def transfer_load(self, sender: str, recipient: str, units: float, body) -> float:
+    def transfer_load(self, sender: str, recipient: str, units: float, body,
+                      *, engagement: str | None = None) -> float:
         """One-port transfer with stalls applied; lost if the recipient died."""
+        state = self._states.get(engagement)
+        if state is None or state.plan.empty:
+            return Bus.transfer_load(self, sender, recipient, units, body,
+                                     engagement=engagement)
         if units < 0:
             raise ValueError(f"units must be non-negative, got {units}")
-        if recipient not in self._endpoints:
+        scope = self._scope(engagement)
+        if recipient not in scope.endpoints:
             raise KeyError(f"unknown recipient {recipient!r}")
-        self._require_sender(sender)
-        self._check_timed_crashes()
+        self._require_sender(sender, scope)
+        self._check_timed_crashes(state, engagement)
         duration = units * self.z
-        for stall in self.plan.stalls:
+        for stall in state.plan.stalls:
             if stall.matches(sender, recipient):
                 stalled = duration * stall.factor + stall.extra_time
                 self.fault_log.append(FaultRecord(
                     self.queue.now, "stall",
-                    f"load {sender}->{recipient} {duration:g}->{stalled:g}"))
+                    f"load {sender}->{recipient} {duration:g}->{stalled:g}",
+                    engagement))
                 duration = stalled
                 break
         start = max(self._port_free_at, self.queue.now)
         done = start + duration
         self._port_free_at = done
         msg = Message(MessageKind.LOAD, sender, (recipient,), body,
-                      size_bytes=max(1, int(round(units * 1024))))
-        self._record(msg)
-        if recipient in self._crashed:
+                      size_bytes=max(1, int(round(units * 1024))),
+                      engagement=engagement)
+        self._record(msg, scope)
+        if recipient in state.crashed:
             self.fault_log.append(FaultRecord(
-                self.queue.now, "lost-to-crashed", f"load->{recipient}"))
+                self.queue.now, "lost-to-crashed", f"load->{recipient}",
+                engagement))
         else:
-            self._deliver_at(done, (recipient,), msg, label=f"load->{recipient}")
+            self._deliver_at(done, (recipient,), msg, scope,
+                             label=f"load->{recipient}")
         return done
 
     # -- accounting ----------------------------------------------------------
 
-    def fault_counts(self) -> dict[str, int]:
-        """Applied-fault tally by kind (drops, delays, stalls, ...)."""
+    def fault_counts(self, *, engagement: str | None = ...) -> dict[str, int]:
+        """Applied-fault tally by kind (drops, delays, stalls, ...).
+
+        By default counts every scope's records (the historical solo
+        behaviour, where there is only the root scope); pass
+        ``engagement=`` (including ``None`` for the root) to tally one
+        scope alone.
+        """
         counts: dict[str, int] = {}
         for rec in self.fault_log:
+            if engagement is not ... and rec.engagement != engagement:
+                continue
             counts[rec.kind] = counts.get(rec.kind, 0) + 1
         return counts

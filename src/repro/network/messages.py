@@ -63,6 +63,15 @@ class Message:
     infrastructure traffic (meter readouts, verdicts) that the paper
     does not require to be signed.  Slotted: a protocol run creates
     ``O(m)`` envelopes and sweeps create millions.
+
+    ``engagement`` is addressing metadata, not payload: when several
+    engagements multiplex one physical bus, the tag selects which
+    engagement's endpoint scope receives the message (a VLAN tag, in
+    effect).  ``None`` — the default, and the only value solo runs ever
+    produce — addresses the bus's root scope, so single-engagement wire
+    traffic is unchanged by the tag's existence.  The wire digest
+    (:func:`repro.protocol.trace.wire_digest`) deliberately excludes
+    it for the same reason.
     """
 
     kind: MessageKind
@@ -70,6 +79,7 @@ class Message:
     recipients: tuple[str, ...]
     body: Any
     size_bytes: int = field(default=-1)
+    engagement: str | None = None
 
     def __post_init__(self) -> None:
         if not self.recipients:

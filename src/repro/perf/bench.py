@@ -185,6 +185,19 @@ def _sweep_surface_kernel(m: int, workers: int):
     return lambda: run_plan(plan, options)
 
 
+def _contention_kernel(k: int, m: int):
+    from repro.dlt.platform import NetworkKind
+    from repro.protocol.arbiter import BusArbiter, EngagementJob
+
+    rng = np.random.default_rng(5)
+    jobs = tuple(
+        EngagementJob(engagement_id=f"E{j + 1}",
+                      w=tuple(rng.uniform(1.0, 10.0, m)),
+                      kind=NetworkKind.NCP_FE)
+        for j in range(k))
+    return lambda: BusArbiter(0.2, jobs, policy="rr").run()
+
+
 def _des_kernel(events: int):
     from repro.network.events import EventQueue
 
@@ -236,6 +249,13 @@ def run_bench(*, quick: bool = False, options=None,
         "payments_batch_m512": _best_of(_payments_batch_kernel(512, 20),
                                         8 if quick else 12),
         "des_20k_events": _best_of(_des_kernel(20_000), 4 if quick else 5),
+        # 4 engagements round-robin-multiplexed over one bus: the
+        # arbiter's scheduling overhead on top of 4 protocol_m64-sized
+        # runs.  Added after the seed commit, so it is auto-baselined
+        # (first measurement pinned in the report) rather than listed
+        # in SEED_TIMINGS.
+        "contention_k4_m64": _best_of(_contention_kernel(4, 64),
+                                      2 if quick else 4),
         "sweep_surface_m512": _best_of(_sweep_surface_kernel(512, 1),
                                        2 if quick else 3),
     }

@@ -13,6 +13,10 @@
   endpoints to the bus, drives the runner loop, records per-phase
   :class:`~repro.protocol.trace.PhaseSpan` observability, and settles
   the ledger, with the referee adjudicating any signalled conflicts.
+* :mod:`repro.protocol.arbiter` — K engagements multiplexed over one
+  shared bus, phases granted as bus windows under pluggable policies
+  (FIFO / SJF / round-robin) through the steppable
+  :class:`EngagementSession` seam.
 
 The engine is deliberately *not* trusted with mechanism decisions: all
 allocations and payments are computed redundantly by the agents (or by
@@ -30,17 +34,29 @@ from repro.protocol.context import (
     PhaseRunner,
     RetryPolicy,
 )
-from repro.protocol.engine import ProtocolEngine, ProtocolResult
+from repro.protocol.engine import EngagementSession, ProtocolEngine, ProtocolResult
+from repro.protocol.arbiter import (
+    ArbiterResult,
+    BusArbiter,
+    BusGrant,
+    EngagementJob,
+)
 from repro.protocol.runners import (
     AllocationRunner,
     BiddingRunner,
     PaymentsRunner,
     ProcessingRunner,
 )
-from repro.protocol.trace import PhaseSpan
+from repro.protocol.trace import PhaseSpan, wire_digest
 from repro.protocol.sessions import EngagementRecord, MarketSession
 
 __all__ = [
+    "ArbiterResult",
+    "BusArbiter",
+    "BusGrant",
+    "EngagementJob",
+    "EngagementSession",
+    "wire_digest",
     "Phase",
     "Ledger",
     "PaymentInfrastructure",

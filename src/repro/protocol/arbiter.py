@@ -1,0 +1,253 @@
+"""The bus-window arbiter: K engagements multiplexed over one bus.
+
+The paper's engagement owns the world — one load, one bus, one referee.
+This module lifts that assumption *without touching the mechanism*: a
+:class:`BusArbiter` holds K independently-configured engagements, each
+a full DLS-BL-NCP instance with its own agents, PKI, referee (or
+committee) and ledger, and runs them over one shared
+:class:`~repro.network.bus.Bus` by granting **bus windows** — each
+window is one protocol phase of one engagement, executed through the
+steppable :class:`~repro.protocol.engine.EngagementSession` seam.  The
+shared physics are real: one event clock, one one-port constraint
+(``_port_free_at`` is global, so engagement B's load transfers queue
+behind A's), while control traffic and endpoint scopes are isolated
+per engagement by the bus's engagement tagging.
+
+Granting policies
+-----------------
+``fifo``
+    Engagements run to completion in submission order — the serial
+    reference.  At K=1 this is *the* correctness contract: the run is
+    settlement- and wire-digest-identical to a solo
+    :class:`~repro.protocol.engine.ProtocolEngine`.
+``sjf``
+    Shortest job first: completion order is sorted by each job's
+    closed-form predicted makespan (:func:`repro.dlt.timing.optimal_makespan`
+    on the declared platform), the classical mean-flow-time heuristic
+    lifted from :mod:`repro.dlt.multijob`.
+``rr``
+    Round-robin: one phase per engagement per round, the fairest (and
+    most interleaved) schedule — the stress test for scope isolation.
+
+Why settlements cannot depend on the policy
+-------------------------------------------
+Fault-free settlements are functions of bids alone: the allocation is
+the closed form on reported bids, payments are the bonus algebra, and
+the realized makespan is computed from the closed form — never from the
+absolute event clock.  Interleaving therefore moves *flow times* (when
+each engagement's result is ready) but not *what anyone is paid* —
+which is exactly the strategyproofness-under-contention finding the
+contention analysis (E32) quantifies.  Faulty engagements are the
+exception: ``at_time`` crash triggers and retry backoffs read the
+shared clock, so their physics legitimately couple across engagements.
+"""
+
+from __future__ import annotations
+
+import gc
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.dlt.timing import optimal_makespan
+from repro.network.bus import Bus
+from repro.network.faults import FaultPlan, FaultyBus
+from repro.protocol.results import ProtocolResult
+from repro.protocol.trace import wire_digest
+
+if TYPE_CHECKING:
+    from repro.core.dls_bl_ncp import EngineConfig
+
+
+def _default_config() -> "EngineConfig":
+    # Deferred: the mechanism layer (repro.core.dls_bl_ncp) imports the
+    # protocol package, so the arbiter — which sits *above* it — binds
+    # its downward-looking names at call time, not import time.
+    from repro.core.dls_bl_ncp import EngineConfig
+    return EngineConfig()
+
+__all__ = ["EngagementJob", "BusGrant", "ArbiterResult", "BusArbiter",
+           "POLICIES"]
+
+POLICIES = ("fifo", "sjf", "rr")
+
+
+@dataclass(frozen=True)
+class EngagementJob:
+    """One engagement's submission to the arbiter.
+
+    *w* is the declared per-unit processing times of the engagement's
+    processors (what the scheduler can see before any bidding happens);
+    *config* carries everything else — behaviors, fault plan, committee,
+    bidding mode — exactly as a solo run would.
+    """
+
+    engagement_id: str
+    w: tuple[float, ...]
+    kind: NetworkKind
+    config: "EngineConfig" = field(default_factory=_default_config)
+
+    def __post_init__(self) -> None:
+        if not self.engagement_id:
+            raise ValueError("engagement_id must be non-empty")
+        if len(self.w) < 2:
+            raise ValueError("an engagement needs at least 2 processors")
+
+    def predicted_makespan(self, z: float) -> float:
+        """Closed-form makespan on the declared platform (SJF priority).
+
+        Uses the *declared* ``w`` — at scheduling time no bids exist
+        yet, so the submission is the only speed estimate available,
+        mirroring how SJF everywhere relies on declared job sizes.
+        """
+        return optimal_makespan(BusNetwork(self.w, z, self.kind))
+
+
+@dataclass(frozen=True)
+class BusGrant:
+    """One granted bus window: one phase of one engagement."""
+
+    engagement_id: str
+    phase: str
+    t_start: float
+    t_end: float
+
+
+@dataclass(frozen=True)
+class ArbiterResult:
+    """Everything a multiplexed run produced.
+
+    ``results`` maps engagement id to its ordinary
+    :class:`~repro.protocol.results.ProtocolResult` — byte-compatible
+    with a solo run's, so every downstream consumer (records, digests,
+    analysis) works unchanged.  ``completions`` are shared-clock times
+    at which each engagement settled (all jobs arrive at t=0, so a
+    completion *is* that job's flow time).
+    """
+
+    policy: str
+    order: tuple[str, ...]                # grant order of engagement ids
+    results: dict[str, ProtocolResult]
+    completions: dict[str, float]
+    grants: tuple[BusGrant, ...]
+    # Per-engagement wire fingerprints (repro.protocol.trace.wire_digest
+    # over the engagement's scoped message log) — what the differential
+    # suite compares against solo runs.
+    wire_digests: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Shared-clock time at which the last engagement settled."""
+        return max(self.completions.values())
+
+    @property
+    def mean_flow_time(self) -> float:
+        comps = list(self.completions.values())
+        return sum(comps) / len(comps)
+
+
+class BusArbiter:
+    """Schedule K engagements' phases over one shared bus.
+
+    The arbiter owns only scheduling: it builds one shared transport
+    (a :class:`FaultyBus` carrying each job's plan under its engagement
+    id when any job is faulty, a plain :class:`Bus` otherwise), hands
+    each mechanism a scoped view of it, and grants windows according to
+    *policy*.  It never reads bids, allocations or payments — the
+    mechanism stays the mechanism.
+    """
+
+    def __init__(self, z: float, jobs, *, policy: str = "fifo") -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        jobs = tuple(jobs)
+        if not jobs:
+            raise ValueError("the arbiter needs at least one engagement")
+        ids = [j.engagement_id for j in jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate engagement ids: {ids}")
+        self.z = float(z)
+        self.jobs = jobs
+        self.policy = policy
+
+    def _grant_order(self) -> list[EngagementJob]:
+        if self.policy == "sjf":
+            # Stable sort: ties resolve to submission order, so equal
+            # jobs keep FIFO fairness.
+            return sorted(self.jobs,
+                          key=lambda j: j.predicted_makespan(self.z))
+        return list(self.jobs)
+
+    def _shared_bus(self) -> Bus:
+        plans: dict[str, FaultPlan] = {}
+        for job in self.jobs:
+            plan = job.config.fault_plan
+            if plan is not None and not plan.empty:
+                plans[job.engagement_id] = plan
+        if plans:
+            return FaultyBus(self.z, plans=plans)
+        return Bus(self.z)
+
+    def run(self) -> ArbiterResult:
+        """Run every engagement to settlement under the policy.
+
+        The whole multiplexed run executes with the cyclic GC paused,
+        for the same reason a solo :meth:`ProtocolEngine.run` pauses it
+        — K engagements archive K times the long-lived containers.
+        """
+        from repro.core.dls_bl_ncp import DLSBLNCP
+
+        bus = self._shared_bus()
+        ordered = self._grant_order()
+        sessions: dict[str, object] = {}
+        for job in ordered:
+            mech = DLSBLNCP(job.w, job.kind, self.z, config=job.config,
+                            bus=bus.scoped(job.engagement_id),
+                            engagement_id=job.engagement_id)
+            sessions[job.engagement_id] = mech.engine.begin()
+
+        grants: list[BusGrant] = []
+        results: dict[str, ProtocolResult] = {}
+        completions: dict[str, float] = {}
+
+        def grant(eid: str) -> None:
+            session = sessions[eid]
+            phase = session.phase
+            t0 = bus.queue.now
+            session.step()
+            grants.append(BusGrant(eid, phase.name, t0, bus.queue.now))
+            if session.done:
+                completions[eid] = bus.queue.now
+                results[eid] = session.finish()
+
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            if self.policy == "rr":
+                queue = deque(j.engagement_id for j in ordered)
+                while queue:
+                    eid = queue.popleft()
+                    grant(eid)
+                    if not sessions[eid].done:
+                        queue.append(eid)
+            else:  # fifo / sjf: exclusive use, in order
+                for job in ordered:
+                    eid = job.engagement_id
+                    while not sessions[eid].done:
+                        grant(eid)
+        finally:
+            if was_enabled:
+                gc.enable()
+
+        return ArbiterResult(
+            policy=self.policy,
+            order=tuple(j.engagement_id for j in ordered),
+            results=results,
+            completions=completions,
+            grants=tuple(grants),
+            wire_digests={j.engagement_id:
+                          wire_digest(bus.log_for(j.engagement_id))
+                          for j in ordered},
+        )

@@ -203,6 +203,11 @@ class EngagementContext:
     # single trusted referee adjudicates).  When set, every verdict must
     # carry a verifiable quorum certificate before its fines bind.
     adjudicator: Any = None
+    # Which engagement this context is, when several multiplex one bus
+    # (``None`` = the solo case — the engagement owns the root scope).
+    # The id is addressing metadata only: runners never branch on it,
+    # they just ride a bus view that stamps it onto outgoing traffic.
+    engagement_id: str | None = None
 
     # --- engagement state (produced phase by phase) ---------------------
     blocks: tuple = ()                            # the user's signed load

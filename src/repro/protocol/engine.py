@@ -55,7 +55,8 @@ from repro.protocol.runners import (
 )
 from repro.protocol.trace import PhaseSpan
 
-__all__ = ["PhaseDeadlines", "RetryPolicy", "ProtocolResult", "ProtocolEngine"]
+__all__ = ["PhaseDeadlines", "RetryPolicy", "ProtocolResult", "ProtocolEngine",
+           "EngagementSession"]
 
 # Runners are stateless (state lives on the context): one each suffices.
 _RUNNERS = {
@@ -116,6 +117,8 @@ class ProtocolEngine:
         redundancy: str = "memoized",
         memo: ComputationCache | None = None,
         committee: CommitteeConfig | None = None,
+        bus: Bus | None = None,
+        engagement_id: str | None = None,
     ) -> None:
         if bidding_mode not in self.BIDDING_MODES:
             raise ValueError(f"bidding_mode must be one of {self.BIDDING_MODES}, "
@@ -183,7 +186,19 @@ class ProtocolEngine:
         # even the bus *type* matches the fault-free build.
         armed = fault_plan is not None and not fault_plan.empty
         self._fault_plan = fault_plan if armed else None
-        self.bus = FaultyBus(self.z, plan=fault_plan) if armed else Bus(self.z)
+        if bus is not None:
+            # An injected transport — typically a scoped view of a bus
+            # shared with other engagements (the arbiter's case).  The
+            # caller owns fault arming on it; *fault_plan* here still
+            # arms this engagement's crash-tolerance machinery.
+            if abs(bus.z - self.z) > 1e-12:
+                raise ValueError(f"injected bus has z={bus.z}, engine z={self.z}")
+            self.bus = bus
+            if engagement_id is None:
+                engagement_id = getattr(bus, "engagement", None)
+        else:
+            self.bus = FaultyBus(self.z, plan=fault_plan) if armed else Bus(self.z)
+        self.engagement_id = engagement_id
         self.order = names
         self._received: dict[str, list] = {n: [] for n in names}
         self._attach_endpoints()
@@ -234,50 +249,24 @@ class ProtocolEngine:
         if was_enabled:
             gc.disable()
         try:
-            return self._execute()
+            session = self.begin()
+            while not session.done:
+                session.step()
+            return session.finish()
         finally:
             if was_enabled:
                 gc.enable()
 
-    def _execute(self) -> ProtocolResult:
-        blocks = divide_load(self.user_key, 1.0, self.num_blocks)
-        ctx = EngagementContext(
-            agents=self.agents, originator=self.originator, kind=self.kind,
-            z=self.z, num_blocks=self.num_blocks,
-            bidding_mode=self.bidding_mode, policy=self.policy, pki=self.pki,
-            user_key=self.user_key, referee=self.referee, infra=self.infra,
-            bus=self.bus, memo=self.memo, deadlines=self.deadlines,
-            retry=self.retry, fault_plan=self._fault_plan, order=self.order,
-            bulletin=self._bulletin, received=self._received, blocks=blocks,
-            adjudicator=self._adjudicator,
-        )
-        if self._adjudicator is not None:
-            self._adjudicator.bind(ctx)
-        spans: list[PhaseSpan] = []
-        phase: Phase | None = Phase.BIDDING
-        while phase is not None:
-            t0 = self.bus.queue.now
-            before = self._counters()
-            self.bus.enter_phase(phase)
-            outcome = _RUNNERS[phase].run(ctx)
-            after = self._counters()
-            spans.append(PhaseSpan(
-                phase=phase.name,
-                t_start=t0,
-                t_end=self.bus.queue.now,
-                messages=after[0] - before[0],
-                bytes=after[1] - before[1],
-                retries=after[2] - before[2],
-                memo_hits=after[3] - before[3],
-                memo_misses=after[4] - before[4],
-                sig_cache_hits=after[5] - before[5],
-                sig_cache_misses=after[6] - before[6],
-                verdicts=tuple(v.case for v in outcome.verdicts),
-                fines=outcome.fines,
-                quorum_rounds=after[7] - before[7],
-            ))
-            phase = outcome.next_phase
-        return self.settle(ctx, tuple(spans))
+    def begin(self) -> EngagementSession:
+        """Open a steppable session over this engine's wiring.
+
+        The returned :class:`EngagementSession` executes the same runner
+        loop :meth:`run` would, one phase per :meth:`~EngagementSession.step`
+        — the seam the bus-window arbiter interleaves engagements
+        through.  Stepping a session to completion and calling
+        ``finish()`` is byte-identical to :meth:`run` (modulo the GC
+        pause, which is the arbiter's job when it multiplexes)."""
+        return EngagementSession(self)
 
     def _counters(self) -> tuple[int, int, int, int, int, int, int, int]:
         """Snapshot of the traffic/cache counters, for span deltas."""
@@ -342,3 +331,86 @@ class ProtocolEngine:
             certificates=(tuple(self.committee.certificates)
                           if self.committee is not None else ()),
         )
+
+
+class EngagementSession:
+    """One engagement's runner loop, opened for external pacing.
+
+    :meth:`ProtocolEngine.run` drives the four phase runners in a tight
+    loop; a session exposes the identical loop one phase at a time so a
+    scheduler (the bus-window arbiter) can interleave several
+    engagements over a shared bus — each :meth:`step` is one granted
+    bus window.  The session owns no policy: it executes exactly the
+    phases the runners dictate, records the same :class:`PhaseSpan`
+    telemetry ``run()`` would, and settles through the engine's single
+    :meth:`~ProtocolEngine.settle` path.  A session stepped to
+    completion produces a result byte-identical to ``run()``.
+    """
+
+    def __init__(self, engine: ProtocolEngine) -> None:
+        self.engine = engine
+        blocks = divide_load(engine.user_key, 1.0, engine.num_blocks)
+        self.ctx = EngagementContext(
+            agents=engine.agents, originator=engine.originator,
+            kind=engine.kind, z=engine.z, num_blocks=engine.num_blocks,
+            bidding_mode=engine.bidding_mode, policy=engine.policy,
+            pki=engine.pki, user_key=engine.user_key, referee=engine.referee,
+            infra=engine.infra, bus=engine.bus, memo=engine.memo,
+            deadlines=engine.deadlines, retry=engine.retry,
+            fault_plan=engine._fault_plan, order=engine.order,
+            bulletin=engine._bulletin, received=engine._received,
+            blocks=blocks, adjudicator=engine._adjudicator,
+            engagement_id=engine.engagement_id,
+        )
+        if engine._adjudicator is not None:
+            engine._adjudicator.bind(self.ctx)
+        self.spans: list[PhaseSpan] = []
+        self.phase: Phase | None = Phase.BIDDING
+        self._result: ProtocolResult | None = None
+
+    @property
+    def done(self) -> bool:
+        """True once a runner has terminated the engagement."""
+        return self.phase is None
+
+    def step(self) -> Phase | None:
+        """Run the pending phase; return the next one (None = done)."""
+        phase = self.phase
+        if phase is None:
+            raise RuntimeError("session already ran its terminal phase")
+        engine = self.engine
+        t0 = engine.bus.queue.now
+        before = engine._counters()
+        engine.bus.enter_phase(phase)
+        outcome = _RUNNERS[phase].run(self.ctx)
+        after = engine._counters()
+        self.spans.append(PhaseSpan(
+            phase=phase.name,
+            t_start=t0,
+            t_end=engine.bus.queue.now,
+            messages=after[0] - before[0],
+            bytes=after[1] - before[1],
+            retries=after[2] - before[2],
+            memo_hits=after[3] - before[3],
+            memo_misses=after[4] - before[4],
+            sig_cache_hits=after[5] - before[5],
+            sig_cache_misses=after[6] - before[6],
+            verdicts=tuple(v.case for v in outcome.verdicts),
+            fines=outcome.fines,
+            quorum_rounds=after[7] - before[7],
+        ))
+        self.phase = outcome.next_phase
+        return self.phase
+
+    def finish(self) -> ProtocolResult:
+        """Settle the ledger and fold the context into a result.
+
+        Idempotent: settlement executes once; later calls return the
+        same result object.
+        """
+        if self.phase is not None:
+            raise RuntimeError(
+                f"cannot settle: phase {self.phase.name} has not run")
+        if self._result is None:
+            self._result = self.engine.settle(self.ctx, tuple(self.spans))
+        return self._result

@@ -17,6 +17,7 @@ Two views of one engagement:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -31,6 +32,7 @@ __all__ = [
     "render_transcript",
     "spans_to_dict",
     "traffic_summary",
+    "wire_digest",
 ]
 
 TRACE_FORMAT = "repro/protocol-trace/v1"
@@ -160,6 +162,25 @@ def render_transcript(bus: Bus) -> str:
              f"{bus.stats.bytes} bytes total ---"]
     lines += [describe_message(m) for m in bus.log]
     return "\n".join(lines)
+
+
+def wire_digest(messages: Iterable[Message]) -> str:
+    """SHA-256 fingerprint of a message sequence's *shape* on the wire.
+
+    Covers, per message and in order: kind, sender, recipients and
+    size — i.e. who said what kind of thing to whom, and how big it
+    was.  It deliberately excludes bodies (signatures embed nonces from
+    per-run keys) and the engagement tag (addressing metadata a shared
+    bus adds; a solo run and the same engagement multiplexed at K=1
+    put identical traffic on the wire, and the digest must say so).
+    The differential suite pins K=1 arbiter runs to the legacy engine
+    with this.
+    """
+    h = hashlib.sha256()
+    for msg in messages:
+        h.update(repr((msg.kind.value, msg.sender, msg.recipients,
+                       msg.size_bytes)).encode())
+    return h.hexdigest()
 
 
 def traffic_summary(bus: Bus) -> str:

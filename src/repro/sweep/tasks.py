@@ -187,6 +187,35 @@ def _utility_point(spec: ScenarioSpec) -> dict:
             "utility": float(u)}
 
 
+@register("contention-point")
+def _contention_point(spec: ScenarioSpec) -> dict:
+    """One cell of a cross-engagement misreport sweep (payment algebra).
+
+    The shared processor is agent ``i_a`` in engagement A and ``i_b``
+    in engagement B: it bids ``bid_factor * w`` in A and truthfully in
+    B.  Each engagement settles on its own bids alone, so the record
+    carries both sides' utilities for the separability check.
+
+    params: w_a, w_b, z, kind_a, kind_b, i_a, i_b, bid_factor.
+    """
+    from repro.analysis.strategyproofness import agent_utility
+    from repro.dlt.platform import BusNetwork, NetworkKind
+
+    p = spec.params
+    z = float(p["z"])
+    net_a = BusNetwork(tuple(float(x) for x in p["w_a"]), z,
+                       NetworkKind(p["kind_a"]))
+    net_b = BusNetwork(tuple(float(x) for x in p["w_b"]), z,
+                       NetworkKind(p["kind_b"]))
+    u_a = agent_utility(net_a, int(p["i_a"]),
+                        bid_factor=float(p["bid_factor"]))
+    u_b = agent_utility(net_b, int(p["i_b"]), bid_factor=1.0)
+    return {"bid_factor": float(p["bid_factor"]),
+            "utility_a": float(u_a),
+            "utility_b": float(u_b),
+            "combined": float(u_a) + float(u_b)}
+
+
 @register("sensitivity")
 def _sensitivity(spec: ScenarioSpec) -> dict:
     """One finite-difference conditioning probe.
@@ -247,6 +276,41 @@ def _utility_point_batch(specs: Sequence[ScenarioSpec]) -> list[dict]:
         for pos, b, e, u in zip(positions, bf, ef, values):
             records[pos] = {"bid_factor": b, "exec_factor": e,
                             "utility": float(u)}
+    return records  # type: ignore[return-value]
+
+
+@register_batch("contention-point")
+def _contention_point_batch(specs: Sequence[ScenarioSpec]) -> list[dict]:
+    """A chunk of cross-engagement cells as two kernel passes per group.
+
+    Cells are grouped by everything except ``bid_factor``; per group the
+    A-side utilities are one :func:`utility_points_batch` sweep and the
+    B-side (truthful, hence constant over the group) is a single-point
+    batch call whose value is broadcast.
+    """
+    from repro.dlt.platform import BusNetwork, NetworkKind
+    from repro.kernels.surface import utility_points_batch
+
+    records: list[dict | None] = [None] * len(specs)
+    groups: dict[tuple, list[int]] = {}
+    for pos, spec in enumerate(specs):
+        p = spec.params
+        key = (tuple(float(x) for x in p["w_a"]),
+               tuple(float(x) for x in p["w_b"]),
+               float(p["z"]), p["kind_a"], p["kind_b"],
+               int(p["i_a"]), int(p["i_b"]))
+        groups.setdefault(key, []).append(pos)
+    for (w_a, w_b, z, kind_a, kind_b, i_a, i_b), positions in groups.items():
+        net_a = BusNetwork(w_a, z, NetworkKind(kind_a))
+        net_b = BusNetwork(w_b, z, NetworkKind(kind_b))
+        bf = [float(specs[pos].params["bid_factor"]) for pos in positions]
+        ones = [1.0] * len(bf)
+        u_a = utility_points_batch(net_a, i_a, bf, ones)
+        u_b = float(utility_points_batch(net_b, i_b, [1.0], [1.0])[0])
+        for pos, b, ua in zip(positions, bf, u_a):
+            records[pos] = {"bid_factor": b, "utility_a": float(ua),
+                            "utility_b": u_b,
+                            "combined": float(ua) + u_b}
     return records  # type: ignore[return-value]
 
 

@@ -1,0 +1,73 @@
+"""Tests for strategyproofness under contention (E32)."""
+
+import pytest
+
+from repro.analysis.contention import (
+    best_cross_response,
+    contention_plan,
+    cross_engagement_curve,
+    policy_flow_table,
+)
+from repro.dlt.platform import BusNetwork, NetworkKind
+from repro.protocol.arbiter import EngagementJob
+
+NET_A = BusNetwork((2.0, 3.0, 5.0, 4.0), 0.4, NetworkKind.NCP_FE)
+NET_B = BusNetwork((3.0, 4.0, 6.0), 0.4, NetworkKind.NCP_NFE)
+FACTORS = [0.6, 0.8, 0.9, 1.0, 1.1, 1.25, 1.5]
+
+
+class TestCrossEngagementCurve:
+    def test_truthful_maximizes_combined_utility(self):
+        points = cross_engagement_curve(NET_A, NET_B, 1, 0, FACTORS)
+        argmax, _, spread = best_cross_response(points)
+        assert argmax == pytest.approx(1.0)
+        assert spread == 0.0
+
+    def test_b_side_is_exactly_flat(self):
+        # Nothing played in A reaches B's settlement: utility_b must be
+        # bit-identical (not approximately equal) along the A-sweep.
+        points = cross_engagement_curve(NET_A, NET_B, 2, 1, FACTORS)
+        assert len({p.utility_b for p in points}) == 1
+
+    def test_combined_is_the_sum(self):
+        for p in cross_engagement_curve(NET_A, NET_B, 1, 0, [0.9, 1.0]):
+            assert p.combined == pytest.approx(p.utility_a + p.utility_b)
+
+    def test_sharded_run_matches_serial(self):
+        serial = cross_engagement_curve(NET_A, NET_B, 1, 0, FACTORS)
+        sharded = cross_engagement_curve(NET_A, NET_B, 1, 0, FACTORS,
+                                         workers=2)
+        assert sharded == serial
+
+    def test_batch_executor_matches_scalar(self):
+        from repro.sweep import RunOptions, run_plan
+
+        plan = contention_plan(NET_A, NET_B, 1, 0, FACTORS)
+        batch = run_plan(plan, RunOptions())
+        scalar = run_plan(plan, RunOptions(batch=False))
+        assert batch.records == scalar.records
+        assert batch.digest() == scalar.digest()
+
+    def test_rejects_mismatched_z(self):
+        other = BusNetwork((3.0, 4.0, 6.0), 0.7, NetworkKind.NCP_FE)
+        with pytest.raises(ValueError, match="share its z"):
+            contention_plan(NET_A, other, 0, 0, [1.0])
+
+
+class TestPolicyFlowTable:
+    JOBS = (
+        EngagementJob("E1", (4.0, 6.0, 10.0, 8.0), NetworkKind.NCP_FE),
+        EngagementJob("E2", (2.0, 3.0, 5.0), NetworkKind.NCP_NFE),
+        EngagementJob("E3", (1.0, 1.5, 2.5, 2.0), NetworkKind.NCP_FE),
+    )
+
+    def test_settlements_invariant_under_every_policy(self):
+        rows = policy_flow_table(0.4, self.JOBS)
+        assert [r.policy for r in rows] == ["fifo", "sjf", "rr"]
+        assert all(r.settlements_match_solo for r in rows)
+
+    def test_sjf_beats_fifo_on_mean_flow_time(self):
+        rows = {r.policy: r for r in policy_flow_table(
+            0.4, self.JOBS, policies=("fifo", "sjf"))}
+        assert rows["sjf"].mean_flow_time < rows["fifo"].mean_flow_time
+        assert rows["sjf"].order == ("E3", "E2", "E1")

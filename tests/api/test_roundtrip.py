@@ -11,6 +11,7 @@ from repro.api import (
     BenchResult,
     EngagementRequest,
     EngagementResult,
+    MultiEngagementRequest,
     ServiceStats,
     SweepRequest,
     execute,
@@ -125,6 +126,61 @@ class TestSweepAndBenchRequests:
     def test_bench_quick_must_be_bool(self):
         with pytest.raises(ApiError, match="quick"):
             BenchRequest(quick=1)
+
+
+class TestMultiEngagementRequest:
+    def _payloads(self, k=2):
+        return tuple(EngagementRequest(
+            w=tuple(x * (1.0 + 0.5 * j) for x in W), z=Z).to_dict()
+            for j in range(k))
+
+    def test_round_trip_is_exact(self):
+        req = MultiEngagementRequest(engagements=self._payloads(3),
+                                     policy="sjf")
+        clone = request_from_dict(json.loads(json.dumps(req.to_dict())))
+        assert clone == req
+        assert clone.digest() == req.digest()
+
+    def test_ids_are_deterministic(self):
+        req = MultiEngagementRequest(engagements=self._payloads(3))
+        assert req.engagement_ids == ("E1", "E2", "E3")
+
+    def test_wrapping_a_solo_request_is_verbatim(self):
+        solo = EngagementRequest(w=W, z=Z, committee=4)
+        req = MultiEngagementRequest(engagements=(solo.to_dict(),))
+        assert req.sub_requests() == (solo,)
+
+    def test_needs_at_least_one_engagement(self):
+        with pytest.raises(ApiError, match="at least 1"):
+            MultiEngagementRequest(engagements=())
+
+    def test_policy_choice_validated(self):
+        with pytest.raises(ApiError, match="policy"):
+            MultiEngagementRequest(engagements=self._payloads(),
+                                   policy="lifo")
+
+    def test_mismatched_z_rejected_with_position(self):
+        bad = (EngagementRequest(w=W, z=Z).to_dict(),
+               EngagementRequest(w=W, z=0.7).to_dict())
+        with pytest.raises(ApiError, match=r"engagements\[1\]\.z"):
+            MultiEngagementRequest(engagements=bad)
+
+    def test_sub_payload_errors_carry_position(self):
+        bad = dict(EngagementRequest(w=W, z=Z).to_dict())
+        bad["fine_factor"] = -1.0
+        with pytest.raises(ApiError, match=r"engagements\[1\]"):
+            MultiEngagementRequest(
+                engagements=(EngagementRequest(w=W, z=Z).to_dict(), bad))
+
+    def test_result_digest_detects_corruption(self):
+        from repro.api import run_multi_engagement
+
+        res = run_multi_engagement(
+            MultiEngagementRequest(engagements=self._payloads()))
+        doc = res.to_dict()
+        doc["digest_value"] = "0" * 64
+        with pytest.raises(ApiError, match="corrupted"):
+            result_from_dict(doc)
 
 
 class TestResults:

@@ -1,0 +1,208 @@
+"""Differential suite for the bus-window arbiter.
+
+The correctness contract of :mod:`repro.protocol.arbiter`: a K=1 FIFO
+arbiter run is *the same run* as a solo :class:`ProtocolEngine` — not
+merely equivalent, but settlement-digest- and wire-digest-identical —
+across the whole behavior space (honest, deviant, faulty, committee).
+At K>1, fault-free settlements must be invariant to the granting
+policy and equal to each engagement's solo reference, because
+settlements are functions of bids, never of the shared clock.
+"""
+
+import pytest
+
+from repro.api import (
+    MultiEngagementRequest,
+    build_mechanism,
+    execute,
+    run_multi_engagement,
+    serial_reference,
+    settlement_digest,
+)
+from repro.api.v1 import EngagementRequest
+from repro.dlt.platform import NetworkKind
+from repro.io import protocol_result_to_dict
+from repro.protocol.arbiter import POLICIES, BusArbiter, EngagementJob
+from repro.protocol.trace import wire_digest
+
+W = (2.0, 3.0, 5.0, 4.0)
+Z = 0.4
+
+# ~25 scenarios spanning every regime the engine supports: honest
+# variations (kind / z / size / fees / transport), each deviation
+# offence, injected crash & drop faults, and committee adjudication.
+BASELINE = [
+    dict(w=W, z=Z),
+    dict(w=W, z=0.7),
+    dict(w=W, z=Z, kind="ncp-nfe"),
+    dict(w=(2.0, 3.0), z=Z),
+    dict(w=(6.0, 2.0, 4.0, 3.0, 5.0, 7.0), z=0.3),
+    dict(w=W, z=Z, fine_factor=5.0),
+    dict(w=W, z=Z, bidding_mode="commit"),
+    dict(w=W, z=Z, bidding_mode="naive"),
+    dict(w=W, z=Z, num_blocks=60),
+    dict(w=W, z=Z, deviants=((1, "multiple-bids"),)),
+    dict(w=W, z=Z, deviants=((0, "short-allocation"),)),
+    dict(w=W, z=Z, deviants=((0, "over-allocation"),)),
+    dict(w=W, z=Z, deviants=((2, "wrong-payments"),)),
+    dict(w=W, z=Z, deviants=((3, "contradictory-payments"),)),
+    dict(w=W, z=Z, deviants=((1, "manipulated-bid-vector"),)),
+    dict(w=W, z=Z, deviants=((2, "false-allocation-claim"),)),
+    dict(w=W, z=Z, bidding_mode="commit",
+         deviants=((2, "split-bids"),)),
+    dict(w=W, z=Z, deviants=((0, "refuse-remedy"),), crash=((2, 0.5),)),
+    dict(w=W, z=Z, deviants=((1, "multiple-bids"), (3, "wrong-payments"))),
+    dict(w=W, z=Z, crash=((2, 0.5),)),
+    dict(w=W, z=Z, crash=((1, 0.0), (3, 0.75))),
+    dict(w=W, z=Z, bidding_mode="commit", drop_rate=0.2, seed=1),
+    dict(w=W, z=Z, bidding_mode="naive", drop_rate=0.1, seed=7),
+    dict(w=W, z=Z, committee=4),
+    dict(w=W, z=Z, committee=7, byzantine=((0, "silent"),
+                                           (1, "equivocate"))),
+]
+
+
+def _solo(request):
+    """(settlement digest, wire digest) of the legacy solo path."""
+    mech = build_mechanism(request)
+    outcome = mech.run()
+    return (settlement_digest(protocol_result_to_dict(outcome)),
+            wire_digest(mech.engine.bus.log))
+
+
+def _arbitrated(request, policy="fifo"):
+    """(settlement digest, wire digest) of the same run via the arbiter."""
+    multi = MultiEngagementRequest(engagements=(request.to_dict(),))
+    (job,) = multi.jobs()
+    out = BusArbiter(request.z, (job,), policy=policy).run()
+    return (settlement_digest(protocol_result_to_dict(out.results["E1"])),
+            out.wire_digests["E1"])
+
+
+class TestSoloEquivalence:
+    @pytest.mark.parametrize("kwargs", BASELINE,
+                             ids=lambda kw: "-".join(
+                                 f"{k}" for k in sorted(kw) if k != "w"))
+    def test_k1_fifo_is_the_solo_run(self, kwargs):
+        request = EngagementRequest(**kwargs)
+        assert _arbitrated(request) == _solo(request)
+
+    def test_k1_wire_digest_is_bit_for_bit(self):
+        # Sanity that the wire comparison has teeth: a different
+        # bidding transport must change the wire digest while the
+        # settlement stays put.
+        atomic = EngagementRequest(w=W, z=Z)
+        commit = EngagementRequest(w=W, z=Z, bidding_mode="commit")
+        s_a, w_a = _solo(atomic)
+        s_c, w_c = _solo(commit)
+        assert s_a == s_c
+        assert w_a != w_c
+
+
+class TestPolicyInvariance:
+    def _jobs(self):
+        return tuple(
+            EngagementJob(engagement_id=f"E{i + 1}", w=w,
+                          kind=NetworkKind(kind))
+            for i, (w, kind) in enumerate([
+                ((4.0, 6.0, 10.0, 8.0), "ncp-fe"),
+                ((2.0, 3.0, 5.0), "ncp-nfe"),
+                ((1.0, 1.5, 2.5, 2.0), "ncp-fe"),
+            ]))
+
+    def test_settlements_identical_across_policies_and_solo(self):
+        jobs = self._jobs()
+        solo = {
+            j.engagement_id: settlement_digest(protocol_result_to_dict(
+                build_mechanism(EngagementRequest(
+                    w=j.w, z=Z, kind=j.kind.value)).run()))
+            for j in jobs}
+        for policy in POLICIES:
+            out = BusArbiter(Z, jobs, policy=policy).run()
+            got = {eid: settlement_digest(protocol_result_to_dict(r))
+                   for eid, r in out.results.items()}
+            assert got == solo, policy
+
+    def test_sjf_reorders_and_lowers_mean_flow_time(self):
+        jobs = self._jobs()
+        fifo = BusArbiter(Z, jobs, policy="fifo").run()
+        sjf = BusArbiter(Z, jobs, policy="sjf").run()
+        assert sjf.order == ("E3", "E2", "E1")
+        assert fifo.order == ("E1", "E2", "E3")
+        assert sjf.mean_flow_time < fifo.mean_flow_time
+
+    def test_rr_interleaves_grants(self):
+        jobs = self._jobs()
+        out = BusArbiter(Z, jobs, policy="rr").run()
+        first_three = [g.engagement_id for g in out.grants[:3]]
+        assert first_three == ["E1", "E2", "E3"]
+        # Completions still all land, and every engagement settles.
+        assert set(out.results) == {"E1", "E2", "E3"}
+        assert all(r.completed for r in out.results.values())
+
+    def test_grants_cover_every_phase_once_per_engagement(self):
+        jobs = self._jobs()
+        out = BusArbiter(Z, jobs, policy="fifo").run()
+        per = {}
+        for g in out.grants:
+            per.setdefault(g.engagement_id, []).append(g.phase)
+        for eid, phases in per.items():
+            assert phases == ["BIDDING", "ALLOCATING_LOAD",
+                              "PROCESSING_LOAD", "COMPUTING_PAYMENTS"], eid
+
+
+class TestApiPath:
+    def _request(self, policy="fifo"):
+        return MultiEngagementRequest(
+            engagements=(
+                EngagementRequest(w=(4.0, 6.0, 10.0, 8.0), z=Z).to_dict(),
+                EngagementRequest(w=(2.0, 3.0, 5.0), z=Z,
+                                  kind="ncp-nfe").to_dict(),
+            ),
+            policy=policy)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_executor_matches_serial_reference(self, policy):
+        request = self._request(policy)
+        result = run_multi_engagement(request)
+        assert result.digest() == serial_reference(request)
+
+    def test_execute_dispatch_is_byte_identical(self):
+        request = self._request()
+        direct = run_multi_engagement(request)
+        dispatched = execute(request)
+        assert dispatched.to_dict() == direct.to_dict()
+
+    def test_result_round_trips(self):
+        from repro.api import result_from_dict
+
+        result = run_multi_engagement(self._request("sjf"))
+        clone = result_from_dict(result.to_dict())
+        assert clone.digest() == result.digest()
+        assert clone.order == result.order
+        assert clone.completions == result.completions
+
+
+class TestValidation:
+    def test_duplicate_ids_rejected(self):
+        job = EngagementJob(engagement_id="E1", w=W, kind=NetworkKind("ncp-fe"))
+        with pytest.raises(ValueError, match="duplicate"):
+            BusArbiter(Z, (job, job))
+
+    def test_unknown_policy_rejected(self):
+        job = EngagementJob(engagement_id="E1", w=W, kind=NetworkKind("ncp-fe"))
+        with pytest.raises(ValueError, match="policy"):
+            BusArbiter(Z, (job,), policy="lifo")
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BusArbiter(Z, ())
+
+    def test_job_needs_two_processors(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            EngagementJob(engagement_id="E1", w=(2.0,),
+                          kind=NetworkKind("ncp-fe"))
+
+    def test_job_needs_an_id(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            EngagementJob(engagement_id="", w=W, kind=NetworkKind("ncp-fe"))

@@ -184,6 +184,31 @@ def test_simulation_stack_does_not_import_kernels_directly():
         + "\n  ".join(bad))
 
 
+def test_arbiter_sits_above_runners_and_below_service():
+    # The bus-window arbiter schedules whole engagements: it may drive
+    # the engine's session seam (and, lazily, the dls_bl_ncp facade that
+    # assembles one), but it must never reach up into the serving stack
+    # — the api/service layers call *it*, not the reverse.
+    bad = _violations(("repro.protocol.arbiter",),
+                      ("repro.service", "repro.api", "repro.cli"))
+    assert not bad, (
+        "repro.protocol.arbiter must stay below the api/service/cli "
+        "layers:\n  " + "\n  ".join(bad))
+
+
+def test_lower_layers_do_not_import_the_arbiter():
+    # Phase runners, transports and agents are *scheduled by* the
+    # arbiter; an upward import would collapse the scheduling seam
+    # (and reintroduce the one-engagement-owns-the-bus assumption as a
+    # hidden cycle).
+    bad = _violations(
+        ("repro.protocol.runners", "repro.network", "repro.agents"),
+        ("repro.protocol.arbiter",))
+    assert not bad, (
+        "runners/network/agents must not depend on the arbiter:\n  "
+        + "\n  ".join(bad))
+
+
 def test_facade_allowlist_is_not_stale():
     # If the facade stops importing the protocol stack, shrink ALLOWED.
     for mod in ALLOWED:

@@ -87,6 +87,34 @@ class TestProtocol:
                                        "--deviant", "1:nonsense"])
 
 
+class TestContend:
+    def test_two_engagements_verify_exit_zero(self, capsys):
+        rc = main(["contend", "--z", "0.4", "2", "3", "5",
+                   "--engagements", "2", "--policy", "sjf", "--verify"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "E1" in out and "E2" in out
+        assert "matches serial reference" in out
+        assert "mean flow time" in out
+
+    def test_json_emits_result_payload(self, capsys):
+        import json
+
+        rc = main(["contend", "--z", "0.4", "2", "3",
+                   "--engagements", "2", "--policy", "rr", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["type"] == "multi-engagement-result"
+        assert doc["policy"] == "rr"
+        assert set(doc["outcomes"]) == {"E1", "E2"}
+
+    def test_bad_engagement_count_is_usage_error(self, capsys):
+        rc = main(["contend", "--z", "0.4", "2", "3",
+                   "--engagements", "0"])
+        assert rc == 2
+        assert "engagements" in capsys.readouterr().err
+
+
 class TestSurvey:
     def test_ranks_kinds(self, capsys):
         assert main(["survey", "--z", "0.5", "2", "3", "5"]) == 0

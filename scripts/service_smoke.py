@@ -10,6 +10,10 @@ Passes, all fast enough for the PR lane:
 2. **Out-of-process** (``repro serve`` + ``repro call``): the real CLI
    daemon on a real unix socket answers ``ping``, executes a request
    file, reports ``stats``, and exits cleanly on ``shutdown``.
+3. **Fleet** (``LocalFleet`` + ``FleetDispatcher``): two real TCP
+   daemons behind the digest-sharding dispatcher serve an engagement
+   and a sweep digest-identical to direct ``execute()``, a repeat hits
+   a warm cache, and the fleet stats see every daemon healthy.
 
 Exit code 0 on success; any assertion or subprocess failure is fatal.
 """
@@ -169,11 +173,45 @@ def cli_pass() -> None:
     print("cli pass ok: serve/call round-trip, clean drain on shutdown")
 
 
+def fleet_pass() -> None:
+    """Two ``repro serve --tcp`` daemons behind the sharding dispatcher.
+
+    The dispatcher must route by settlement digest, answer both request
+    kinds digest-identical to direct ``execute()``, serve a repeat from
+    whichever daemon owns its shard (``cached``), and report the whole
+    fleet healthy.
+    """
+    from repro.service import LocalFleet
+
+    engagement = EngagementRequest(w=tuple(W), z=Z, num_blocks=60)
+    sweep = sweep_request()
+    with LocalFleet(daemons=2, workers=1) as fleet:
+        dispatcher = fleet.dispatcher()
+        assert dispatcher.request(engagement).digest() \
+            == execute(engagement).digest(), (
+                "fleet-served engagement diverged from the direct call")
+        assert dispatcher.request(sweep).digest() \
+            == execute(sweep).digest(), (
+                "fleet-served sweep diverged from the direct run")
+
+        again = dispatcher.submit(engagement)
+        assert again["ok"] and again["result"].get("cached"), (
+            "repeat was recomputed instead of served from a warm cache")
+
+        stats = dispatcher.stats()
+        assert stats.healthy == 2, "a daemon dropped out mid-smoke"
+        assert dispatcher.counters.requests == 3
+        assert not dispatcher.quarantined
+    print("fleet pass ok: 2 TCP daemons shard by digest, answers match "
+          "direct execution, repeat served cached")
+
+
 def main() -> int:
     in_process_pass()
     committee_pass()
     multi_engagement_pass()
     cli_pass()
+    fleet_pass()
     print("service smoke passed")
     return 0
 

@@ -37,6 +37,7 @@ from repro.api.v1 import (
     BenchResult,
     EngagementRequest,
     EngagementResult,
+    FleetStatsResult,
     MultiEngagementRequest,
     MultiEngagementResult,
     ServiceStats,
@@ -61,6 +62,7 @@ __all__ = [
     "SweepResult",
     "BenchResult",
     "ServiceStats",
+    "FleetStatsResult",
     "settlement_digest",
     "request_from_dict",
     "result_from_dict",

@@ -782,6 +782,46 @@ class ServiceStats(_Payload):
         })
 
 
+@dataclass(frozen=True)
+class FleetStatsResult(_Payload):
+    """Aggregate view of a daemon fleet (answer to ``repro fleet``).
+
+    ``daemons`` lists one entry per endpoint in shard order — the
+    endpoint string, a ``healthy`` flag, and the daemon's own
+    ``stats-result`` payload (``null`` when unreachable).
+    ``dispatcher`` carries the router-side tallies (requests routed,
+    failovers, cache peeks/hits, quarantine churn).
+    """
+
+    TYPE = "fleet-stats-result"
+
+    daemons: tuple = ()
+    dispatcher: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.daemons, (list, tuple)):
+            _fail(f"daemons must be a list; got {self.daemons!r}")
+        for pos, entry in enumerate(self.daemons):
+            if not isinstance(entry, Mapping) or "endpoint" not in entry:
+                _fail(f"daemons[{pos}] must be an object with an "
+                      f"'endpoint'; got {entry!r}")
+        object.__setattr__(self, "daemons",
+                           tuple(dict(d) for d in self.daemons))
+        if not isinstance(self.dispatcher, Mapping):
+            _fail(f"dispatcher must be an object; got {self.dispatcher!r}")
+        object.__setattr__(self, "dispatcher", dict(self.dispatcher))
+
+    @property
+    def healthy(self) -> int:
+        return sum(1 for d in self.daemons if d.get("healthy"))
+
+    def to_dict(self) -> dict:
+        return _tagged(self.TYPE, {
+            "daemons": [dict(d) for d in self.daemons],
+            "dispatcher": dict(self.dispatcher),
+        })
+
+
 # ---------------------------------------------------------------------------
 # dispatchers
 # ---------------------------------------------------------------------------
@@ -799,6 +839,7 @@ RESULT_TYPES: dict[str, type] = {
     SweepResult.TYPE: SweepResult,
     BenchResult.TYPE: BenchResult,
     ServiceStats.TYPE: ServiceStats,
+    FleetStatsResult.TYPE: FleetStatsResult,
 }
 
 

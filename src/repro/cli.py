@@ -9,7 +9,9 @@ without writing Python:
 * ``protocol`` — a full DLS-BL-NCP run, optionally with deviants;
 * ``contend`` — K engagements multiplexed over one bus via the arbiter;
 * ``survey``  — makespan comparison across the three system models;
-* ``serve`` / ``call`` — the engagement service daemon and its client.
+* ``serve`` / ``call`` — the engagement service daemon and its client;
+* ``fleet`` / ``loadgen`` — N digest-sharded daemons behind one
+  dispatcher, and the seeded open-loop generator that benchmarks them.
 
 Examples::
 
@@ -18,7 +20,8 @@ Examples::
     python -m repro mechanism --kind cp --z 0.5 --bids 2 3 5 --exec 2 3 5
     python -m repro protocol --kind ncp-fe --z 0.4 2 3 5 --deviant 1:multiple-bids
     python -m repro survey --z 0.5 2 3 5 4
-    python -m repro serve --socket /tmp/repro.sock --workers 2
+    python -m repro serve --tcp 127.0.0.1:7341 --workers 2
+    python -m repro loadgen --requests 2000 --soak --daemons 4
 
 The CLI is a thin client of the versioned façade: protocol and sweep
 invocations are packaged as :mod:`repro.api` request objects, and the
@@ -301,9 +304,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("serve",
                        help="run the engagement service daemon on a "
-                            "unix socket")
-    p.add_argument("--socket", required=True, metavar="PATH",
+                            "unix socket or TCP port")
+    p.add_argument("--socket", default=None, metavar="PATH",
                    help="unix socket path to listen on")
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                   help="TCP endpoint to listen on (port 0 picks a free "
+                        "port; the bound endpoint is printed)")
     p.add_argument("--workers", type=int, default=1,
                    help="warm worker processes (default 1)")
     p.add_argument("--queue-size", type=int, default=32,
@@ -315,8 +321,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("call",
                        help="send one repro/api/v1 request (or op) to a "
                             "running service")
-    p.add_argument("--socket", required=True, metavar="PATH",
+    p.add_argument("--socket", default=None, metavar="PATH",
                    help="unix socket path of the daemon")
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                   help="TCP endpoint of the daemon")
     p.add_argument("--request", default=None, metavar="FILE",
                    help="JSON request file ('-': stdin)")
     p.add_argument("--op", choices=("ping", "stats", "shutdown"),
@@ -326,6 +334,59 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request deadline in seconds")
     p.add_argument("--timeout", type=float, default=300.0,
                    help="client-side socket timeout (default 300)")
+    p.add_argument("--connect-timeout", type=float, default=10.0,
+                   help="seconds to wait for the daemon to accept the "
+                        "connection (default 10; a dead TCP endpoint "
+                        "fails fast instead of hanging)")
+
+    p = sub.add_parser("fleet",
+                       help="launch N local service daemons behind the "
+                            "digest-sharded dispatcher, or query a "
+                            "running fleet's stats")
+    p.add_argument("--daemons", type=int, default=2,
+                   help="fleet size to launch (default 2)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="warm worker processes per daemon (default 1)")
+    p.add_argument("--queue-size", type=int, default=32,
+                   help="per-daemon request queue depth")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="per-daemon result cache entries")
+    p.add_argument("--unix", action="store_true",
+                   help="use unix sockets in a temp dir instead of "
+                        "loopback TCP")
+    p.add_argument("--stats", default=None, metavar="EP1,EP2,...",
+                   help="instead of launching: print a running fleet's "
+                        "aggregate stats as JSON (exit 1 if any daemon "
+                        "is unhealthy)")
+
+    p = sub.add_parser("loadgen",
+                       help="drive a seeded open-loop request stream and "
+                            "report req/s + latency percentiles")
+    p.add_argument("--requests", type=int, default=200,
+                   help="total requests in the stream (default 200)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="mix/arrival seed (same seed = same stream)")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="mean arrival rate in req/s; 0 = all at once "
+                        "(default 50)")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="client threads draining the schedule")
+    p.add_argument("--soak", action="store_true",
+                   help="fold every response into a byte-reproducible "
+                        "stream digest (sweep-digest machinery)")
+    p.add_argument("--daemons", type=int, default=1,
+                   help="launch a local fleet of N TCP daemons to serve "
+                        "the stream (default 1)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="warm worker processes per daemon")
+    p.add_argument("--endpoints", default=None, metavar="EP1,EP2,...",
+                   help="drive an already-running fleet instead of "
+                        "launching one")
+    p.add_argument("--direct", action="store_true",
+                   help="skip the service entirely: execute in-process "
+                        "(digest baseline for fleet runs)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the report JSON to FILE")
 
     return parser
 
@@ -740,13 +801,25 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _endpoint_args(args) -> str | None:
+    """The one endpoint a serve/call invocation names (or None)."""
+    if args.socket is not None and args.tcp is not None:
+        return None
+    return args.tcp if args.tcp is not None else args.socket
+
+
 def cmd_serve(args) -> int:
     import asyncio
     import signal
 
     from repro.service import ReproService
 
-    service = ReproService(args.socket, workers=max(1, args.workers),
+    endpoint = _endpoint_args(args)
+    if endpoint is None:
+        print("error: give exactly one of --socket PATH or --tcp "
+              "HOST:PORT", file=sys.stderr)
+        return 2
+    service = ReproService(endpoint, workers=max(1, args.workers),
                            queue_size=args.queue_size,
                            cache_size=args.cache_size)
 
@@ -756,7 +829,9 @@ def cmd_serve(args) -> int:
         for sig in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(
                 sig, lambda: asyncio.ensure_future(service.shutdown()))
-        print(f"repro service on {args.socket} "
+        # The *bound* endpoint: with --tcp HOST:0 this is where the
+        # kernel actually put us, and fleet managers parse it back.
+        print(f"repro service on {service.bound} "
               f"(workers={service.pool.workers}, "
               f"queue={service.queue_size}); "
               "SIGINT/SIGTERM drains and exits", flush=True)
@@ -770,8 +845,13 @@ def cmd_call(args) -> int:
     import json
 
     from repro.api import request_from_dict
-    from repro.service.client import send_envelope
+    from repro.service.tcp import send_envelope
 
+    endpoint = _endpoint_args(args)
+    if endpoint is None:
+        print("error: give exactly one of --socket PATH or --tcp "
+              "HOST:PORT", file=sys.stderr)
+        return 2
     if bool(args.request) == bool(args.op):
         print("error: give exactly one of --request FILE or --op NAME",
               file=sys.stderr)
@@ -802,19 +882,99 @@ def cmd_call(args) -> int:
         if args.deadline is not None:
             envelope["deadline"] = args.deadline
     try:
-        response = send_envelope(args.socket, envelope,
-                                 timeout=args.timeout)
+        response = send_envelope(endpoint, envelope, timeout=args.timeout,
+                                 connect_timeout=args.connect_timeout)
     except OSError as exc:
-        # A missing or stale socket is a usage error (wrong --socket, or
+        # An unreachable endpoint is a usage error (wrong address, or
         # the daemon is not running) — exit 2 with a readable message,
-        # never a traceback.
-        print(f"error: cannot reach service at {args.socket!r}: "
+        # never a traceback or an indefinite hang (the connect phase is
+        # bounded by --connect-timeout on both transports).
+        flag = "--tcp" if args.tcp is not None else "--socket"
+        print(f"error: cannot reach service at {endpoint!r}: "
               f"{exc.strerror or exc} (is the daemon running? "
-              f"start one with `repro serve --socket {args.socket}`)",
+              f"start one with `repro serve {flag} {endpoint}`)",
               file=sys.stderr)
         return 2
     print(json.dumps(response, indent=2))
     return 0 if response.get("ok") else 1
+
+
+def cmd_fleet(args) -> int:
+    import json
+    import signal
+    import threading
+
+    from repro.service import FleetDispatcher, LocalFleet
+
+    if args.stats is not None:
+        endpoints = [e for e in args.stats.split(",") if e]
+        dispatcher = FleetDispatcher(endpoints, connect_timeout=5.0)
+        stats = dispatcher.stats()
+        print(json.dumps(stats.to_dict(), indent=2))
+        return 0 if stats.healthy == len(endpoints) else 1
+
+    if args.daemons < 1:
+        print(f"error: --daemons must be >= 1; got {args.daemons}",
+              file=sys.stderr)
+        return 2
+    transport = "unix" if args.unix else "tcp"
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda *_: stop.set())
+    with LocalFleet(args.daemons, workers=max(1, args.workers),
+                    transport=transport, queue_size=args.queue_size,
+                    cache_size=args.cache_size) as fleet:
+        for i, endpoint in enumerate(fleet.endpoints):
+            print(f"repro fleet daemon {i}: {endpoint}", flush=True)
+        print(f"repro fleet of {args.daemons} up "
+              f"(workers={max(1, args.workers)}/daemon, "
+              f"transport={transport}); SIGINT/SIGTERM drains and exits",
+              flush=True)
+        stop.wait()
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    import contextlib
+    import json
+
+    from repro.service import FleetDispatcher, LocalFleet
+    from repro.service.loadgen import LoadgenSpec, run_loadgen
+
+    if args.direct and args.endpoints:
+        print("error: give at most one of --direct and --endpoints",
+              file=sys.stderr)
+        return 2
+    spec = LoadgenSpec(seed=args.seed, requests=args.requests,
+                       rate=args.rate, concurrency=args.concurrency,
+                       soak=args.soak)
+    with contextlib.ExitStack() as stack:
+        if args.direct:
+            from repro.api import execute
+
+            def submit(request):
+                return {"ok": True, "result": execute(request).to_dict()}
+
+            target = "direct (in-process execute)"
+        else:
+            if args.endpoints:
+                endpoints = [e for e in args.endpoints.split(",") if e]
+            else:
+                fleet = stack.enter_context(LocalFleet(
+                    max(1, args.daemons), workers=max(1, args.workers)))
+                endpoints = fleet.endpoints
+            dispatcher = FleetDispatcher(endpoints, connect_timeout=5.0)
+            submit = dispatcher.submit
+            target = f"fleet of {len(endpoints)}: {', '.join(endpoints)}"
+        print(f"loadgen: {spec.requests} requests, seed {spec.seed}, "
+              f"rate {spec.rate} req/s -> {target}", file=sys.stderr,
+              flush=True)
+        report = run_loadgen(submit, spec)
+    print(report.to_json())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json() + "\n")
+    return 0 if report.errors == 0 else 1
 
 
 _COMMANDS = {
@@ -833,6 +993,8 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "serve": cmd_serve,
     "call": cmd_call,
+    "fleet": cmd_fleet,
+    "loadgen": cmd_loadgen,
 }
 
 

@@ -2,7 +2,8 @@
 
 A long-running daemon (``repro serve`` /
 :class:`~repro.service.daemon.ReproService`) that accepts
-``repro/api/v1`` requests as JSON lines over a local unix socket and
+``repro/api/v1`` requests as JSON lines over a local unix socket or a
+TCP port (:mod:`repro.service.tcp` is the one transport seam) and
 executes them on a warm, reusable fork worker pool:
 
 * bounded request queue with explicit backpressure;
@@ -19,22 +20,40 @@ executes them on a warm, reusable fork worker pool:
   isolation (a request that kills its worker fails alone; the pool is
   rebuilt for everyone else).
 
+Scale-out lives one level up: :mod:`repro.service.fleet` shards
+requests over N daemons by canonical digest (partitioned caches,
+cross-daemon cache peeking, quarantine/failover), and
+:mod:`repro.service.loadgen` drives seeded open-loop request streams
+with byte-reproducible soak digests (``repro fleet`` /
+``repro loadgen``).
+
 This package sits *above* the façade: it imports :mod:`repro.api` and
 nothing imports it back (architecture-linted).  Tests use
 :class:`~repro.service.client.ServiceClient`, which embeds a real
-daemon on a private socket.
+daemon on a private endpoint.
 """
 
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.daemon import DEFAULT_QUEUE_SIZE, ReproService
+from repro.service.fleet import FleetDispatcher, LocalFleet, RETRYABLE_CODES
+from repro.service.loadgen import LoadgenReport, LoadgenSpec, run_loadgen
 from repro.service.pool import WarmPool
 from repro.service.stats import ServiceCounters
+from repro.service.tcp import Endpoint, parse_endpoint
 
 __all__ = [
     "DEFAULT_QUEUE_SIZE",
+    "RETRYABLE_CODES",
+    "Endpoint",
+    "FleetDispatcher",
+    "LoadgenReport",
+    "LoadgenSpec",
+    "LocalFleet",
     "ReproService",
     "ServiceClient",
     "ServiceError",
     "ServiceCounters",
     "WarmPool",
+    "parse_endpoint",
+    "run_loadgen",
 ]

@@ -1,52 +1,31 @@
-"""In-process service client: a real daemon on a private socket.
+"""In-process service client: a real daemon on a private endpoint.
 
 :class:`ServiceClient` embeds a :class:`~repro.service.daemon.ReproService`
-— its own event loop thread, its own unix socket in a temp directory,
-its own warm worker pool — and offers plain synchronous calls.  Tests
-and notebooks get the full service stack (queueing, backpressure,
+— its own event loop thread, its own listener (a unix socket in a temp
+directory by default, or a loopback TCP port via ``tcp=``), its own
+warm worker pool — and offers plain synchronous calls.  Tests and
+notebooks get the full service stack (queueing, backpressure,
 deadlines, caching, crash recovery) without managing a process.
 
 Each call opens a fresh connection, so N threads calling concurrently
 exercise N concurrent connections against the daemon — exactly the
-production shape of ``repro serve``.
+production shape of ``repro serve``.  All socket work is delegated to
+:mod:`repro.service.tcp`, the service package's one transport seam.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
-import json
 import os
-import socket
 import tempfile
 import threading
 
 from repro.api import ServiceStats, result_from_dict
 from repro.service.daemon import DEFAULT_QUEUE_SIZE, ReproService
+from repro.service.tcp import send_envelope
 
 __all__ = ["ServiceClient", "ServiceError", "send_envelope"]
-
-
-def send_envelope(socket_path: str, envelope: dict, *,
-                  timeout: float = 300.0) -> dict:
-    """Send one JSON-lines envelope to a daemon; return its response.
-
-    The standalone wire primitive shared by :class:`ServiceClient` and
-    ``repro call`` — one connection, one line out, one line back.
-    """
-    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
-        sock.settimeout(timeout)
-        sock.connect(str(socket_path))
-        sock.sendall(json.dumps(envelope).encode("utf-8") + b"\n")
-        chunks = []
-        while True:
-            chunk = sock.recv(65536)
-            if not chunk:
-                break
-            chunks.append(chunk)
-            if chunk.endswith(b"\n"):
-                break
-    return json.loads(b"".join(chunks))
 
 
 class ServiceError(RuntimeError):
@@ -63,18 +42,25 @@ class ServiceClient:
     def __init__(self, *, workers: int = 1,
                  queue_size: int = DEFAULT_QUEUE_SIZE,
                  cache_size: int = 256, socket_path=None,
-                 warm: bool = True) -> None:
+                 tcp: str | None = None, warm: bool = True) -> None:
+        if socket_path is not None and tcp is not None:
+            raise ValueError("give at most one of socket_path= and tcp=")
         self._tmp = None
-        if socket_path is None:
-            self._tmp = tempfile.TemporaryDirectory(prefix="repro-svc-")
-            socket_path = os.path.join(self._tmp.name, "repro.sock")
-        self.socket_path = str(socket_path)
+        if tcp is not None:
+            endpoint = str(tcp)
+        else:
+            if socket_path is None:
+                self._tmp = tempfile.TemporaryDirectory(prefix="repro-svc-")
+                socket_path = os.path.join(self._tmp.name, "repro.sock")
+            endpoint = str(socket_path)
         # Build the service (and fork its pool) *before* the loop thread
         # exists: forking from a single-threaded process is the safe
         # order, and the workers inherit everything registered so far.
-        self.service = ReproService(self.socket_path, workers=workers,
+        self.service = ReproService(endpoint, workers=workers,
                                     queue_size=queue_size,
                                     cache_size=cache_size, warm=warm)
+        self.socket_path = self.service.socket_path
+        self.endpoint = str(self.service.endpoint)
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(target=self._loop.run_forever,
                                         name="repro-service", daemon=True)
@@ -86,13 +72,15 @@ class ServiceClient:
         except Exception:
             self.close()
             raise
+        # TCP port 0 is only resolved once the listener is bound.
+        self.endpoint = str(self.service.bound)
 
     # -- raw wire access ----------------------------------------------------
 
     def raw_request(self, envelope: dict, *, timeout: float = 300.0) -> dict:
         """Send one envelope (adding ``id``); return the raw response."""
         envelope = {"id": next(self._ids), **envelope}
-        response = send_envelope(self.socket_path, envelope, timeout=timeout)
+        response = send_envelope(self.endpoint, envelope, timeout=timeout)
         if response.get("id") != envelope["id"]:
             raise ServiceError(
                 "protocol", f"response id {response.get('id')!r} does not "

@@ -1,10 +1,16 @@
-"""The engagement service: an asyncio JSON-lines daemon over a unix socket.
+"""The engagement service: an asyncio JSON-lines daemon.
 
 ``repro serve`` runs one :class:`ReproService`; tests embed one through
 :class:`repro.service.client.ServiceClient`.  The daemon accepts
 newline-delimited JSON envelopes, executes v1 requests on a warm fork
 worker pool, and answers with v1 results carrying the same canonical
 digests the serial library paths produce.
+
+The listener is transport-agnostic: the endpoint spec (a unix socket
+path, or ``HOST:PORT`` for TCP) is parsed and bound by
+:mod:`repro.service.tcp` — the one socket seam in the service package —
+so the queueing / deadline / cache / quarantine machinery below is
+byte-identical over both transports.
 
 Wire protocol (one JSON object per line, either direction)::
 
@@ -14,6 +20,8 @@ Wire protocol (one JSON object per line, either direction)::
     ← {"id": 7, "ok": false, "error": {"code": "...", "message": "..."}}
 
     → {"id": 8, "op": "stats" | "ping" | "shutdown"}   # served inline
+    → {"id": 9, "op": "peek", "digest": "..."}  # result-cache lookup,
+                                                # never computes
 
 Error codes:
 
@@ -44,7 +52,6 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
-import os
 import time
 from collections import OrderedDict
 from concurrent.futures.process import BrokenProcessPool
@@ -53,6 +60,7 @@ from typing import Any
 
 from repro.api import ApiError, request_from_dict
 from repro.api.v1 import BenchRequest
+from repro.service import tcp
 from repro.service.pool import WarmPool
 from repro.service.stats import ServiceCounters
 from repro.service.worker import execute_payload
@@ -60,7 +68,7 @@ from repro.service.worker import execute_payload
 __all__ = ["ReproService", "DEFAULT_QUEUE_SIZE"]
 
 DEFAULT_QUEUE_SIZE = 32
-_OPS = ("ping", "stats", "shutdown")
+_OPS = ("ping", "stats", "peek", "shutdown")
 
 
 def _error(code: str, message: str) -> dict:
@@ -76,13 +84,19 @@ class _Job:
 
 
 class ReproService:
-    """One service instance bound to one unix socket path."""
+    """One service instance bound to one endpoint (unix path or TCP)."""
 
-    def __init__(self, socket_path, *, workers: int = 1,
+    def __init__(self, endpoint, *, workers: int = 1,
                  queue_size: int = DEFAULT_QUEUE_SIZE,
                  cache_size: int = 256, max_attempts: int = 2,
                  warm: bool = True) -> None:
-        self.socket_path = str(socket_path)
+        self.endpoint = tcp.parse_endpoint(endpoint)
+        #: Where the listener actually sits — equals ``endpoint`` except
+        #: for TCP port 0, where :meth:`start` fills in the bound port.
+        self.bound: tcp.Endpoint = self.endpoint
+        # Kept for unix-endpoint callers of the PR 5 surface.
+        self.socket_path = (None if self.endpoint.is_tcp
+                            else self.endpoint.address)
         self.queue_size = max(1, int(queue_size))
         self.cache_size = max(0, int(cache_size))
         self.max_attempts = max(1, int(max_attempts))
@@ -103,16 +117,14 @@ class ReproService:
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the socket and start the consumer tasks."""
+        """Bind the listener and start the consumer tasks."""
         self._queue = asyncio.Queue(maxsize=self.queue_size)
         self._closed = asyncio.Event()
         self._consumers = [
             asyncio.ensure_future(self._consume())
             for _ in range(self.pool.workers)]
-        with contextlib.suppress(FileNotFoundError):
-            os.unlink(self.socket_path)
-        self._server = await asyncio.start_unix_server(
-            self._handle_connection, path=self.socket_path)
+        self._server, self.bound = await tcp.start_server(
+            self.endpoint, self._handle_connection)
 
     async def serve_forever(self) -> None:
         """Run until :meth:`shutdown` completes (``repro serve`` body)."""
@@ -136,8 +148,7 @@ class ReproService:
         for task in list(self._connections):
             task.cancel()
         await asyncio.gather(*self._connections, return_exceptions=True)
-        with contextlib.suppress(FileNotFoundError):
-            os.unlink(self.socket_path)
+        tcp.cleanup(self.bound)
         self.pool.shutdown(wait=True)
         self._closed.set()
 
@@ -176,10 +187,10 @@ class ReproService:
         rid = envelope.get("id")
         op = envelope.get("op")
         if op is not None:
-            return {"id": rid, **self._handle_op(op)}
+            return {"id": rid, **self._handle_op(op, envelope)}
         return {"id": rid, **await self._handle_work(envelope)}
 
-    def _handle_op(self, op) -> dict:
+    def _handle_op(self, op, envelope: dict) -> dict:
         if op == "ping":
             return {"ok": True, "result": {"pong": True,
                                            "draining": self._draining}}
@@ -190,11 +201,34 @@ class ReproService:
                 workers=self.pool.workers,
                 pool_rebuilds=self.pool.rebuilds)
             return {"ok": True, "result": stats.to_dict()}
+        if op == "peek":
+            return self._handle_peek(envelope.get("digest"))
         if op == "shutdown":
             asyncio.ensure_future(self.shutdown())
             return {"ok": True, "result": {"draining": True}}
         return _error("invalid-request",
                       f"unknown op {op!r}; valid ops: {list(_OPS)}")
+
+    def _handle_peek(self, digest) -> dict:
+        """Result-cache lookup by request digest; never computes.
+
+        The fleet dispatcher's cross-daemon cache probe: when a shard
+        owner is unreachable, peers are peeked for an already-computed
+        answer before any daemon recomputes it.  A miss is a cheap,
+        honest ``hit: false`` — peeking must never trigger work, or a
+        probe storm could saturate the queue it is trying to spare.
+        """
+        if not isinstance(digest, str) or not digest:
+            return _error("invalid-request",
+                          "peek needs a request 'digest' string")
+        body = self._cache.get(digest)
+        if body is None:
+            return {"ok": True, "result": {"hit": False}}
+        self._cache.move_to_end(digest)
+        self.counters.cache_hits += 1
+        return {"ok": True,
+                "result": {"hit": True,
+                           "result": {**body, "cached": True}}}
 
     async def _handle_work(self, envelope: dict) -> dict:
         deadline = envelope.get("deadline")

@@ -21,6 +21,7 @@ import multiprocessing
 import threading
 from concurrent.futures import Future, ProcessPoolExecutor
 
+from repro.service.tcp import close_inherited_listeners, listener_fds
 from repro.service.worker import worker_ping
 
 __all__ = ["WarmPool"]
@@ -47,8 +48,15 @@ class WarmPool:
             self.warm_up()
 
     def _make(self) -> ProcessPoolExecutor:
+        # Workers must not hold inherited listener fds: a forked child
+        # keeping a listening socket open keeps the port accepting after
+        # the owning daemon is gone — connects then hang unanswered
+        # instead of being refused (which is what fleet failover keys
+        # on).  The snapshot is taken here, executor-construction time.
         return ProcessPoolExecutor(max_workers=self.workers,
-                                   mp_context=_mp_context())
+                                   mp_context=_mp_context(),
+                                   initializer=close_inherited_listeners,
+                                   initargs=(listener_fds(),))
 
     def warm_up(self) -> None:
         """Fork every worker now and wait until each answers a ping."""
@@ -93,7 +101,9 @@ class WarmPool:
         the executor, and a job dying on it cannot break the shared
         workers.
         """
-        return ProcessPoolExecutor(max_workers=1, mp_context=_mp_context())
+        return ProcessPoolExecutor(max_workers=1, mp_context=_mp_context(),
+                                   initializer=close_inherited_listeners,
+                                   initargs=(listener_fds(),))
 
     def shutdown(self, *, wait: bool = True) -> None:
         with self._lock:

@@ -11,11 +11,19 @@ counts and shard orderings.
 Imports of the analysis/protocol layers happen lazily inside each task
 body: the sweep engine sits above those layers (the analysis modules
 import it to offer ``workers=N``), and the laziness keeps module import
-acyclic.
+acyclic.  Callers that run tasks from *threads* must complete those
+imports first via :func:`warm_imports` — two threads cold-importing
+submodules of one package race Python's per-module import locks (the
+package ``__init__`` takes parent-then-child, a direct submodule import
+takes child-then-parent; the interpreter breaks the deadlock by letting
+one thread proceed against a partially initialized module, which
+surfaces as a spurious ``ImportError``).
 """
 
 from __future__ import annotations
 
+import importlib
+import threading
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.sweep.spec import ScenarioSpec
@@ -28,7 +36,44 @@ __all__ = [
     "run_scenario",
     "iter_task_groups",
     "try_run_batch",
+    "warm_imports",
 ]
+
+#: Every module a task body imports lazily, plus the lazy imports of
+#: the layers those tasks reach at run time (the payment path pulls in
+#: ``repro.core.fast_exclusion`` → ``repro.kernels.payments`` on first
+#: use).  Kept in one place so :func:`warm_imports` and the task bodies
+#: cannot drift apart silently — a module listed here but no longer
+#: used costs one import; a lazy import *not* listed here reintroduces
+#: the thread race.
+_LAZY_MODULES = (
+    "repro.agents.behaviors",
+    "repro.analysis.sensitivity",
+    "repro.analysis.strategyproofness",
+    "repro.core.dls_bl_ncp",
+    "repro.core.fast_exclusion",
+    "repro.core.fines",
+    "repro.dlt.platform",
+    "repro.io",
+    "repro.kernels.surface",
+    "repro.network.faults",
+    "repro.protocol.phases",
+)
+
+_WARM_LOCK = threading.Lock()
+
+
+def warm_imports() -> None:
+    """Complete every lazy task-body import, single-threaded.
+
+    Idempotent and cheap once warm.  Call this before invoking
+    ``run_scenario``/``try_run_batch`` (or anything that reaches them,
+    like ``repro.api.execute``) concurrently from threads; see the
+    module docstring for the import-lock inversion this forecloses.
+    """
+    with _WARM_LOCK:
+        for name in _LAZY_MODULES:
+            importlib.import_module(name)
 
 TASKS: dict[str, Callable[[ScenarioSpec], dict]] = {}
 

@@ -11,6 +11,7 @@ from repro.api import (
     BenchResult,
     EngagementRequest,
     EngagementResult,
+    FleetStatsResult,
     MultiEngagementRequest,
     ServiceStats,
     SweepRequest,
@@ -218,6 +219,26 @@ class TestResults:
     def test_bench_result_round_trip(self):
         res = BenchResult(timings={"kernel_a": 0.25}, quick=True)
         assert result_from_dict(res.to_dict()) == res
+
+    def test_fleet_stats_result_round_trip(self):
+        res = FleetStatsResult(
+            daemons=({"endpoint": "127.0.0.1:7341", "healthy": True,
+                      "stats": {"requests": 3}},
+                     {"endpoint": "127.0.0.1:7342", "healthy": False,
+                      "stats": None}),
+            dispatcher={"requests": 3, "failovers": 1})
+        again = result_from_dict(json.loads(json.dumps(res.to_dict())))
+        assert isinstance(again, FleetStatsResult)
+        assert again == res
+        assert again.healthy == 1
+
+    def test_fleet_stats_result_rejects_malformed_daemons(self):
+        with pytest.raises(ApiError, match="endpoint"):
+            FleetStatsResult(daemons=({"healthy": True},))
+        with pytest.raises(ApiError, match="daemons"):
+            FleetStatsResult(daemons=7)
+        with pytest.raises(ApiError, match="dispatcher"):
+            FleetStatsResult(dispatcher=[1, 2])
 
 
 class TestExecuteDigestIdentity:

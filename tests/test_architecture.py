@@ -209,6 +209,44 @@ def test_lower_layers_do_not_import_the_arbiter():
         + "\n  ".join(bad))
 
 
+def test_fleet_and_loadgen_stay_above_the_engine():
+    # The fleet dispatcher is pure orchestration: digests, envelopes
+    # and endpoints.  It may drive daemons (repro.service.daemon /
+    # client / tcp) and speak the wire contract (repro.api), but it
+    # must never compute — reaching protocol, kernels or the engine
+    # layers directly would let a dispatcher answer produce a digest
+    # the daemons it shards over could not.  The load generator is in
+    # the same position: it *emits* requests (api types, sweep specs)
+    # and digests responses; it never evaluates mechanisms itself.
+    bad = _violations(
+        ("repro.service.fleet", "repro.service.loadgen"),
+        ("repro.protocol", "repro.kernels", "repro.network",
+         "repro.agents", "repro.core", "repro.dlt"))
+    assert not bad, (
+        "fleet/loadgen must orchestrate, never compute:\n  "
+        + "\n  ".join(bad))
+
+
+def test_tcp_is_the_only_socket_seam_in_the_service():
+    # Every socket the service stack opens lives in repro.service.tcp:
+    # transports multiply (unix, tcp, someday TLS) but the daemon,
+    # client, fleet and pool handle Endpoint values and envelopes only.
+    # An `import socket` anywhere else in the package is a new seam the
+    # fleet's failover semantics (connect refused vs hang) don't cover.
+    bad = []
+    for path in sorted((SRC / "service").rglob("*.py")):
+        mod = _module_name(path)
+        if mod == "repro.service.tcp":
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for imported in _imports(tree):
+            if imported == "socket" or imported.startswith("socket."):
+                bad.append(f"{mod} imports {imported}")
+    assert not bad, (
+        "repro.service.tcp is the only module in the service package "
+        "that may touch the socket layer:\n  " + "\n  ".join(bad))
+
+
 def test_facade_allowlist_is_not_stale():
     # If the facade stops importing the protocol stack, shrink ALLOWED.
     for mod in ALLOWED:

@@ -187,3 +187,53 @@ class TestCallUnreachableSocket:
         rc = main(["call", "--socket", str(sock), "--op", "ping"])
         assert rc == 2
         assert "cannot reach service" in capsys.readouterr().err
+
+    def test_refused_tcp_port_exits_2_with_tcp_hint(self, capsys):
+        import socket as socketlib
+
+        # Reserve a port the kernel just released: connecting to it is
+        # refused immediately, no timeout involved.
+        probe = socketlib.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        rc = main(["call", "--tcp", f"127.0.0.1:{port}", "--op", "ping"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith(
+            f"error: cannot reach service at '127.0.0.1:{port}'")
+        assert f"repro serve --tcp 127.0.0.1:{port}" in err
+
+    def test_tcp_connect_timeout_bounds_the_wait(self, capsys):
+        import socket as socketlib
+        import time
+
+        # A listener that never accepts, with its backlog already full:
+        # the connect phase must give up after --connect-timeout, not
+        # sit out the 300 s I/O budget.
+        srv = socketlib.socket()
+        try:
+            srv.bind(("127.0.0.1", 0))
+            srv.listen(0)
+            port = srv.getsockname()[1]
+            fillers = []
+            for _ in range(8):  # saturate the accept queue
+                filler = socketlib.socket()
+                filler.settimeout(0.2)
+                try:
+                    filler.connect(("127.0.0.1", port))
+                except OSError:
+                    filler.close()
+                    break
+                fillers.append(filler)
+            start = time.monotonic()
+            rc = main(["call", "--tcp", f"127.0.0.1:{port}",
+                       "--op", "ping", "--connect-timeout", "0.5"])
+            elapsed = time.monotonic() - start
+        finally:
+            for filler in fillers:
+                filler.close()
+            srv.close()
+        assert rc == 2
+        assert elapsed < 10.0
+        assert "cannot reach service" in capsys.readouterr().err

@@ -7,10 +7,13 @@ Passes, all fast enough for the PR lane:
    the warm pool must be digest-identical to direct ``execute()`` calls;
    a repeated request must come back ``cached`` with the same digest;
    ``stats`` must account for everything.
-2. **Out-of-process** (``repro serve`` + ``repro call``): the real CLI
+2. **Market** (ServiceClient): a seeded 30-round market run served off
+   the pool must reproduce the direct run's stream digest and replay
+   repeats from the result cache.
+3. **Out-of-process** (``repro serve`` + ``repro call``): the real CLI
    daemon on a real unix socket answers ``ping``, executes a request
    file, reports ``stats``, and exits cleanly on ``shutdown``.
-3. **Fleet** (``LocalFleet`` + ``FleetDispatcher``): two real TCP
+4. **Fleet** (``LocalFleet`` + ``FleetDispatcher``): two real TCP
    daemons behind the digest-sharding dispatcher serve an engagement
    and a sweep digest-identical to direct ``execute()``, a repeat hits
    a warm cache, and the fleet stats see every daemon healthy.
@@ -127,6 +130,36 @@ def multi_engagement_pass() -> None:
           f"reference (order {' -> '.join(served.order)})")
 
 
+def market_pass() -> None:
+    """A seeded market run served off the warm pool.
+
+    The MarketResult's identity is its round-stream digest, so the
+    smoke reduces to one equality: the served run must reproduce the
+    direct ``execute()`` digest exactly, the ledger must conserve every
+    round, and a repeat must replay from the result cache (a market run
+    is the most expensive cacheable kind the daemon serves).
+    """
+    from repro.api import MarketRequest
+
+    request = MarketRequest(rounds=30, seed=5, processors=6, cohort=3,
+                            num_blocks=12, arrival_rate=2.0,
+                            contention_window=0.3,
+                            deviants=((0, "multiple-bids"),),
+                            join_rate=0.1, leave_rate=0.05, window=10)
+    direct = execute(request)
+    with ServiceClient(workers=1) as client:
+        served = client.request(request)
+        assert served.digest() == direct.digest(), (
+            "served market stream diverged from the direct run")
+        assert served.summary["max_ledger_error"] < 1e-6, (
+            "market ledger not conserved")
+        again = client.request(request)
+        assert again.cached and again.digest() == direct.digest()
+    print("market pass ok: "
+          f"{direct.rounds} rounds stream-digest identical across "
+          "direct/served, repeat cached")
+
+
 def cli_pass() -> None:
     env = dict(os.environ)
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
@@ -210,6 +243,7 @@ def main() -> int:
     in_process_pass()
     committee_pass()
     multi_engagement_pass()
+    market_pass()
     cli_pass()
     fleet_pass()
     print("service smoke passed")

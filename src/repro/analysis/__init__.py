@@ -16,6 +16,9 @@
 * :mod:`repro.analysis.committee` — referee-committee experiments:
   quorum traffic overhead per committee size (vs the Theorem 5.4
   fits) and Byzantine-member resilience against single-referee twins.
+* :mod:`repro.analysis.timeseries` — long-horizon market series:
+  welfare drift, fine-frequency decay, deviant-extinction curves and
+  reputation trajectories over :mod:`repro.market` runs.
 * :mod:`repro.analysis.reporting` — fixed-width table rendering shared
   by the benchmark harness and the examples.
 """
@@ -39,6 +42,14 @@ from repro.analysis.sensitivity import (
     worst_case_condition,
 )
 from repro.analysis.resilience import ResilienceSample, crash_sweep, drop_sweep
+from repro.analysis.timeseries import (
+    extinction_curve,
+    fine_frequency,
+    linear_trend,
+    market_table,
+    reputation_trajectories,
+    welfare_drift,
+)
 from repro.analysis.committee import (
     CommitteeOverheadSample,
     CommitteeResilienceSample,
@@ -80,4 +91,10 @@ __all__ = [
     "committee_overhead",
     "committee_resilience_sweep",
     "overhead_slopes",
+    "linear_trend",
+    "welfare_drift",
+    "fine_frequency",
+    "extinction_curve",
+    "reputation_trajectories",
+    "market_table",
 ]

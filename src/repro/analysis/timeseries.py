@@ -1,0 +1,139 @@
+"""Timeseries analysis of long-horizon market runs.
+
+:mod:`repro.market` emits windowed series (per-window welfare means,
+fine counts, reputation means, alive-deviant counts); this module turns
+them into the E34 statements: does welfare *drift* as the population
+churns, how fast does the fine frequency decay, and do the S9 deviants
+actually go *extinct* under reputation pressure while honest agents
+keep their standing?
+
+Everything operates on the plain ``series`` dict a
+:class:`repro.api.MarketResult` carries (window index is the implicit
+x-axis), so it works identically on a live result, a JSON artifact from
+the CI soak, or a hand-built fixture.  Pure arithmetic — no market,
+protocol, or engine imports.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = [
+    "linear_trend",
+    "welfare_drift",
+    "fine_frequency",
+    "extinction_curve",
+    "reputation_trajectories",
+    "market_table",
+]
+
+
+def linear_trend(values: Sequence[float]) -> float:
+    """Least-squares slope of *values* against their index.
+
+    The drift statistic: per-window change of a series.  Zero for
+    constant or empty/singleton series.
+    """
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean_x = (n - 1) / 2.0
+    mean_y = sum(values) / n
+    sxx = sum((i - mean_x) ** 2 for i in range(n))
+    sxy = sum((i - mean_x) * (y - mean_y)
+              for i, y in enumerate(values))
+    return sxy / sxx
+
+
+def welfare_drift(series: Mapping[str, Sequence[float]]) -> dict:
+    """Welfare level and drift across the run's windows."""
+    welfare = list(series.get("welfare", ()))
+    half = len(welfare) // 2
+    return {
+        "mean": sum(welfare) / len(welfare) if welfare else 0.0,
+        "slope": linear_trend(welfare),
+        "early_mean": (sum(welfare[:half]) / half) if half else 0.0,
+        "late_mean": (sum(welfare[half:]) / (len(welfare) - half)
+                      if len(welfare) - half else 0.0),
+    }
+
+
+def fine_frequency(series: Mapping[str, Sequence[float]]) -> dict:
+    """Fines per window, early vs late — reputation pressure working.
+
+    With deviants being excluded from admission, the late-half fine
+    count should fall below the early half; ``slope`` quantifies the
+    decay per window.
+    """
+    fines = list(series.get("fines", ()))
+    half = len(fines) // 2
+    return {
+        "total": sum(fines),
+        "per_window": sum(fines) / len(fines) if fines else 0.0,
+        "slope": linear_trend(fines),
+        "early": sum(fines[:half]),
+        "late": sum(fines[half:]),
+    }
+
+
+def extinction_curve(series: Mapping[str, Sequence[float]]) -> dict:
+    """Alive-deviant counts per window and the extinction moment.
+
+    ``extinct_window`` is the first window index from which no deviant
+    ever again clears the admission floor (None if they never die out
+    — e.g. an honest-only run, or a floor of zero).
+    """
+    alive = [int(x) for x in series.get("deviants_alive", ())]
+    extinct_window = None
+    for i in range(len(alive) - 1, -1, -1):
+        if alive[i] > 0:
+            break
+        extinct_window = i
+    if alive and all(x > 0 for x in alive):
+        extinct_window = None
+    return {
+        "alive": alive,
+        "extinct": bool(alive) and alive[-1] == 0,
+        "extinct_window": extinct_window,
+    }
+
+
+def reputation_trajectories(series: Mapping[str, Sequence[float]]) -> dict:
+    """Deviant vs honest mean-reputation paths and their separation.
+
+    ``separation`` is the final honest-minus-deviant gap — the S9
+    statement in one number: positive and large when the referee's
+    verdicts actually discriminate.
+    """
+    deviant = list(series.get("deviant_reputation", ()))
+    honest = list(series.get("honest_reputation", ()))
+    return {
+        "deviant": deviant,
+        "honest": honest,
+        "separation": ((honest[-1] - deviant[-1])
+                       if honest and deviant else 0.0),
+    }
+
+
+def market_table(result) -> tuple[list[str], list[list]]:
+    """Headers + rows summarizing a market run, window by window.
+
+    *result* is anything with ``series`` — a
+    :class:`repro.api.MarketResult` or a parsed soak artifact dict.
+    """
+    series = result.series if hasattr(result, "series") \
+        else result.get("series", {})
+    names = ("welfare", "fines", "population", "deviants_alive",
+             "deviant_reputation", "honest_reputation")
+    headers = ["window"] + [n for n in names if series.get(n)]
+    length = max((len(series.get(n, ())) for n in names), default=0)
+    rows = []
+    for i in range(length):
+        row: list = [i]
+        for n in names:
+            values = series.get(n, ())
+            if not values:
+                continue
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return headers, rows

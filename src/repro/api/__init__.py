@@ -26,9 +26,15 @@ from repro.api.execute import (
     result_from_outcome,
     run_bench_request,
     run_engagement,
+    run_market,
     run_multi_engagement,
     run_sweep,
     serial_reference,
+)
+from repro.api.registry import (
+    register_request,
+    register_result,
+    request_entry,
 )
 from repro.api.v1 import (
     SCHEMA,
@@ -38,11 +44,15 @@ from repro.api.v1 import (
     EngagementRequest,
     EngagementResult,
     FleetStatsResult,
+    MarketRequest,
+    MarketResult,
     MultiEngagementRequest,
     MultiEngagementResult,
     ServiceStats,
     SweepRequest,
     SweepResult,
+    parse_request,
+    parse_result,
     request_from_dict,
     result_from_dict,
     settlement_digest,
@@ -57,15 +67,22 @@ __all__ = [
     "MultiEngagementRequest",
     "SweepRequest",
     "BenchRequest",
+    "MarketRequest",
     "EngagementResult",
     "MultiEngagementResult",
     "SweepResult",
     "BenchResult",
+    "MarketResult",
     "ServiceStats",
     "FleetStatsResult",
     "settlement_digest",
+    "parse_request",
+    "parse_result",
     "request_from_dict",
     "result_from_dict",
+    "register_request",
+    "register_result",
+    "request_entry",
     "build_mechanism",
     "result_from_outcome",
     "run_engagement",
@@ -73,6 +90,7 @@ __all__ = [
     "serial_reference",
     "run_sweep",
     "run_bench_request",
+    "run_market",
     "execute",
     "EngineConfig",
     "RunOptions",

@@ -21,6 +21,13 @@ from repro.analysis.contention import (
 )
 from repro.analysis.reporting import format_table
 from repro.analysis.resilience import crash_sweep, drop_sweep
+from repro.analysis.timeseries import (
+    extinction_curve,
+    fine_frequency,
+    market_table,
+    reputation_trajectories,
+    welfare_drift,
+)
 from repro.analysis.welfare import kind_comparison
 
 __all__ = [
@@ -34,4 +41,9 @@ __all__ = [
     "best_cross_response",
     "cross_engagement_curve",
     "policy_flow_table",
+    "welfare_drift",
+    "fine_frequency",
+    "extinction_curve",
+    "reputation_trajectories",
+    "market_table",
 ]

@@ -16,12 +16,14 @@ traffic counters only, never settlements, which is why
 
 from __future__ import annotations
 
+from repro.api import registry as _registry
 from repro.api.v1 import (
-    ApiError,
     BenchRequest,
     BenchResult,
     EngagementRequest,
     EngagementResult,
+    MarketRequest,
+    MarketResult,
     MultiEngagementRequest,
     MultiEngagementResult,
     SweepRequest,
@@ -36,6 +38,7 @@ __all__ = [
     "serial_reference",
     "run_sweep",
     "run_bench_request",
+    "run_market",
     "execute",
 ]
 
@@ -116,8 +119,13 @@ def serial_reference(request: MultiEngagementRequest, *, memo=None,
         canonical_json(digests).encode("ascii")).hexdigest()
 
 
-def run_sweep(request: SweepRequest) -> SweepResult:
-    """Run a sweep plan through the sharded engine."""
+def run_sweep(request: SweepRequest, *, memo=None,
+              signature_cache=None) -> SweepResult:
+    """Run a sweep plan through the sharded engine.
+
+    ``memo``/``signature_cache`` are accepted for executor-signature
+    uniformity; sweep scenarios manage their own caches per shard.
+    """
     from repro.sweep import RunOptions, run_plan
 
     run = run_plan(request.build_plan(),
@@ -125,7 +133,8 @@ def run_sweep(request: SweepRequest) -> SweepResult:
     return SweepResult.from_run(run)
 
 
-def run_bench_request(request: BenchRequest) -> BenchResult:
+def run_bench_request(request: BenchRequest, *, memo=None,
+                      signature_cache=None) -> BenchResult:
     """Time the perf kernels once (no gate, no report file)."""
     from repro.perf.bench import run_bench
     from repro.sweep import RunOptions
@@ -135,19 +144,30 @@ def run_bench_request(request: BenchRequest) -> BenchResult:
     return BenchResult(timings=timings, quick=request.quick)
 
 
+def run_market(request: MarketRequest, *, memo=None,
+               signature_cache=None) -> MarketResult:
+    """Run a long-horizon market simulation round by round."""
+    from repro.market import run_market as _run
+
+    return _run(request, memo=memo, signature_cache=signature_cache)
+
+
 def execute(request, *, memo=None, signature_cache=None):
-    """Dispatch any v1 request to its executor; returns a v1 result."""
-    if isinstance(request, EngagementRequest):
-        return run_engagement(request, memo=memo,
-                              signature_cache=signature_cache)
-    if isinstance(request, MultiEngagementRequest):
-        return run_multi_engagement(request, memo=memo,
-                                    signature_cache=signature_cache)
-    if isinstance(request, SweepRequest):
-        return run_sweep(request)
-    if isinstance(request, BenchRequest):
-        return run_bench_request(request)
-    raise ApiError(
-        f"cannot execute a {type(request).__name__}; expected one of "
-        "EngagementRequest, MultiEngagementRequest, SweepRequest, "
-        "BenchRequest")
+    """Dispatch any v1 request to its executor; returns a v1 result.
+
+    Dispatch is registry-driven: :func:`repro.api.registry.executor_for`
+    looks the executor up by the request's ``TYPE`` discriminator, so a
+    newly registered request kind is executable here — and through the
+    daemon and CLI, which call this same function — with no edits.
+    """
+    executor = _registry.executor_for(request)
+    return executor(request, memo=memo, signature_cache=signature_cache)
+
+
+# Attach executors to the kinds repro.api.v1 registered at its import —
+# the second phase of the registry's two-phase registration.
+_registry.register_request(EngagementRequest, run_engagement)
+_registry.register_request(MultiEngagementRequest, run_multi_engagement)
+_registry.register_request(SweepRequest, run_sweep)
+_registry.register_request(BenchRequest, run_bench_request)
+_registry.register_request(MarketRequest, run_market)

@@ -30,6 +30,7 @@ import hashlib
 from dataclasses import dataclass, field, fields
 from typing import Any, Mapping
 
+from repro.api import registry as _registry
 from repro.sweep.spec import PLAN_FORMAT, SweepPlan, canonical_json
 
 __all__ = [
@@ -39,12 +40,16 @@ __all__ = [
     "MultiEngagementRequest",
     "SweepRequest",
     "BenchRequest",
+    "MarketRequest",
     "EngagementResult",
     "MultiEngagementResult",
     "SweepResult",
     "BenchResult",
+    "MarketResult",
     "ServiceStats",
     "settlement_digest",
+    "parse_request",
+    "parse_result",
     "request_from_dict",
     "result_from_dict",
 ]
@@ -524,6 +529,143 @@ class MultiEngagementRequest(_Payload):
         })
 
 
+@dataclass(frozen=True)
+class MarketRequest(_Payload):
+    """A seeded long-horizon market simulation, as plain data.
+
+    Describes everything the :mod:`repro.market` simulator needs: the
+    engagement template (``z``, ``kind``, ``num_blocks``,
+    ``fine_factor``), the processor population (``processors`` members
+    with per-unit times drawn uniformly from ``[w_low, w_high]``; a
+    round hires a ``cohort``-sized subset), the open-loop arrival
+    process (``arrival_rate`` engagements per unit time — arrivals
+    closer together than ``contention_window`` contend for the bus in
+    one multi-engagement round of at most ``max_contention``, granted
+    under ``policy``), the churn process (``join_rate``/``leave_rate``
+    per round; a leave that lands on a hired processor mid-round
+    becomes a Processing-phase crash fault and takes the survivor
+    re-allocation path), the resident deviants (``deviants``:
+    ``[index, deviation-name]`` pairs over the *founding* population,
+    exactly as in :class:`EngagementRequest`), and the reputation
+    model (``reputation_decay``, ``admission_floor`` — see DESIGN.md
+    §4.14).  ``window`` sets the bucket width of the windowed
+    timeseries in the result.
+    """
+
+    TYPE = "market"
+
+    rounds: int = 100
+    seed: int = 0
+    z: float = 0.4
+    kind: str = "ncp-fe"
+    num_blocks: int = 16
+    fine_factor: float = 2.0
+    processors: int = 6
+    cohort: int = 3
+    w_low: float = 1.5
+    w_high: float = 6.0
+    arrival_rate: float = 2.0
+    contention_window: float = 0.0
+    max_contention: int = 3
+    policy: str = "fifo"
+    join_rate: float = 0.0
+    leave_rate: float = 0.0
+    deviants: tuple[tuple[int, str], ...] = ()
+    reputation_decay: float = 0.8
+    admission_floor: float = 0.2
+    window: int = 25
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rounds",
+                           _check_int("rounds", self.rounds, minimum=1))
+        object.__setattr__(self, "seed", _check_int("seed", self.seed))
+        object.__setattr__(self, "z", _check_number(
+            "z", self.z, minimum=0.0, exclusive_min=True))
+        _check_choice("kind", self.kind, _ENGAGEMENT_KINDS)
+        object.__setattr__(self, "num_blocks", _check_int(
+            "num_blocks", self.num_blocks, minimum=1))
+        object.__setattr__(self, "fine_factor", _check_number(
+            "fine_factor", self.fine_factor, minimum=0.0,
+            exclusive_min=True))
+        object.__setattr__(self, "processors", _check_int(
+            "processors", self.processors, minimum=2))
+        object.__setattr__(self, "cohort",
+                           _check_int("cohort", self.cohort, minimum=2))
+        if self.cohort > self.processors:
+            _fail(f"cohort must be <= processors; got cohort={self.cohort} "
+                  f"with processors={self.processors}")
+        object.__setattr__(self, "w_low", _check_number(
+            "w_low", self.w_low, minimum=0.0, exclusive_min=True))
+        object.__setattr__(self, "w_high", _check_number(
+            "w_high", self.w_high, minimum=self.w_low))
+        object.__setattr__(self, "arrival_rate", _check_number(
+            "arrival_rate", self.arrival_rate, minimum=0.0,
+            exclusive_min=True))
+        object.__setattr__(self, "contention_window", _check_number(
+            "contention_window", self.contention_window, minimum=0.0))
+        object.__setattr__(self, "max_contention", _check_int(
+            "max_contention", self.max_contention, minimum=1))
+        _check_choice("policy", self.policy, _ARBITER_POLICIES)
+        object.__setattr__(self, "join_rate", _check_number(
+            "join_rate", self.join_rate, minimum=0.0, maximum=1.0))
+        object.__setattr__(self, "leave_rate", _check_number(
+            "leave_rate", self.leave_rate, minimum=0.0, maximum=1.0))
+
+        from repro.agents.behaviors import Deviation
+
+        valid_devs = sorted(d.value for d in Deviation)
+        deviants = []
+        for entry in self.deviants:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                _fail(f"each deviants entry must be [index, name]; "
+                      f"got {entry!r}")
+            idx = _check_int("deviants index", entry[0], minimum=0)
+            if idx >= self.processors:
+                _fail(f"deviants index {idx} out of range for "
+                      f"{self.processors} processors")
+            if entry[1] not in valid_devs:
+                _fail(f"unknown deviation {entry[1]!r}; "
+                      f"choose from {valid_devs}")
+            deviants.append((idx, str(entry[1])))
+        object.__setattr__(self, "deviants", tuple(deviants))
+        if len({i for i, _ in deviants}) >= self.processors:
+            _fail("deviants cannot cover the whole founding population; "
+                  "leave at least one honest processor")
+
+        object.__setattr__(self, "reputation_decay", _check_number(
+            "reputation_decay", self.reputation_decay,
+            minimum=0.0, maximum=1.0))
+        object.__setattr__(self, "admission_floor", _check_number(
+            "admission_floor", self.admission_floor,
+            minimum=0.0, maximum=1.0, exclusive_max=True))
+        object.__setattr__(self, "window",
+                           _check_int("window", self.window, minimum=1))
+
+    def to_dict(self) -> dict:
+        return _tagged(self.TYPE, {
+            "rounds": self.rounds,
+            "seed": self.seed,
+            "z": self.z,
+            "kind": self.kind,
+            "num_blocks": self.num_blocks,
+            "fine_factor": self.fine_factor,
+            "processors": self.processors,
+            "cohort": self.cohort,
+            "w_low": self.w_low,
+            "w_high": self.w_high,
+            "arrival_rate": self.arrival_rate,
+            "contention_window": self.contention_window,
+            "max_contention": self.max_contention,
+            "policy": self.policy,
+            "join_rate": self.join_rate,
+            "leave_rate": self.leave_rate,
+            "deviants": [list(d) for d in self.deviants],
+            "reputation_decay": self.reputation_decay,
+            "admission_floor": self.admission_floor,
+            "window": self.window,
+        })
+
+
 # ---------------------------------------------------------------------------
 # results
 # ---------------------------------------------------------------------------
@@ -741,6 +883,72 @@ class MultiEngagementResult(_Payload):
 
 
 @dataclass(frozen=True)
+class MarketResult(_Payload):
+    """Answer to a :class:`MarketRequest`.
+
+    ``digest_value`` is the market's *stream digest*: the per-round
+    records, folded through :class:`repro.sweep.spec.StreamDigest` in
+    round order.  It is the result's identity — the same seeded run on
+    any topology (direct call, daemon, fleet shard) must reproduce it
+    bit-for-bit, which is what the market soak tier asserts.  The round
+    records themselves are **not** carried on the wire (a million-round
+    soak would not fit); the result keeps the digest plus the windowed
+    ``series``, the final ``reputations``, and scalar ``summary``
+    tallies — everything :mod:`repro.analysis.timeseries` consumes.
+    ``cached`` is telemetry and excluded from the identity.
+    """
+
+    TYPE = "market-result"
+
+    rounds: int = 0
+    digest_value: str = ""
+    summary: dict = field(default_factory=dict)
+    series: dict = field(default_factory=dict)
+    reputations: dict = field(default_factory=dict)
+    cached: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rounds",
+                           _check_int("rounds", self.rounds, minimum=0))
+        if not isinstance(self.digest_value, str) or not self.digest_value:
+            _fail("digest_value must be the run's stream digest "
+                  f"(a hex string); got {self.digest_value!r}")
+        if not isinstance(self.summary, Mapping):
+            _fail(f"summary must be an object; got {self.summary!r}")
+        object.__setattr__(self, "summary", dict(self.summary))
+        if not isinstance(self.series, Mapping):
+            _fail(f"series must map series names to value lists; "
+                  f"got {self.series!r}")
+        series = {}
+        for name, values in self.series.items():
+            if not isinstance(values, (list, tuple)):
+                _fail(f"series[{name!r}] must be a list; got {values!r}")
+            series[str(name)] = list(values)
+        object.__setattr__(self, "series", series)
+        if not isinstance(self.reputations, Mapping):
+            _fail(f"reputations must map processor ids to scores; "
+                  f"got {self.reputations!r}")
+        object.__setattr__(
+            self, "reputations",
+            {str(k): _check_number(f"reputations[{k!r}]", v, minimum=0.0,
+                                   maximum=1.0)
+             for k, v in dict(self.reputations).items()})
+
+    def digest(self) -> str:  # the round-stream digest IS the identity
+        return self.digest_value
+
+    def to_dict(self) -> dict:
+        return _tagged(self.TYPE, {
+            "rounds": self.rounds,
+            "digest_value": self.digest_value,
+            "summary": dict(self.summary),
+            "series": {k: list(v) for k, v in self.series.items()},
+            "reputations": dict(self.reputations),
+            "cached": self.cached,
+        })
+
+
+@dataclass(frozen=True)
 class ServiceStats(_Payload):
     """Service-level counters (answer to a ``stats`` request)."""
 
@@ -825,43 +1033,37 @@ class FleetStatsResult(_Payload):
 # ---------------------------------------------------------------------------
 # dispatchers
 # ---------------------------------------------------------------------------
+#
+# Parsing dispatch lives in :mod:`repro.api.registry`; importing this
+# module registers every v1 value type.  Executors are attached by
+# :mod:`repro.api.execute` when it is imported — two-phase by design,
+# so parsing a payload never drags the engine layers in.
 
-REQUEST_TYPES: dict[str, type] = {
-    EngagementRequest.TYPE: EngagementRequest,
-    MultiEngagementRequest.TYPE: MultiEngagementRequest,
-    SweepRequest.TYPE: SweepRequest,
-    BenchRequest.TYPE: BenchRequest,
-}
+for _request_cls in (EngagementRequest, MultiEngagementRequest,
+                     SweepRequest, MarketRequest):
+    _registry.register_request(_request_cls)
+# A bench answer is a wall-clock measurement, not a value: replaying it
+# from the digest-keyed result cache would defeat its purpose.
+_registry.register_request(BenchRequest, cacheable=False)
 
-RESULT_TYPES: dict[str, type] = {
-    EngagementResult.TYPE: EngagementResult,
-    MultiEngagementResult.TYPE: MultiEngagementResult,
-    SweepResult.TYPE: SweepResult,
-    BenchResult.TYPE: BenchResult,
-    ServiceStats.TYPE: ServiceStats,
-    FleetStatsResult.TYPE: FleetStatsResult,
-}
+for _result_cls in (EngagementResult, MultiEngagementResult, SweepResult,
+                    BenchResult, MarketResult, ServiceStats,
+                    FleetStatsResult):
+    _registry.register_result(_result_cls)
+
+#: Live views of the registry — late registrations show up here too.
+REQUEST_TYPES: dict[str, type] = _registry.REQUEST_CLASSES
+RESULT_TYPES: dict[str, type] = _registry.RESULT_CLASSES
+
+parse_request = _registry.parse_request
+parse_result = _registry.parse_result
 
 
 def request_from_dict(data: Mapping[str, Any]):
     """Parse any v1 request payload (dispatch on its ``type`` tag)."""
-    if not isinstance(data, Mapping):
-        _fail(f"a request must be a JSON object; got {type(data).__name__}")
-    kind = data.get("type")
-    cls = REQUEST_TYPES.get(kind)
-    if cls is None:
-        _fail(f"unknown request type {kind!r}; "
-              f"valid types: {sorted(REQUEST_TYPES)}")
-    return cls.from_dict(data)
+    return _registry.parse_request(data)
 
 
 def result_from_dict(data: Mapping[str, Any]):
     """Parse any v1 result payload (dispatch on its ``type`` tag)."""
-    if not isinstance(data, Mapping):
-        _fail(f"a result must be a JSON object; got {type(data).__name__}")
-    kind = data.get("type")
-    cls = RESULT_TYPES.get(kind)
-    if cls is None:
-        _fail(f"unknown result type {kind!r}; "
-              f"valid types: {sorted(RESULT_TYPES)}")
-    return cls.from_dict(data)
+    return _registry.parse_result(data)

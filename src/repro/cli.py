@@ -388,6 +388,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default=None, metavar="FILE",
                    help="also write the report JSON to FILE")
 
+    p = sub.add_parser("market",
+                       help="long-horizon dynamic market: repeated "
+                            "engagements under churn and reputation")
+    p.add_argument("--rounds", type=int, default=200,
+                   help="market rounds to simulate (default 200)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="run seed (same seed = same stream digest)")
+    p.add_argument("--z", type=float, default=0.4,
+                   help="per-unit bus communication time (default 0.4)")
+    p.add_argument("--kind", choices=("ncp-fe", "ncp-nfe"),
+                   default="ncp-fe",
+                   help="engagement system model (default ncp-fe)")
+    p.add_argument("--num-blocks", type=int, default=16,
+                   help="load blocks per engagement (default 16)")
+    p.add_argument("--processors", type=int, default=6,
+                   help="founding population size (default 6)")
+    p.add_argument("--cohort", type=int, default=3,
+                   help="processors hired per engagement (default 3)")
+    p.add_argument("--deviant", type=_deviation, action="append",
+                   default=[], metavar="INDEX:NAME",
+                   help="make founding processor INDEX a resident "
+                        "deviant (repeatable), e.g. 0:multiple-bids")
+    p.add_argument("--arrival-rate", type=float, default=2.0,
+                   help="engagement arrivals per unit time (default 2)")
+    p.add_argument("--contention-window", type=float, default=0.0,
+                   help="arrivals closer than this contend for the bus "
+                        "in one round (default 0: every round solo)")
+    p.add_argument("--max-contention", type=int, default=3,
+                   help="max engagements sharing one contended round")
+    p.add_argument("--policy", choices=("fifo", "sjf", "rr"),
+                   default="fifo",
+                   help="bus-window policy for contended rounds")
+    p.add_argument("--join-rate", type=float, default=0.0,
+                   help="per-round probability a processor joins")
+    p.add_argument("--leave-rate", type=float, default=0.0,
+                   help="per-round probability a processor leaves; a "
+                        "hired leaver crashes mid-round (survivor "
+                        "re-allocation path)")
+    p.add_argument("--reputation-decay", type=float, default=0.8,
+                   help="reputation EMA decay (default 0.8)")
+    p.add_argument("--admission-floor", type=float, default=0.2,
+                   help="minimum reputation to be hired (default 0.2)")
+    p.add_argument("--window", type=int, default=25,
+                   help="timeseries bucket width in rounds (default 25)")
+    p.add_argument("--verify", action="store_true",
+                   help="re-derive every round (serial reference for "
+                        "fault-free contended rounds, re-execution "
+                        "otherwise) and fail on any divergence")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the market result JSON to FILE")
+
     return parser
 
 
@@ -977,6 +1028,72 @@ def cmd_loadgen(args) -> int:
     return 0 if report.errors == 0 else 1
 
 
+def cmd_market(args) -> int:
+    import json
+
+    from repro.api import MarketRequest
+    from repro.api.analysis import (
+        extinction_curve,
+        fine_frequency,
+        market_table,
+        reputation_trajectories,
+        welfare_drift,
+    )
+    from repro.market import MarketError, run_market
+
+    request = MarketRequest(
+        rounds=args.rounds, seed=args.seed, z=args.z, kind=args.kind,
+        num_blocks=args.num_blocks, processors=args.processors,
+        cohort=args.cohort, deviants=tuple(args.deviant),
+        arrival_rate=args.arrival_rate,
+        contention_window=args.contention_window,
+        max_contention=args.max_contention, policy=args.policy,
+        join_rate=args.join_rate, leave_rate=args.leave_rate,
+        reputation_decay=args.reputation_decay,
+        admission_floor=args.admission_floor, window=args.window)
+    try:
+        result = run_market(request, verify=args.verify)
+    except MarketError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    summary = result.summary
+    headers, rows = market_table(result)
+    print(format_table(
+        headers, rows,
+        title=f"market: {summary['rounds']} rounds, "
+              f"{summary['engagements']} engagements "
+              f"(seed {request.seed}, window {request.window})"))
+    drift = welfare_drift(result.series)
+    fines = fine_frequency(result.series)
+    extinction = extinction_curve(result.series)
+    reputation = reputation_trajectories(result.series)
+    print(f"\nwelfare: mean {drift['mean']:.6g}/round, "
+          f"drift {drift['slope']:+.3g}/window")
+    print(f"fines: {fines['total']} total "
+          f"(early half {fines['early']}, late half {fines['late']})")
+    print(f"churn: +{summary['joins']} joined, -{summary['leaves']} left, "
+          f"{summary['crashes']} mid-round crashes; population "
+          f"{request.processors} -> {summary['population']}")
+    if summary["deviants"]:
+        state = "extinct" if summary["deviants_extinct"] else (
+            f"{summary['deviants_alive']} still admissible")
+        print(f"deviants: {summary['deviants']} resident -> {state}; "
+              f"reputation separation "
+              f"{reputation['separation']:+.3f} "
+              + (f"(extinct from window {extinction['extinct_window']})"
+                 if extinction["extinct_window"] is not None else ""))
+    print(f"ledger: conserved every round "
+          f"(worst |sum| = {summary['max_ledger_error']:.3g})")
+    print(f"stream digest {result.digest()}"
+          + (f"  ({summary['verified_rounds']} rounds verified)"
+             if args.verify else ""))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0
+
+
 _COMMANDS = {
     "allocate": cmd_allocate,
     "schedule": cmd_schedule,
@@ -995,6 +1112,7 @@ _COMMANDS = {
     "call": cmd_call,
     "fleet": cmd_fleet,
     "loadgen": cmd_loadgen,
+    "market": cmd_market,
 }
 
 

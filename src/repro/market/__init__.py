@@ -1,0 +1,31 @@
+"""``repro.market`` — the long-horizon dynamic market simulator.
+
+Repeated play of the one-shot mechanism by a population with memory:
+Poisson arrivals on a shared DES clock, join/leave churn (mid-round
+leaves take the crash/survivor-re-allocation path), and a reputation +
+price ledger that biases cohort admission round over round.  Served as
+the ``market`` request kind through :mod:`repro.api` like every other
+workload; ``repro market`` is the CLI front door.
+
+The package orchestrates only: it speaks :mod:`repro.api` types, the
+generic DES kernel and the sweep digest helpers, never protocol or
+kernel layers (architecture-linted).
+"""
+
+from repro.market.history import MarketHistory, ProcessorState, weighted_sample
+from repro.market.simulator import (
+    MARKET_VERSION,
+    MarketError,
+    MarketSimulator,
+    run_market,
+)
+
+__all__ = [
+    "MARKET_VERSION",
+    "MarketError",
+    "MarketHistory",
+    "MarketSimulator",
+    "ProcessorState",
+    "run_market",
+    "weighted_sample",
+]

@@ -1,0 +1,237 @@
+"""The market ledger: reputation, price history, and cohort admission.
+
+The one-shot mechanism is strategyproof per engagement; what makes the
+*repeated* market interesting is the memory between engagements.  This
+module is that memory.  :class:`MarketHistory` tracks every processor
+that ever joined the market and folds each round's referee verdicts
+into two per-processor signals:
+
+* **reputation** — an exponentially-decayed honesty score in [0, 1].
+  A round without a fine scores 1, a fined round scores 0, and the
+  ledger blends ``rep = decay*rep + (1-decay)*score``.  A deviant who
+  is fined every time it is hired therefore shrinks geometrically
+  (``decay^k`` after *k* fines) and falls below the admission floor —
+  the deviant-extinction dynamic the S9 experiments measure.
+* **price** — an EMA of the realized unit price (payment per unit of
+  allocated load), seeded from the processor's per-unit time ``w``.
+  Cheap honest processors accumulate low price EMAs and win admission
+  more often, which is the "price history biases hiring" feedback.
+
+Admission is a seeded weighted draw: processors at or above the
+reputation floor compete with weight ``reputation / price_ema``; the
+floor only relaxes (best-reputation backfill) when churn has left too
+few eligible members to fill a cohort at all.  Everything here is plain
+arithmetic over the caller's RNG — no protocol or engine imports — so
+the simulator stays an orchestrator under the architecture lint.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "ProcessorState",
+    "MarketHistory",
+    "weighted_sample",
+]
+
+
+@dataclass
+class ProcessorState:
+    """One market participant, from joining until (maybe) leaving."""
+
+    pid: str
+    w: float
+    deviations: tuple[str, ...] = ()
+    reputation: float = 1.0
+    price_ema: float = 0.0
+    joined_round: int = 0
+    left_round: int | None = None
+    engagements: int = 0
+    fines: int = 0
+    earned: float = 0.0
+
+    @property
+    def active(self) -> bool:
+        return self.left_round is None
+
+    @property
+    def deviant(self) -> bool:
+        return bool(self.deviations)
+
+
+def weighted_sample(rng: random.Random, items: list, weights: list[float],
+                    k: int) -> list:
+    """Draw *k* items without replacement, proportionally to *weights*.
+
+    A repeated cumulative scan rather than ``random.choices``: the draw
+    sequence is a pure function of the RNG state and the (item, weight)
+    order, so a seeded caller reproduces the same cohorts forever.
+    All-zero weights degrade to a uniform draw.
+    """
+    pool = [(item, max(0.0, wt)) for item, wt in zip(items, weights)]
+    chosen = []
+    for _ in range(min(k, len(pool))):
+        total = sum(wt for _, wt in pool)
+        if total <= 0.0:
+            idx = rng.randrange(len(pool))
+        else:
+            r = rng.random() * total
+            acc = 0.0
+            idx = len(pool) - 1
+            for i, (_, wt) in enumerate(pool):
+                acc += wt
+                if r < acc:
+                    idx = i
+                    break
+        chosen.append(pool.pop(idx)[0])
+    return chosen
+
+
+class MarketHistory:
+    """Accumulates verdicts into reputation/price state across rounds."""
+
+    def __init__(self, *, decay: float = 0.8, floor: float = 0.2) -> None:
+        self.decay = float(decay)
+        self.floor = float(floor)
+        self.members: dict[str, ProcessorState] = {}
+        self._next_id = 1
+        self.total_fines = 0
+        self.fine_total = 0.0
+        self.total_welfare = 0.0
+        self.max_ledger_error = 0.0
+        self.joins = 0
+        self.leaves = 0
+        self.crashes = 0
+
+    # -- population -------------------------------------------------------
+
+    def add(self, w: float, *, deviations: tuple[str, ...] = (),
+            round_index: int = 0) -> ProcessorState:
+        """Admit a new processor (founding when ``round_index`` is 0)."""
+        pid = f"M{self._next_id}"
+        self._next_id += 1
+        state = ProcessorState(pid=pid, w=float(w),
+                               deviations=tuple(deviations),
+                               price_ema=float(w),
+                               joined_round=round_index)
+        self.members[pid] = state
+        if round_index:
+            self.joins += 1
+        return state
+
+    def mark_left(self, pid: str, round_index: int) -> None:
+        """Record a departure (clean, or mid-round via the crash path)."""
+        member = self.members[pid]
+        if member.active:
+            member.left_round = round_index
+            self.leaves += 1
+
+    def active(self) -> list[ProcessorState]:
+        return [m for m in self.members.values() if m.active]
+
+    def eligible(self) -> list[ProcessorState]:
+        """Active members at or above the reputation admission floor."""
+        return [m for m in self.active() if m.reputation >= self.floor]
+
+    # -- admission --------------------------------------------------------
+
+    def weight(self, member: ProcessorState) -> float:
+        """Admission weight: reputable and historically cheap wins."""
+        return max(member.reputation, 0.0) / max(member.price_ema, 1e-9)
+
+    def admission_pool(self, cohort: int,
+                       exclude: frozenset[str] = frozenset()
+                       ) -> list[ProcessorState]:
+        """Who may be hired right now, in canonical (join) order.
+
+        Normally the eligible set minus *exclude* (members already
+        hired into a contending engagement this round).  When that
+        cannot fill a cohort the constraints relax in order: first the
+        floor (backfill by best reputation — the market prefers a
+        dubious processor over an unfilled engagement), then the
+        exclusion (a processor may serve two contending engagements
+        only when the population leaves no alternative).
+        """
+        available = [m for m in self.active() if m.pid not in exclude]
+        if len(available) < cohort:
+            available = self.active()
+        pool = [m for m in available if m.reputation >= self.floor]
+        if len(pool) < cohort:
+            backfill = sorted(
+                (m for m in available if m.reputation < self.floor),
+                key=lambda m: (-m.reputation, int(m.pid[1:])))
+            pool = pool + backfill[:cohort - len(pool)]
+        return sorted(pool, key=lambda m: int(m.pid[1:]))
+
+    def hire(self, rng: random.Random, cohort: int,
+             exclude: frozenset[str] = frozenset()
+             ) -> list[ProcessorState]:
+        """Seeded weighted cohort draw (order = engagement position)."""
+        pool = self.admission_pool(cohort, exclude)
+        return weighted_sample(rng, pool, [self.weight(m) for m in pool],
+                               cohort)
+
+    # -- settlement -------------------------------------------------------
+
+    def settle(self, round_index: int, hired_pids: list[str],
+               record: dict) -> dict:
+        """Fold one engagement's protocol-result record into the ledger.
+
+        ``hired_pids`` is the cohort in engagement position order, so
+        position *k* is the record's participant ``P{k+1}`` — that
+        mapping is how an anonymous engagement verdict lands on a
+        persistent market identity.  Returns the round's scalars
+        (fines, welfare, ledger error, who crashed) for the caller's
+        stream record.
+        """
+        names = {f"P{i + 1}": pid for i, pid in enumerate(hired_pids)}
+        fined: set[str] = set()
+        n_fines = 0
+        fine_total = 0.0
+        for verdict in record.get("verdicts", ()):
+            for fine in verdict.get("fines", ()):
+                pid = names.get(fine.get("who"))
+                if pid is None:
+                    continue
+                fined.add(pid)
+                n_fines += 1
+                fine_total += float(fine.get("amount", 0.0))
+        balances = record.get("balances", {})
+        ledger_error = abs(sum(float(x) for x in balances.values()))
+        welfare = sum(float(x)
+                      for x in record.get("utilities", {}).values())
+        alpha = record.get("alpha", {})
+        payments = record.get("payments", {})
+        for name, pid in names.items():
+            member = self.members[pid]
+            member.engagements += 1
+            score = 0.0 if pid in fined else 1.0
+            member.reputation = min(1.0, max(
+                0.0,
+                self.decay * member.reputation
+                + (1.0 - self.decay) * score))
+            if pid in fined:
+                member.fines += 1
+            member.earned += float(balances.get(name, 0.0))
+            share = float(alpha.get(name, 0.0))
+            if share > 1e-12:
+                unit_price = float(payments.get(name, 0.0)) / share
+                member.price_ema = (self.decay * member.price_ema
+                                    + (1.0 - self.decay) * unit_price)
+        crashed = [names[n] for n in record.get("crashed", ())
+                   if n in names]
+        self.crashes += len(crashed)
+        self.total_fines += n_fines
+        self.fine_total += fine_total
+        self.total_welfare += welfare
+        self.max_ledger_error = max(self.max_ledger_error, ledger_error)
+        return {
+            "fines": n_fines,
+            "fine_total": fine_total,
+            "welfare": welfare,
+            "ledger_error": ledger_error,
+            "fined": sorted(fined),
+            "crashed": crashed,
+        }

@@ -59,7 +59,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.api import ApiError, request_from_dict
-from repro.api.v1 import BenchRequest
+from repro.api.registry import cacheable
 from repro.service import tcp
 from repro.service.pool import WarmPool
 from repro.service.stats import ServiceCounters
@@ -274,8 +274,9 @@ class ReproService:
         return await job.future
 
     def _cache_key(self, request) -> str | None:
-        """Bench requests measure wall time — never cache those."""
-        if self.cache_size == 0 or isinstance(request, BenchRequest):
+        """Digest key for cacheable kinds; the registry knows which
+        (bench answers are wall-clock measurements — never cached)."""
+        if self.cache_size == 0 or not cacheable(request):
             return None
         return request.digest()
 

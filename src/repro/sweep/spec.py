@@ -33,6 +33,7 @@ __all__ = [
     "PLAN_FORMAT",
     "ScenarioSpec",
     "SweepPlan",
+    "StreamDigest",
     "canonical_json",
     "digest_records",
     "derive_seed",
@@ -53,13 +54,37 @@ def canonical_json(obj: Any) -> str:
                       allow_nan=False)
 
 
+class StreamDigest:
+    """Incremental :func:`digest_records`: fold records one at a time.
+
+    A million-round soak cannot hold its record stream in memory just
+    to hash it at the end; this accumulator produces the *identical*
+    digest record by record (same canonical encoding, same newline
+    framing), so a streaming producer and a buffer-everything consumer
+    can be compared digest-for-digest.
+    """
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self.count = 0
+
+    def add(self, record: Any) -> None:
+        """Fold one record into the running digest."""
+        self._hash.update(canonical_json(record).encode("ascii"))
+        self._hash.update(b"\n")
+        self.count += 1
+
+    def hexdigest(self) -> str:
+        """Digest of everything added so far (does not finalize)."""
+        return self._hash.hexdigest()
+
+
 def digest_records(records: Sequence[Any]) -> str:
     """SHA-256 over the canonical encoding of an ordered record stream."""
-    h = hashlib.sha256()
+    stream = StreamDigest()
     for rec in records:
-        h.update(canonical_json(rec).encode("ascii"))
-        h.update(b"\n")
-    return h.hexdigest()
+        stream.add(rec)
+    return stream.hexdigest()
 
 
 def derive_seed(root_seed: int, task: str, key: str) -> int:

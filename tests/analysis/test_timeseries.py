@@ -1,0 +1,99 @@
+"""repro.analysis.timeseries: pure arithmetic over market series.
+
+Hand-built series with known answers first (slopes, extinction
+windows), then one integration check that a real seeded deviant run
+produces the S9 signatures: negative fine-frequency slope, extinction
+window, and a reputation separation between deviant and honest cohorts.
+"""
+
+import pytest
+
+from repro.analysis import (
+    extinction_curve,
+    fine_frequency,
+    linear_trend,
+    market_table,
+    reputation_trajectories,
+    welfare_drift,
+)
+
+
+class TestLinearTrend:
+    def test_exact_line(self):
+        assert linear_trend([1.0, 3.0, 5.0, 7.0]) == pytest.approx(2.0)
+
+    def test_flat_and_degenerate(self):
+        assert linear_trend([4.0, 4.0, 4.0]) == 0.0
+        assert linear_trend([4.0]) == 0.0
+        assert linear_trend([]) == 0.0
+
+
+class TestWelfareDrift:
+    def test_split_halves_and_slope(self):
+        drift = welfare_drift({"welfare": [1.0, 2.0, 3.0, 4.0]})
+        assert drift["mean"] == pytest.approx(2.5)
+        assert drift["early_mean"] == pytest.approx(1.5)
+        assert drift["late_mean"] == pytest.approx(3.5)
+        assert drift["slope"] == pytest.approx(1.0)
+
+
+class TestFineFrequency:
+    def test_decaying_fines(self):
+        freq = fine_frequency({"fines": [6, 4, 1, 0]})
+        assert freq["total"] == 11
+        assert freq["per_window"] == pytest.approx(2.75)
+        assert freq["early"] == 10
+        assert freq["late"] == 1
+        assert freq["slope"] < 0
+
+
+class TestExtinctionCurve:
+    def test_extinction_window_is_the_last_recovery_free_drop(self):
+        curve = extinction_curve({"deviants_alive": [2, 1, 2, 1, 0, 0]})
+        assert curve["alive"] == [2, 1, 2, 1, 0, 0]
+        assert curve["extinct"] is True
+        assert curve["extinct_window"] == 4
+
+    def test_survivors_have_no_extinction_window(self):
+        curve = extinction_curve({"deviants_alive": [2, 1, 1, 1]})
+        assert curve["extinct"] is False
+        assert curve["extinct_window"] is None
+
+
+class TestReputationTrajectories:
+    def test_separation_is_honest_minus_deviant(self):
+        traj = reputation_trajectories({
+            "deviant_reputation": [0.9, 0.4, 0.1],
+            "honest_reputation": [1.0, 1.0, 0.9]})
+        assert traj["deviant"] == [0.9, 0.4, 0.1]
+        assert traj["separation"] == pytest.approx(0.8)
+
+
+class TestMarketIntegration:
+    @pytest.fixture(scope="class")
+    def deviant_run(self):
+        from repro.api import MarketRequest
+        from repro.market import run_market
+
+        return run_market(MarketRequest(
+            rounds=100, seed=7, processors=6, cohort=3, num_blocks=12,
+            deviants=((0, "multiple-bids"),), reputation_decay=0.6,
+            admission_floor=0.3, window=20))
+
+    def test_s9_signatures(self, deviant_run):
+        series = deviant_run.series
+        assert fine_frequency(series)["slope"] < 0
+        curve = extinction_curve(series)
+        assert curve["extinct"] is True
+        assert curve["extinct_window"] is not None
+        separation = reputation_trajectories(series)["separation"]
+        assert separation > 0.3
+
+    def test_market_table_renders_attr_and_dict_results(self,
+                                                        deviant_run):
+        headers, rows = market_table(deviant_run)
+        assert headers[0] == "window"
+        assert len(rows) == len(deviant_run.series["welfare"])
+        dict_headers, dict_rows = market_table(
+            {"series": deviant_run.series})
+        assert (dict_headers, dict_rows) == (headers, rows)

@@ -25,7 +25,7 @@ GOLDEN = Path(__file__).parent / "golden"
 DIGESTS = json.loads((GOLDEN / "digests.json").read_text())
 
 REQUEST_FIXTURES = ("engagement_request", "committee_request",
-                    "sweep_request", "bench_request")
+                    "sweep_request", "bench_request", "market_request")
 
 
 def load(name: str) -> dict:
@@ -62,6 +62,17 @@ class TestFrozenRequests:
 
         assert body == {f.name for f in fields(EngagementRequest)}
 
+    def test_market_fixture_exercises_every_field(self):
+        # MarketRequest materializes every field on the wire (no sparse
+        # fields), so one fixture pins the whole surface.
+        from dataclasses import fields
+
+        from repro.api import MarketRequest
+
+        body = {k for k in load("market_request")
+                if k not in ("schema", "type")}
+        assert body == {f.name for f in fields(MarketRequest)}
+
 
 class TestFrozenExecution:
     def test_engagement_settlement_digest_is_frozen(self):
@@ -75,6 +86,19 @@ class TestFrozenExecution:
     def test_sweep_digest_is_frozen(self):
         result = execute(request_from_dict(load("sweep_request")))
         assert result.digest() == DIGESTS["sweep_result"]
+
+    def test_market_stream_digest_is_frozen(self):
+        # A seeded 200-round market run — churn, contention, resident
+        # deviants — must fold to the frozen stream digest: the whole
+        # arrival/churn/admission derivation and every settlement along
+        # the way are pinned by one hash.
+        result = execute(request_from_dict(load("market_request")))
+        assert result.digest() == DIGESTS["market_result"], (
+            "the market round stream changed for a frozen request — "
+            "either a seeded derivation moved (bump MARKET_VERSION and "
+            "refresh deliberately) or determinism broke")
+        assert result.rounds == 200
+        assert result.summary["max_ledger_error"] < 1e-9
 
     def test_committee_settlement_digest_is_frozen(self):
         # An N=4 committee carrying a fine-stealing seat-0 leader must

@@ -12,6 +12,8 @@ from repro.api import (
     EngagementRequest,
     EngagementResult,
     FleetStatsResult,
+    MarketRequest,
+    MarketResult,
     MultiEngagementRequest,
     ServiceStats,
     SweepRequest,
@@ -182,6 +184,90 @@ class TestMultiEngagementRequest:
         doc["digest_value"] = "0" * 64
         with pytest.raises(ApiError, match="corrupted"):
             result_from_dict(doc)
+
+
+class TestMarketRequest:
+    def test_defaults_materialized_in_to_dict(self):
+        d = MarketRequest().to_dict()
+        assert d["rounds"] == 100
+        assert d["policy"] == "fifo"
+        assert d["deviants"] == []
+        assert d["reputation_decay"] == 0.8
+        assert d["admission_floor"] == 0.2
+
+    def test_json_round_trip_is_exact(self):
+        req = MarketRequest(
+            rounds=50, seed=9, z=0.5, kind="ncp-nfe", num_blocks=24,
+            processors=8, cohort=4, deviants=((0, "multiple-bids"),
+                                              (2, "short-allocation")),
+            arrival_rate=3.0, contention_window=0.25, max_contention=2,
+            policy="sjf", join_rate=0.1, leave_rate=0.05,
+            reputation_decay=0.7, admission_floor=0.3, window=10)
+        again = request_from_dict(json.loads(json.dumps(req.to_dict())))
+        assert again == req
+        assert again.digest() == req.digest()
+
+    @pytest.mark.parametrize("kwargs,match", [
+        (dict(rounds=0), "rounds"),
+        (dict(z=0.0), "z must be > 0"),
+        (dict(kind="cp"), "kind must be one of"),
+        (dict(processors=1), "processors"),
+        (dict(cohort=1), "cohort"),
+        (dict(processors=3, cohort=4), "cohort must be <= processors"),
+        (dict(w_low=0.0), "w_low"),
+        (dict(w_low=3.0, w_high=2.0), "w_high"),
+        (dict(arrival_rate=0.0), "arrival_rate"),
+        (dict(contention_window=-1.0), "contention_window"),
+        (dict(max_contention=0), "max_contention"),
+        (dict(policy="lifo"), "policy"),
+        (dict(join_rate=1.5), "join_rate"),
+        (dict(leave_rate=-0.1), "leave_rate"),
+        (dict(deviants=((9, "multiple-bids"),)), "out of range"),
+        (dict(deviants=((0, "nope"),)), "unknown deviation"),
+        (dict(processors=2, cohort=2,
+              deviants=((0, "multiple-bids"), (1, "split-bids"))),
+         "at least one honest"),
+        (dict(reputation_decay=1.5), "reputation_decay"),
+        (dict(admission_floor=1.0), "admission_floor"),
+        (dict(window=0), "window"),
+    ])
+    def test_actionable_validation_errors(self, kwargs, match):
+        with pytest.raises(ApiError, match=match):
+            MarketRequest(**kwargs)
+
+    def test_unknown_field_rejected_by_name(self):
+        d = MarketRequest().to_dict()
+        d["volatility"] = 0.5
+        with pytest.raises(ApiError, match=r"\['volatility'\]"):
+            MarketRequest.from_dict(d)
+
+
+class TestMarketResult:
+    def _result(self):
+        return MarketResult(
+            rounds=4, digest_value="ab" * 32,
+            summary={"fines": 2, "welfare_total": 9.5},
+            series={"welfare": [2.0, 2.5], "fines": [1, 1]},
+            reputations={"M1": 0.512, "M2": 1.0})
+
+    def test_round_trip_and_identity(self):
+        res = self._result()
+        again = result_from_dict(json.loads(json.dumps(res.to_dict())))
+        assert again == res
+        # The stream digest IS the identity; telemetry (cached) is not.
+        assert again.digest() == "ab" * 32
+        replayed = MarketResult(**{**vars(res), "cached": True})
+        assert replayed.digest() == res.digest()
+
+    def test_requires_a_stream_digest(self):
+        with pytest.raises(ApiError, match="digest_value"):
+            MarketResult(rounds=1)
+
+    def test_rejects_malformed_series_and_reputations(self):
+        with pytest.raises(ApiError, match=r"series\['welfare'\]"):
+            MarketResult(digest_value="ff", series={"welfare": 3})
+        with pytest.raises(ApiError, match="reputations"):
+            MarketResult(digest_value="ff", reputations={"M1": 2.0})
 
 
 class TestResults:

@@ -1,0 +1,154 @@
+"""MarketHistory unit behavior: reputation, admission, settlement.
+
+These tests exercise the ledger in isolation with hand-built protocol
+records — no engine, no simulator — so each market rule (geometric
+reputation decay, floor-gated admission, the P{k} → pid verdict
+mapping, price EMAs) is pinned by arithmetic the reader can check by
+hand.
+"""
+
+import random
+
+import pytest
+
+from repro.market import MarketHistory, weighted_sample
+
+
+def record(*, fines=(), balances=None, utilities=None, alpha=None,
+           payments=None, crashed=()):
+    """A minimal protocol-result dict in the io.py wire shape."""
+    return {
+        "verdicts": [{"fines": [
+            {"who": who, "amount": amount, "offence": "test"}
+            for who, amount in fines]}] if fines else [],
+        "balances": balances or {},
+        "utilities": utilities or {},
+        "alpha": alpha or {},
+        "payments": payments or {},
+        "crashed": list(crashed),
+    }
+
+
+def seeded_history(n=4, *, decay=0.5, floor=0.25):
+    history = MarketHistory(decay=decay, floor=floor)
+    for i in range(n):
+        history.add(2.0 + i)
+    return history
+
+
+class TestReputation:
+    def test_fined_reputation_decays_geometrically(self):
+        # decay=0.5 and a fine every engagement: 1 -> .5 -> .25 -> .125
+        history = seeded_history(2, decay=0.5)
+        for expected in (0.5, 0.25, 0.125):
+            history.settle(1, ["M1", "M2"],
+                           record(fines=(("P1", 3.0),)))
+            assert history.members["M1"].reputation \
+                == pytest.approx(expected)
+        # The honest cohort-mate never moves off 1.0.
+        assert history.members["M2"].reputation == 1.0
+        assert history.members["M1"].fines == 3
+        assert history.total_fines == 3
+        assert history.fine_total == pytest.approx(9.0)
+
+    def test_reputation_recovers_toward_one_after_a_clean_round(self):
+        history = seeded_history(2, decay=0.5)
+        history.settle(1, ["M1", "M2"], record(fines=(("P1", 1.0),)))
+        history.settle(2, ["M1", "M2"], record())
+        assert history.members["M1"].reputation == pytest.approx(0.75)
+
+    def test_extinction_crosses_the_admission_floor(self):
+        history = seeded_history(3, decay=0.5, floor=0.2)
+        for round_index in range(3):
+            history.settle(round_index, ["M1", "M2"],
+                           record(fines=(("P1", 1.0),)))
+        assert history.members["M1"].reputation < 0.2
+        assert [m.pid for m in history.eligible()] == ["M2", "M3"]
+
+
+class TestSettlementMapping:
+    def test_positions_map_to_market_identities(self):
+        # Engagement position k is the record's P{k+1}: the fine on P2
+        # must land on whoever was hired second, not on "M2".
+        history = seeded_history(3, decay=0.5)
+        history.settle(1, ["M3", "M1"], record(fines=(("P2", 2.0),)))
+        assert history.members["M1"].fines == 1
+        assert history.members["M3"].fines == 0
+
+    def test_earnings_ledger_error_and_crashes_fold_in(self):
+        history = seeded_history(2)
+        settled = history.settle(1, ["M2", "M1"], record(
+            balances={"P1": 4.0, "P2": -3.5},
+            utilities={"P1": 1.5, "P2": 0.25},
+            crashed=("P2",)))
+        assert settled["welfare"] == pytest.approx(1.75)
+        assert settled["ledger_error"] == pytest.approx(0.5)
+        assert settled["crashed"] == ["M1"]
+        assert history.members["M2"].earned == pytest.approx(4.0)
+        assert history.members["M1"].earned == pytest.approx(-3.5)
+        assert history.max_ledger_error == pytest.approx(0.5)
+        assert history.crashes == 1
+
+    def test_price_ema_tracks_realized_unit_price(self):
+        # decay=0.5, w=2.0 seed, one round at unit price 6/2=3:
+        # ema = 0.5*2.0 + 0.5*3.0 = 2.5.  Zero-allocation members
+        # (alpha ~ 0) keep their EMA untouched.
+        history = seeded_history(2, decay=0.5)
+        history.settle(1, ["M1", "M2"], record(
+            alpha={"P1": 2.0, "P2": 0.0},
+            payments={"P1": 6.0, "P2": 1.0}))
+        assert history.members["M1"].price_ema == pytest.approx(2.5)
+        assert history.members["M2"].price_ema == pytest.approx(3.0)
+
+
+class TestAdmission:
+    def test_weighted_sample_is_seed_deterministic(self):
+        items = list("abcdef")
+        weights = [1.0, 5.0, 0.5, 2.0, 0.0, 3.0]
+        draws = [weighted_sample(random.Random("market-test"), items,
+                                 weights, 3) for _ in range(3)]
+        assert draws[0] == draws[1] == draws[2]
+        assert len(set(draws[0])) == 3  # without replacement
+
+    def test_weighted_sample_all_zero_weights_is_uniform(self):
+        items = list("abc")
+        drawn = weighted_sample(random.Random(1), items, [0.0] * 3, 3)
+        assert sorted(drawn) == items
+
+    def test_pool_excludes_already_hired_members(self):
+        history = seeded_history(4)
+        pool = history.admission_pool(2, exclude=frozenset({"M1", "M3"}))
+        assert [m.pid for m in pool] == ["M2", "M4"]
+
+    def test_floor_relaxes_before_an_engagement_goes_unfilled(self):
+        # Only one member above the floor but cohort=2: the best of the
+        # disgraced backfills rather than leaving the slot empty.
+        history = seeded_history(3, decay=0.5, floor=0.9)
+        history.settle(1, ["M1", "M2"], record(fines=(("P1", 1.0),
+                                                      ("P2", 1.0),)))
+        history.settle(2, ["M1"], record(fines=(("P1", 1.0),)))
+        pool = history.admission_pool(2)
+        assert [m.pid for m in pool] == ["M2", "M3"]  # M2 = best fallen
+
+    def test_exclusion_relaxes_only_when_population_is_short(self):
+        history = seeded_history(2)
+        pool = history.admission_pool(2, exclude=frozenset({"M1", "M2"}))
+        assert [m.pid for m in pool] == ["M1", "M2"]
+
+    def test_departed_members_are_never_hired(self):
+        history = seeded_history(3)
+        history.mark_left("M2", round_index=5)
+        pool = history.admission_pool(3)
+        assert [m.pid for m in pool] == ["M1", "M3"]
+        assert history.leaves == 1
+        history.mark_left("M2", round_index=6)  # idempotent
+        assert history.leaves == 1
+        assert history.members["M2"].left_round == 5
+
+    def test_cheap_reputable_processors_win_more_often(self):
+        history = MarketHistory(decay=0.8, floor=0.2)
+        history.add(1.5)   # cheap
+        history.add(6.0)   # expensive
+        rng = random.Random("bias")
+        first = [history.hire(rng, 1)[0].pid for _ in range(200)]
+        assert first.count("M1") > 150

@@ -1,0 +1,73 @@
+"""Topology invariance: direct == daemon == fleet for market runs.
+
+The MarketResult's identity is its stream digest, so "the service layer
+cannot change an answer" reduces to one equality over three transports
+— the same contract the loadgen soaks pin for engagement streams, now
+extended to the long-horizon market kind.  Cache semantics ride along:
+a market run is expensive and deterministic, so the daemon must replay
+repeats from its result cache with the ``cached`` flag raised.
+"""
+
+import pytest
+
+from repro.api import MarketRequest, execute, result_from_dict
+from repro.service import ServiceClient
+from tests.service.test_fleet import EmbeddedFleet
+
+REQUEST = MarketRequest(rounds=40, seed=11, processors=6, cohort=3,
+                        num_blocks=12, arrival_rate=2.0,
+                        contention_window=0.3, max_contention=3,
+                        join_rate=0.1, leave_rate=0.05,
+                        deviants=((0, "multiple-bids"),), window=10)
+
+
+@pytest.fixture(scope="module")
+def direct():
+    return execute(REQUEST)
+
+
+class TestServedMarket:
+    def test_daemon_serves_the_direct_digest_and_caches_repeats(
+            self, direct):
+        with ServiceClient(tcp="127.0.0.1:0", workers=1) as client:
+            served = client.request(REQUEST)
+            assert served.digest() == direct.digest()
+            assert served.summary == direct.summary
+            assert not served.cached
+            replay = client.request(REQUEST)
+            assert replay.cached
+            assert replay.digest() == direct.digest()
+            assert replay.series == direct.series
+
+    def test_fleet_of_two_serves_the_direct_digest(self, direct):
+        # A second, different market request shards the pair across the
+        # fleet; both must come back digest-identical to in-process
+        # execution wherever they land.
+        sibling = MarketRequest(rounds=40, seed=12, processors=6,
+                                cohort=3, num_blocks=12,
+                                arrival_rate=2.0, contention_window=0.3,
+                                max_contention=3, join_rate=0.1,
+                                leave_rate=0.05,
+                                deviants=((0, "multiple-bids"),),
+                                window=10)
+        with EmbeddedFleet(2) as fleet:
+            dispatcher = fleet.dispatcher()
+            for request, reference in ((REQUEST, direct),
+                                       (sibling, None)):
+                response = dispatcher.submit(request)
+                assert response["ok"], response
+                result = result_from_dict(response["result"])
+                expected = (reference.digest() if reference
+                            else execute(request).digest())
+                assert result.digest() == expected
+            assert dispatcher.counters.requests == 2
+
+    def test_wire_round_trip_preserves_series_and_reputations(
+            self, direct):
+        # The differential holds at full fidelity, not just the digest:
+        # the JSON-serialized result reconstructs every series point
+        # and reputation score exactly.
+        clone = result_from_dict(direct.to_dict())
+        assert clone == direct
+        assert clone.series == direct.series
+        assert clone.reputations == direct.reputations

@@ -227,6 +227,32 @@ def test_fleet_and_loadgen_stay_above_the_engine():
         + "\n  ".join(bad))
 
 
+def test_market_orchestrates_but_never_computes():
+    # The market simulator is in the fleet/loadgen position one level
+    # up: it composes api requests, drives the generic DES kernel and
+    # folds records through the sweep digest helpers, and that is all.
+    # Importing protocol, kernels, agents, engine layers or the serving
+    # stack directly would let a market round settle differently from
+    # the same round served through a daemon — the topology-invariance
+    # contract the soak tier pins.  Within repro.network only the
+    # generic events kernel is sanctioned (the shared DES clock);
+    # transports and bus models stay behind the api executors.
+    bad = _violations(
+        ("repro.market",),
+        ("repro.protocol", "repro.kernels", "repro.agents",
+         "repro.core", "repro.dlt", "repro.service"))
+    for path in sorted((SRC / "market").rglob("*.py")):
+        mod = _module_name(path)
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for imported in _imports(tree):
+            if (imported.startswith("repro.network")
+                    and imported != "repro.network.events"):
+                bad.append(f"{mod} imports {imported}")
+    assert not bad, (
+        "repro.market must orchestrate through repro.api and the DES "
+        "kernel, never compute:\n  " + "\n  ".join(bad))
+
+
 def test_tcp_is_the_only_socket_seam_in_the_service():
     # Every socket the service stack opens lives in repro.service.tcp:
     # transports multiply (unix, tcp, someday TLS) but the daemon,
